@@ -1,0 +1,87 @@
+// Shared helpers for the experiment benches: command-line trial counts,
+// consistent headers, and the standard workload constructors.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace arbmis::bench {
+
+/// Parses "--trials N" / "--quick" style options shared by all benches.
+struct BenchOptions {
+  std::uint64_t trials = 0;  ///< 0 = bench default
+  bool quick = false;        ///< shrink sweeps for smoke runs
+  bool csv = false;          ///< also emit each table as CSV
+  std::uint64_t seed = 12345;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--quick") {
+        options.quick = true;
+      } else if (arg == "--csv") {
+        options.csv = true;
+      } else if (arg == "--trials" && i + 1 < argc) {
+        options.trials = std::strtoull(argv[++i], nullptr, 10);
+      } else if (arg == "--seed" && i + 1 < argc) {
+        options.seed = std::strtoull(argv[++i], nullptr, 10);
+      }
+    }
+    return options;
+  }
+};
+
+inline void print_header(std::string_view experiment_id,
+                         std::string_view claim) {
+  std::cout << "# " << experiment_id << ": " << claim << "\n";
+}
+
+/// Prints the aligned table, plus a CSV copy when --csv was passed.
+inline void emit(const util::Table& table, const BenchOptions& options) {
+  table.print(std::cout);
+  if (options.csv) {
+    std::cout << "\n[csv]\n";
+    table.print_csv(std::cout);
+  }
+}
+
+/// Workload families keyed by name, used by the comparison benches.
+inline graph::Graph make_workload(const std::string& name, graph::NodeId n,
+                                  util::Rng& rng) {
+  if (name == "tree") return graph::gen::random_tree(n, rng);
+  if (name == "pa_tree") return graph::gen::preferential_attachment_tree(n, rng);
+  if (name == "planar") return graph::gen::random_apollonian(n, rng);
+  if (name == "arb2") return graph::gen::union_of_random_forests(n, 2, rng);
+  if (name == "arb4") return graph::gen::union_of_random_forests(n, 4, rng);
+  if (name == "gnp") {
+    return graph::gen::gnp(n, 8.0 / static_cast<double>(n), rng);
+  }
+  if (name == "powerlaw") {
+    return graph::gen::chung_lu_power_law(n, 2.5, 6.0, rng);
+  }
+  if (name == "grid") {
+    const auto side = static_cast<graph::NodeId>(std::sqrt(double(n)));
+    return graph::gen::grid(side, side);
+  }
+  return graph::gen::random_tree(n, rng);
+}
+
+/// Arboricity hint matching make_workload's families.
+inline graph::NodeId workload_alpha(const std::string& name) {
+  if (name == "tree" || name == "pa_tree") return 1;
+  if (name == "planar") return 3;
+  if (name == "arb2") return 2;
+  if (name == "arb4") return 4;
+  if (name == "grid") return 2;
+  return 4;  // gnp / power-law fallback hint
+}
+
+}  // namespace arbmis::bench

@@ -1,0 +1,61 @@
+// Experiment F2 (paper Theorem 3.2 / Figure 1B — Event (2)): with
+// probability at least 1 - 1/Δ⁴, more than |M|/(2α) of the members draw a
+// priority above all of their parents. The read-ρ structure (a
+// competitive priority influences at most ρ indicators) is what makes the
+// concentration work.
+//
+// Each row: empirical success probability, the mean fraction of members
+// beating their parents (theory: >= 1/(α+1) per member, so the |M|/2α
+// target has headroom), and the read-ρ tail bound on the failure side.
+#include "bench_common.h"
+#include "graph/orientation.h"
+#include "graph/properties.h"
+#include "readk/bounds.h"
+#include "readk/events.h"
+
+int main(int argc, char** argv) {
+  using namespace arbmis;
+  const bench::BenchOptions options = bench::BenchOptions::parse(argc, argv);
+  const std::uint64_t trials =
+      options.trials ? options.trials : (options.quick ? 2000 : 20000);
+
+  bench::print_header(
+      "F2",
+      "Theorem 3.2 (Event 2, Fig 1B) — >|M|/2α members beat all parents");
+  std::cout << "trials per cell: " << trials << "\n\n";
+
+  util::Rng rng(options.seed);
+  util::Table table({"family", "alpha_cert", "|M|", "mean_beat_fraction",
+                     "1/(2*alpha)", "empirical_success", "ci_lo",
+                     "readk_failure_bound"});
+  table.set_double_precision(4);
+
+  for (graph::NodeId alpha : {1u, 2u, 3u, 4u}) {
+    util::Rng gen_rng(options.seed + alpha * 13);
+    const graph::Graph g = graph::gen::union_of_random_forests(
+        options.quick ? 300u : 2000u, alpha, gen_rng);
+    const graph::Orientation orientation = graph::degeneracy_orientation(g);
+    const graph::NodeId alpha_cert = graph::degeneracy(g);
+    const auto members = readk::nodes_with_parents(orientation);
+    const readk::EventEstimate estimate = readk::estimate_event2(
+        g, orientation, members, alpha_cert, trials, rng);
+    table.row()
+        .cell("forest_union_" + std::to_string(alpha))
+        .cell(std::uint64_t{alpha_cert})
+        .cell(std::uint64_t{members.size()})
+        .cell(estimate.mean_metric)
+        .cell(1.0 / (2.0 * static_cast<double>(alpha_cert)))
+        .cell(estimate.probability)
+        .cell(estimate.ci.lo)
+        .cell(readk::event2_failure_bound(members.size(), g.max_degree(),
+                                          alpha_cert));
+  }
+  bench::emit(table, options);
+  std::cout << "\nnote: at alpha = 1 the per-node success probability is "
+               "exactly 1/(alpha+1) = 1/2, so E[X] = |M|/2 equals the "
+               "|M|/(2*alpha) target and the success probability hovers at "
+               "~1/2 — the paper's Pr(X_u = 1) >= 1/alpha step should read "
+               "1/(alpha+1) (see EXPERIMENTS.md); for alpha >= 2 the "
+               "theorem's margin is real and the event is near-certain.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Experiment M1: google-benchmark microbenchmarks of the substrate (not a
+// paper claim — a regression guard for the simulator and graph library
+// that every other experiment's wall-clock depends on).
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "mis/metivier.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace arbmis;
+
+void BM_GraphBuildCsr(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  util::Rng rng(1);
+  std::vector<graph::Edge> edges =
+      graph::gen::union_of_random_forests(n, 2, rng).edges();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::from_edges(n, edges));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_GraphBuildCsr)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_Bfs(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  util::Rng rng(2);
+  const graph::Graph g = graph::gen::union_of_random_forests(n, 2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::bfs_distances(g, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Bfs)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_CoreDecomposition(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  util::Rng rng(3);
+  const graph::Graph g = graph::gen::random_apollonian(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::core_decomposition(g));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CoreDecomposition)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_NetworkRoundThroughput(benchmark::State& state) {
+  // Full Métivier runs: measures simulator round dispatch + delivery.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  util::Rng rng(4);
+  const graph::Graph g = graph::gen::union_of_random_forests(n, 2, rng);
+  std::uint64_t seed = 0;
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const mis::MisResult result = mis::MetivierMis::run(g, ++seed);
+    messages += result.stats.messages;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+}
+BENCHMARK(BM_NetworkRoundThroughput)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_RngDraws(benchmark::State& state) {
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngDraws);
+
+}  // namespace
+
+BENCHMARK_MAIN();

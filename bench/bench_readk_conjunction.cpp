@@ -1,0 +1,76 @@
+// Experiment T1 (paper Theorem 1.1): for read-k indicator families with
+// Pr[Y_i = 1] = p, Pr[Y_1 = ... = Y_n = 1] <= p^(n/k).
+//
+// Workload: shared-block families (the extremal construction where the
+// bound is tight) swept over n, k, p, plus an independent control column.
+// Each row reports the empirical conjunction probability with a 95% CI,
+// the Theorem 1.1 bound, and the independent-case p^n reference.
+#include "bench_common.h"
+#include "readk/bounds.h"
+#include "readk/family.h"
+#include "readk/montecarlo.h"
+
+int main(int argc, char** argv) {
+  using namespace arbmis;
+  const bench::BenchOptions options = bench::BenchOptions::parse(argc, argv);
+  const std::uint64_t trials =
+      options.trials ? options.trials : (options.quick ? 5000 : 100000);
+
+  bench::print_header(
+      "T1", "Theorem 1.1 — P(conjunction) <= p^(n/k) for read-k families");
+  std::cout << "trials per cell: " << trials << "\n\n";
+
+  util::Rng rng(options.seed);
+  util::Table table({"n", "k", "p", "empirical", "ci_hi", "thm1.1_bound",
+                     "independent_p^n", "vs_bound"});
+  table.set_double_precision(4);
+
+  const std::vector<std::uint32_t> ns =
+      options.quick ? std::vector<std::uint32_t>{32, 64}
+                    : std::vector<std::uint32_t>{32, 64, 128, 256, 512};
+  const std::vector<std::uint32_t> ks{1, 2, 4, 8, 16};
+  const std::vector<double> ps{0.3, 0.5, 0.7, 0.9};
+
+  for (std::uint32_t n : ns) {
+    for (std::uint32_t k : ks) {
+      for (double p : ps) {
+        const readk::ReadKFamily family =
+            readk::shared_block_family(n, k, p);
+        const readk::ConjunctionEstimate estimate =
+            readk::estimate_conjunction(family, trials, rng);
+        const double bound = readk::conjunction_bound(p, n, family.read_k());
+        table.row()
+            .cell(n)
+            .cell(k)
+            .cell(p)
+            .cell(estimate.probability)
+            .cell(estimate.ci.hi)
+            .cell(bound)
+            .cell(readk::independent_conjunction(p, n))
+            // The block family ATTAINS the bound exactly (its conjunction
+            // probability is p^ceil(n/k)), so sampling noise straddles
+            // it. Poisson-aware verdict: with E = bound·trials expected
+            // hits, only an observation beyond E + 4·sqrt(E) + 4 (a >4σ
+            // excess even in the rare-event regime) would count as
+            // evidence above the bound.
+            .cell([&] {
+              const double expected_hits =
+                  bound * static_cast<double>(trials);
+              const auto observed =
+                  static_cast<double>(estimate.all_ones);
+              if (observed >
+                  expected_hits + 4.0 * std::sqrt(expected_hits) + 4.0) {
+                return "ABOVE";
+              }
+              return estimate.ci.hi >= bound - 1e-12 ? "tight" : "below";
+            }());
+      }
+    }
+  }
+  bench::emit(table, options);
+  std::cout << "\nnote: this family attains p^(n/k) exactly, so most rows "
+               "read 'tight' — the empirical value straddles the bound "
+               "within Monte-Carlo noise (verdict is Poisson-aware for "
+               "rare-event cells). An 'ABOVE' would falsify Theorem 1.1.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Example: watching BoundedArbIndependentSet shatter a graph, scale by
+// scale. Attaches the Invariant auditor and prints per-scale progress —
+// how many nodes join I, get covered, go bad, and how the high-degree
+// neighborhood invariant tightens.
+//
+//   ./shattering_demo [n] [alpha] [hubs] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/bounded_arb.h"
+#include "core/invariant.h"
+#include "core/shattering.h"
+#include "graph/generators.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace arbmis;
+  const graph::NodeId n = argc > 1 ? std::atoi(argv[1]) : 20000;
+  const graph::NodeId alpha = argc > 2 ? std::atoi(argv[2]) : 2;
+  const graph::NodeId hubs = argc > 3 ? std::atoi(argv[3]) : 8;
+  const std::uint64_t seed = argc > 4 ? std::atoll(argv[4]) : 3;
+
+  util::Rng rng(seed);
+  const graph::Graph g = graph::gen::hubbed_forest_union(n, alpha, hubs, rng);
+  const core::Params params = core::Params::practical(alpha, g.max_degree());
+
+  std::cout << "graph: n=" << g.num_nodes() << " m=" << g.num_edges()
+            << " max_degree=" << g.max_degree() << "\n";
+  std::cout << "params: scales=" << params.num_scales
+            << " iterations/scale=" << params.iterations_per_scale
+            << " rho_1=" << params.rho(1)
+            << " residual_cut=" << params.residual_degree_cut() << "\n\n";
+
+  core::BoundedArbIndependentSet algorithm(g, params);
+  core::InvariantAuditor auditor(g, algorithm);
+  sim::Network net(g, seed);
+  const sim::RunStats stats =
+      net.run(algorithm, params.total_rounds(), auditor.observer());
+
+  core::BoundedArbIndependentSet::Result result;
+  result.outcome = algorithm.outcomes();
+  result.scale_stats = algorithm.scale_stats();
+
+  util::Table scales({"scale", "high_deg_threshold", "bad_threshold",
+                      "joined", "covered", "bad", "active_after",
+                      "max_high_neighbors(audit)", "invariant"});
+  for (std::size_t i = 0; i < result.scale_stats.size(); ++i) {
+    const auto& s = result.scale_stats[i];
+    const auto* audit = i < auditor.audits().size()
+                            ? &auditor.audits()[i]
+                            : nullptr;
+    scales.row()
+        .cell(std::uint64_t{s.scale})
+        .cell(params.high_degree_threshold(s.scale))
+        .cell(params.bad_threshold(s.scale))
+        .cell(s.joined)
+        .cell(s.covered)
+        .cell(s.bad)
+        .cell(s.active_after)
+        .cell(audit ? std::to_string(audit->max_high_degree_neighbors)
+                    : std::string("-"))
+        .cell(audit ? (audit->violations == 0 ? "holds" : "VIOLATED")
+                    : std::string("-"));
+  }
+  scales.print(std::cout);
+
+  std::cout << "\ntotals: rounds=" << stats.rounds
+            << " messages=" << stats.messages << " I="
+            << result.count(core::ArbOutcome::kInMis)
+            << " covered=" << result.count(core::ArbOutcome::kCovered)
+            << " bad=" << result.count(core::ArbOutcome::kBad)
+            << " remaining=" << result.count(core::ArbOutcome::kRemaining)
+            << "\n";
+
+  const core::ShatteringStats bad_stats =
+      core::shattering_stats(g, result.bad_mask());
+  if (bad_stats.set_size > 0) {
+    std::cout << "bad set: " << bad_stats.set_size << " nodes in "
+              << bad_stats.num_components << " components, largest "
+              << bad_stats.largest_component << " (Lemma 3.7 scale: log_D n="
+              << bad_stats.log_delta_n << ")\n";
+  } else {
+    std::cout << "bad set: empty — every scale satisfied the Invariant "
+                 "outright (Theorem 3.6 with room to spare)\n";
+  }
+  return 0;
+}

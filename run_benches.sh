@@ -1,0 +1,9 @@
+#!/bin/bash
+cd /root/repo
+for b in build/bench/bench_*; do
+  name=$(basename "$b")
+  echo "=== running $name ==="
+  timeout 3000 "$b" > "results/${name}.txt" 2>&1
+  echo "=== $name done rc=$? ==="
+done
+echo ALL_BENCHES_DONE

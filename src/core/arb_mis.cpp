@@ -1,0 +1,197 @@
+#include "core/arb_mis.h"
+
+#include <stdexcept>
+
+#include "graph/subgraph.h"
+#include "mis/degree_reduction.h"
+#include "mis/linial.h"
+#include "mis/metivier.h"
+#include "mis/slow_local.h"
+#include "mis/gather_solve.h"
+#include "mis/sparse_mis.h"
+
+namespace arbmis::core {
+
+namespace {
+
+using mis::MisState;
+
+/// Runs `finisher` on a subgraph and returns its labeling.
+mis::MisResult run_finisher(const graph::Graph& sub, Finisher finisher,
+                            graph::NodeId alpha, std::uint64_t seed) {
+  switch (finisher) {
+    case Finisher::kMetivier:
+      return mis::MetivierMis::run(sub, seed);
+    case Finisher::kLinial:
+      return mis::LinialMis::run(sub, sub.max_degree(), seed);
+    case Finisher::kElection:
+      return mis::ElectionMis::run(sub, seed);
+    case Finisher::kSparse: {
+      mis::SparseMisResult sparse =
+          mis::sparse_mis(sub, {.alpha = alpha}, seed);
+      return std::move(sparse.mis);
+    }
+    case Finisher::kGather:
+      return mis::GatherSolveMis::run(sub, seed);
+  }
+  throw std::logic_error("run_finisher: unknown finisher");
+}
+
+/// Runs a finisher stage on the nodes where stage_mask is set and the
+/// global state is still undecided; merges the results and flushes
+/// coverage. Returns the stage's run stats (+1 flush round).
+sim::RunStats run_stage(const graph::Graph& g,
+                        std::vector<MisState>& state,
+                        const std::vector<std::uint8_t>& stage_mask,
+                        Finisher finisher, graph::NodeId alpha,
+                        std::uint64_t seed) {
+  std::vector<std::uint8_t> eligible(g.num_nodes(), 0);
+  bool any = false;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    eligible[v] = (stage_mask[v] != 0 && state[v] == MisState::kUndecided);
+    any = any || eligible[v];
+  }
+  if (!any) return {};
+
+  const graph::Subgraph sub = graph::induced_subgraph(g, eligible);
+  mis::MisResult stage = run_finisher(sub.graph, finisher, alpha, seed);
+  for (graph::NodeId local = 0; local < sub.graph.num_nodes(); ++local) {
+    const graph::NodeId v = sub.original(local);
+    if (stage.state[local] == MisState::kInMis) {
+      state[v] = MisState::kInMis;
+    } else if (stage.state[local] == MisState::kCovered) {
+      state[v] = MisState::kCovered;
+    }
+  }
+  mis::finalize_partial(g, state);
+  sim::RunStats stats = stage.stats;
+  stats.rounds += 1;  // the coverage flush between stages
+  return stats;
+}
+
+}  // namespace
+
+ArbMisResult arb_mis(const graph::Graph& g, const ArbMisOptions& options,
+                     std::uint64_t seed) {
+  ArbMisResult result;
+  result.mis.state.assign(g.num_nodes(), MisState::kUndecided);
+  result.shatter_outcome.assign(g.num_nodes(), ArbOutcome::kActive);
+
+  // Stage 0 (optional): degree reduction.
+  std::vector<std::uint8_t> residual(g.num_nodes(), 1);
+  if (options.degree_reduction) {
+    const std::uint32_t budget = mis::degree_reduction_budget(
+        g.num_nodes(), options.degree_reduction_c);
+    mis::DegreeReductionResult reduction =
+        mis::degree_reduction(g, budget, seed);
+    result.reduction_stats = reduction.stats;
+    result.mis.state = std::move(reduction.state);
+    residual = std::move(reduction.residual_mask);
+  }
+
+  // Stage 1: BoundedArbIndependentSet on the residual graph.
+  const graph::Subgraph shatter_sub = graph::induced_subgraph(g, residual);
+  result.params =
+      options.paper_faithful_params
+          ? Params::paper_faithful(options.alpha,
+                                   shatter_sub.graph.max_degree(),
+                                   options.paper_p)
+          : Params::practical(options.alpha, shatter_sub.graph.max_degree(),
+                              options.tuning);
+  BoundedArbIndependentSet::Result shatter = [&] {
+    if (!options.audit_invariant) {
+      return BoundedArbIndependentSet::run(shatter_sub.graph, result.params,
+                                           seed + 1);
+    }
+    BoundedArbIndependentSet algorithm(shatter_sub.graph, result.params);
+    InvariantAuditor auditor(shatter_sub.graph, algorithm);
+    sim::Network net(shatter_sub.graph, seed + 1);
+    BoundedArbIndependentSet::Result audited;
+    audited.stats =
+        net.run(algorithm, result.params.total_rounds(), auditor.observer());
+    audited.outcome = algorithm.outcomes();
+    audited.params = result.params;
+    audited.scale_stats = algorithm.scale_stats();
+    result.invariant_audits = auditor.audits();
+    result.invariant_held = auditor.all_hold();
+    return audited;
+  }();
+  result.shatter_stats = shatter.stats;
+
+  std::vector<std::uint8_t> bad_mask(g.num_nodes(), 0);
+  std::vector<std::uint8_t> remaining_mask(g.num_nodes(), 0);
+  for (graph::NodeId local = 0; local < shatter_sub.graph.num_nodes();
+       ++local) {
+    const graph::NodeId v = shatter_sub.original(local);
+    result.shatter_outcome[v] = shatter.outcome[local];
+    switch (shatter.outcome[local]) {
+      case ArbOutcome::kInMis:
+        result.mis.state[v] = MisState::kInMis;
+        break;
+      case ArbOutcome::kCovered:
+        result.mis.state[v] = MisState::kCovered;
+        break;
+      case ArbOutcome::kBad:
+        bad_mask[v] = 1;
+        break;
+      case ArbOutcome::kRemaining:
+        remaining_mask[v] = 1;
+        break;
+      case ArbOutcome::kActive:
+        throw std::logic_error("arb_mis: shattering left an active node");
+    }
+  }
+  mis::finalize_partial(g, result.mis.state);
+  result.shatter_stats.rounds += 1;  // flush
+  result.bad_components = shattering_stats(g, bad_mask);
+  for (std::uint8_t b : bad_mask) result.bad_size += b;
+
+  // Stage 2: split VIB into Vlo / Vhi by residual degree against the
+  // scale-Θ cut (paper §3.3), measured inside the remaining set.
+  const std::uint64_t cut = result.params.residual_degree_cut();
+  std::vector<std::uint8_t> vlo(g.num_nodes(), 0);
+  std::vector<std::uint8_t> vhi(g.num_nodes(), 0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!remaining_mask[v]) continue;
+    std::uint64_t residual_degree = 0;
+    for (graph::NodeId w : g.neighbors(v)) residual_degree += remaining_mask[w];
+    if (residual_degree <= cut) {
+      vlo[v] = 1;
+    } else {
+      vhi[v] = 1;
+    }
+  }
+  for (std::uint8_t b : vlo) result.vlo_size += b;
+  for (std::uint8_t b : vhi) result.vhi_size += b;
+
+  result.low_stats = run_stage(g, result.mis.state, vlo,
+                               options.low_finisher, options.alpha, seed + 2);
+  result.high_stats = run_stage(g, result.mis.state, vhi,
+                                options.high_finisher, options.alpha, seed + 3);
+  result.bad_stats = run_stage(g, result.mis.state, bad_mask,
+                               options.bad_finisher, options.alpha, seed + 4);
+
+  // Defensive cleanup — must never trigger if the stage sets partition the
+  // undecided nodes (tests assert cleanup_used == false).
+  if (result.mis.undecided_count() > 0) {
+    result.cleanup_used = true;
+    std::vector<std::uint8_t> leftover(g.num_nodes(), 0);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      leftover[v] = (result.mis.state[v] == MisState::kUndecided) ? 1 : 0;
+    }
+    const sim::RunStats stats = run_stage(g, result.mis.state, leftover,
+                                          Finisher::kElection, options.alpha,
+                                          seed + 5);
+    result.bad_stats.absorb(stats);
+  }
+
+  result.mis.stats = result.reduction_stats;
+  result.mis.stats.absorb(result.shatter_stats);
+  result.mis.stats.absorb(result.low_stats);
+  result.mis.stats.absorb(result.high_stats);
+  result.mis.stats.absorb(result.bad_stats);
+  result.mis.stats.all_halted = true;
+  return result;
+}
+
+}  // namespace arbmis::core

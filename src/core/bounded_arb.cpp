@@ -1,0 +1,210 @@
+#include "core/bounded_arb.h"
+
+namespace arbmis::core {
+
+BoundedArbIndependentSet::BoundedArbIndependentSet(const graph::Graph& g,
+                                                   Params params)
+    : params_(params),
+      rounds_per_scale_(3 * params.iterations_per_scale + 2),
+      outcome_(g.num_nodes(), ArbOutcome::kActive),
+      my_priority_(g.num_nodes(), 0),
+      deg_ib_(g.num_nodes(), 0) {}
+
+SchedulePoint BoundedArbIndependentSet::schedule_point(
+    std::uint32_t round) const noexcept {
+  SchedulePoint point;
+  if (round == 0 || params_.num_scales == 0) return point;
+  const std::uint32_t index = round - 1;
+  point.scale = index / rounds_per_scale_ + 1;
+  const std::uint32_t offset = index % rounds_per_scale_;
+  const std::uint32_t iteration_rounds = 3 * params_.iterations_per_scale;
+  if (offset < iteration_rounds) {
+    point.iteration = offset / 3 + 1;
+    switch (offset % 3) {
+      case 0: point.phase = SchedulePoint::Phase::kPrio; break;
+      case 1: point.phase = SchedulePoint::Phase::kResolve; break;
+      default: point.phase = SchedulePoint::Phase::kAliveProcess; break;
+    }
+  } else if (offset == iteration_rounds) {
+    point.phase = SchedulePoint::Phase::kDegreeReport;
+  } else {
+    point.phase = SchedulePoint::Phase::kBadCheck;
+  }
+  return point;
+}
+
+bool BoundedArbIndependentSet::is_scale_end(
+    std::uint32_t round) const noexcept {
+  const SchedulePoint point = schedule_point(round);
+  return point.scale >= 1 && point.scale <= params_.num_scales &&
+         point.phase == SchedulePoint::Phase::kBadCheck;
+}
+
+BoundedArbIndependentSet::ScaleStats&
+BoundedArbIndependentSet::stats_for_scale(std::uint32_t scale) {
+  while (scale_stats_.size() < scale) {
+    scale_stats_.push_back(ScaleStats{
+        .scale = static_cast<std::uint32_t>(scale_stats_.size()) + 1,
+        .joined = 0,
+        .covered = 0,
+        .bad = 0,
+        .active_after = 0});
+  }
+  return scale_stats_[scale - 1];
+}
+
+void BoundedArbIndependentSet::on_start(sim::NodeContext& ctx) {
+  if (params_.num_scales == 0) {
+    outcome_[ctx.id()] = ArbOutcome::kRemaining;
+    ctx.halt();
+    return;
+  }
+  ctx.broadcast(kAlive, 0);
+}
+
+void BoundedArbIndependentSet::on_round(sim::NodeContext& ctx,
+                                        std::span<const sim::Message> inbox) {
+  const graph::NodeId v = ctx.id();
+  const SchedulePoint point = schedule_point(ctx.round());
+
+  if (point.scale > params_.num_scales) {
+    // Past the final scale (only reachable on degenerate schedules).
+    outcome_[v] = ArbOutcome::kRemaining;
+    ctx.halt();
+    return;
+  }
+
+  // A neighbor's join is honored in any phase (it can only arrive in
+  // kAliveProcess rounds by the schedule, but checking unconditionally is
+  // free and robust).
+  for (const sim::Message& m : inbox) {
+    if (m.tag == kJoined) {
+      outcome_[v] = ArbOutcome::kCovered;
+      ++stats_for_scale(point.scale).covered;
+      ctx.halt();
+      return;
+    }
+  }
+
+  switch (point.phase) {
+    case SchedulePoint::Phase::kBootstrap:
+      return;
+
+    case SchedulePoint::Phase::kPrio: {
+      std::uint64_t degree = 0;
+      for (const sim::Message& m : inbox) degree += (m.tag == kAlive);
+      deg_ib_[v] = degree;
+      std::uint64_t r = 0;
+      if (degree <= params_.rho(point.scale)) {
+        r = ctx.rng().next();
+        if (r == 0) r = 1;  // 0 is reserved for non-competitive nodes
+      }
+      my_priority_[v] = r;
+      ctx.broadcast(kPriority, r);
+      return;
+    }
+
+    case SchedulePoint::Phase::kResolve: {
+      bool winner = true;
+      bool any_active_neighbor = false;
+      for (const sim::Message& m : inbox) {
+        if (m.tag != kPriority) continue;
+        any_active_neighbor = true;
+        if (m.payload >= my_priority_[v]) winner = false;
+      }
+      // r(v) must strictly exceed every neighbor's r; a non-competitive
+      // node (r = 0) can win only vacuously, i.e. with no active
+      // neighbors — in which case its residual degree was 0 <= ρ_k and it
+      // was competitive anyway.
+      if (winner && (my_priority_[v] > 0 || !any_active_neighbor)) {
+        outcome_[v] = ArbOutcome::kInMis;
+        ++stats_for_scale(point.scale).joined;
+        if (any_active_neighbor) ctx.broadcast(kJoined, 0);
+        ctx.halt();
+      }
+      return;
+    }
+
+    case SchedulePoint::Phase::kAliveProcess:
+      // kJoined was handled above; survivors stay in the race.
+      ctx.broadcast(kAlive, 0);
+      return;
+
+    case SchedulePoint::Phase::kDegreeReport: {
+      std::uint64_t degree = 0;
+      for (const sim::Message& m : inbox) degree += (m.tag == kAlive);
+      deg_ib_[v] = degree;
+      ctx.broadcast(kDegree, degree);
+      return;
+    }
+
+    case SchedulePoint::Phase::kBadCheck: {
+      const std::uint64_t high_threshold =
+          params_.high_degree_threshold(point.scale);
+      std::uint64_t high_neighbors = 0;
+      for (const sim::Message& m : inbox) {
+        if (m.tag == kDegree && m.payload > high_threshold) ++high_neighbors;
+      }
+      if (high_neighbors > params_.bad_threshold(point.scale)) {
+        outcome_[v] = ArbOutcome::kBad;
+        ++stats_for_scale(point.scale).bad;
+        ctx.halt();
+        return;
+      }
+      ++stats_for_scale(point.scale).active_after;
+      if (point.scale == params_.num_scales) {
+        outcome_[v] = ArbOutcome::kRemaining;
+        ctx.halt();
+        return;
+      }
+      ctx.broadcast(kAlive, 0);
+      return;
+    }
+  }
+}
+
+std::uint64_t BoundedArbIndependentSet::Result::count(
+    ArbOutcome o) const noexcept {
+  std::uint64_t total = 0;
+  for (ArbOutcome x : outcome) total += (x == o);
+  return total;
+}
+
+namespace {
+std::vector<std::uint8_t> mask_of(const std::vector<ArbOutcome>& outcome,
+                                  ArbOutcome which) {
+  std::vector<std::uint8_t> mask(outcome.size(), 0);
+  for (std::size_t v = 0; v < outcome.size(); ++v) {
+    mask[v] = (outcome[v] == which) ? 1 : 0;
+  }
+  return mask;
+}
+}  // namespace
+
+std::vector<std::uint8_t> BoundedArbIndependentSet::Result::bad_mask() const {
+  return mask_of(outcome, ArbOutcome::kBad);
+}
+
+std::vector<std::uint8_t> BoundedArbIndependentSet::Result::mis_mask() const {
+  return mask_of(outcome, ArbOutcome::kInMis);
+}
+
+std::vector<std::uint8_t> BoundedArbIndependentSet::Result::remaining_mask()
+    const {
+  return mask_of(outcome, ArbOutcome::kRemaining);
+}
+
+BoundedArbIndependentSet::Result BoundedArbIndependentSet::run(
+    const graph::Graph& g, Params params, std::uint64_t seed,
+    const sim::Network::RoundObserver& observer) {
+  BoundedArbIndependentSet algorithm(g, params);
+  sim::Network net(g, seed);
+  Result result;
+  result.stats = net.run(algorithm, params.total_rounds(), observer);
+  result.outcome = algorithm.outcome_;
+  result.params = params;
+  result.scale_stats = algorithm.scale_stats_;
+  return result;
+}
+
+}  // namespace arbmis::core

@@ -1,0 +1,131 @@
+// BoundedArbIndependentSet — the paper's Algorithm 1, run verbatim on the
+// CONGEST simulator.
+//
+// Structure (paper §2): Θ scales; in scale k, Λ iterations of the Métivier
+// competition where a node whose residual degree exceeds ρ_k participates
+// with priority 0 (it cannot win, but still blocks no one), winners join I
+// and their neighborhoods leave; at the end of the scale a node with more
+// than Δ/2^(k+2) active neighbors of degree above Δ/2^k + α is marked bad
+// and leaves. The returned sets are I (independent), B (bad — shattered
+// into small components whp, Theorem 3.6 / Lemma 3.7), the covered nodes,
+// and the still-active remainder VIB (low-degree by the Invariant, §3.3).
+//
+// The algorithm needs to know Δ, α, n (standard assumptions in this
+// literature); it never sees an orientation — matching the paper's remark
+// that the orientation is an analysis device only.
+//
+// Fixed round schedule (every node computes it from Params alone):
+//   round 0:                 all nodes broadcast kAlive
+//   per scale k (3Λ+2 rounds):
+//     iteration i in [1,Λ]:
+//       kPrio:    count kAlive -> deg_IB; draw r (0 if deg_IB > ρ_k);
+//                 broadcast kPriority(r)
+//       kResolve: r strictly above all received priorities -> join I,
+//                 broadcast kJoined, halt
+//       kAliveP:  seen kJoined -> covered, halt; else broadcast kAlive
+//     kDegreeReport: count kAlive -> deg_IB; broadcast kDegree(deg_IB)
+//     kBadCheck: count received degrees above Δ/2^k + α; above Δ/2^(k+2)
+//                of them -> bad, halt; last scale -> remaining, halt;
+//                else broadcast kAlive for the next scale
+#pragma once
+
+#include <vector>
+
+#include "core/params.h"
+#include "mis/mis_types.h"
+#include "sim/algorithm.h"
+#include "sim/network.h"
+
+namespace arbmis::core {
+
+/// Final disposition of a node after Algorithm 1.
+enum class ArbOutcome : std::uint8_t {
+  kActive = 0,     ///< only observable mid-run
+  kInMis = 1,      ///< joined I
+  kCovered = 2,    ///< neighbor joined I
+  kBad = 3,        ///< marked bad in step 2(b)
+  kRemaining = 4,  ///< survived all scales in VIB
+};
+
+/// Where a given simulator round falls in the schedule.
+struct SchedulePoint {
+  std::uint32_t scale = 0;      ///< 1-based; 0 = the round-0 bootstrap
+  std::uint32_t iteration = 0;  ///< 1-based within the scale; 0 = scale end
+  enum class Phase : std::uint8_t {
+    kBootstrap,
+    kPrio,
+    kResolve,
+    kAliveProcess,
+    kDegreeReport,
+    kBadCheck,
+  } phase = Phase::kBootstrap;
+};
+
+class BoundedArbIndependentSet : public sim::Algorithm {
+ public:
+  BoundedArbIndependentSet(const graph::Graph& g, Params params);
+
+  std::string_view name() const override { return "bounded_arb"; }
+  void on_start(sim::NodeContext& ctx) override;
+  void on_round(sim::NodeContext& ctx,
+                std::span<const sim::Message> inbox) override;
+
+  const Params& params() const noexcept { return params_; }
+  const std::vector<ArbOutcome>& outcomes() const noexcept { return outcome_; }
+
+  /// Maps a simulator round to (scale, iteration, phase).
+  SchedulePoint schedule_point(std::uint32_t round) const noexcept;
+  /// True if `round` is a kBadCheck round (scale boundary) — the moment
+  /// the paper's Invariant is supposed to hold; audits hook here.
+  bool is_scale_end(std::uint32_t round) const noexcept;
+
+  /// Per-scale aggregate progress, filled as the run executes.
+  struct ScaleStats {
+    std::uint32_t scale = 0;
+    std::uint64_t joined = 0;
+    std::uint64_t covered = 0;
+    std::uint64_t bad = 0;
+    std::uint64_t active_after = 0;
+  };
+  const std::vector<ScaleStats>& scale_stats() const noexcept {
+    return scale_stats_;
+  }
+
+  struct Result {
+    std::vector<ArbOutcome> outcome;
+    Params params;
+    sim::RunStats stats;
+    std::vector<ScaleStats> scale_stats;
+
+    std::uint64_t count(ArbOutcome o) const noexcept;
+    /// 1-mask of bad nodes (the set B).
+    std::vector<std::uint8_t> bad_mask() const;
+    /// 1-mask of MIS members (the set I).
+    std::vector<std::uint8_t> mis_mask() const;
+    /// 1-mask of VIB survivors.
+    std::vector<std::uint8_t> remaining_mask() const;
+  };
+
+  /// Runs the fixed schedule on a fresh network.
+  static Result run(const graph::Graph& g, Params params, std::uint64_t seed,
+                    const sim::Network::RoundObserver& observer = {});
+
+ private:
+  enum Tag : std::uint32_t {
+    kAlive = 1,
+    kPriority = 2,
+    kJoined = 3,
+    kDegree = 4,
+  };
+
+  ScaleStats& stats_for_scale(std::uint32_t scale);
+
+  Params params_;
+  std::uint32_t rounds_per_scale_;
+  std::vector<ArbOutcome> outcome_;
+  std::vector<std::uint64_t> my_priority_;
+  std::vector<std::uint64_t> deg_ib_;
+  std::vector<ScaleStats> scale_stats_;
+};
+
+}  // namespace arbmis::core

@@ -1,0 +1,60 @@
+#include "core/invariant.h"
+
+#include <algorithm>
+
+namespace arbmis::core {
+
+InvariantAuditor::InvariantAuditor(const graph::Graph& g,
+                                   const BoundedArbIndependentSet& algorithm)
+    : graph_(&g), algorithm_(&algorithm) {}
+
+sim::Network::RoundObserver InvariantAuditor::observer() {
+  return [this](const sim::Network& net, std::uint32_t round) {
+    if (algorithm_->is_scale_end(round)) {
+      audit_scale(net, algorithm_->schedule_point(round).scale);
+    }
+  };
+}
+
+void InvariantAuditor::audit_scale(const sim::Network& net,
+                                   std::uint32_t scale) {
+  const graph::Graph& g = *graph_;
+  const Params& params = algorithm_->params();
+  // Active = still in VIB = not halted. (Nodes that went bad or joined in
+  // this very round have already halted when the observer fires.)
+  std::vector<std::uint8_t> active(g.num_nodes(), 0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    active[v] = net.halted(v) ? 0 : 1;
+  }
+  std::vector<std::uint64_t> residual_degree(g.num_nodes(), 0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!active[v]) continue;
+    for (graph::NodeId w : g.neighbors(v)) residual_degree[v] += active[w];
+  }
+
+  ScaleAudit audit;
+  audit.scale = scale;
+  audit.bad_threshold = params.bad_threshold(scale);
+  const std::uint64_t high_threshold = params.high_degree_threshold(scale);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!active[v]) continue;
+    ++audit.active_nodes;
+    std::uint64_t high_neighbors = 0;
+    for (graph::NodeId w : g.neighbors(v)) {
+      if (active[w] && residual_degree[w] > high_threshold) ++high_neighbors;
+    }
+    audit.max_high_degree_neighbors =
+        std::max(audit.max_high_degree_neighbors, high_neighbors);
+    if (high_neighbors > audit.bad_threshold) ++audit.violations;
+  }
+  audits_.push_back(audit);
+}
+
+bool InvariantAuditor::all_hold() const noexcept {
+  for (const ScaleAudit& audit : audits_) {
+    if (audit.violations > 0) return false;
+  }
+  return true;
+}
+
+}  // namespace arbmis::core

@@ -1,0 +1,116 @@
+#include "core/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbmis::core {
+
+namespace {
+
+/// ln Δ, floored at 1 so tiny graphs don't zero the formulas out.
+double safe_log(graph::NodeId max_degree) noexcept {
+  return std::max(std::log(static_cast<double>(std::max<graph::NodeId>(
+                      max_degree, 2))),
+                  1.0);
+}
+
+/// floor(log2(x)) for x >= 1, else negative -> clamped to 0 scales by the
+/// caller.
+std::int64_t floor_log2(double x) noexcept {
+  if (x < 1.0) return -1;
+  return static_cast<std::int64_t>(std::floor(std::log2(x)));
+}
+
+double ipow(double base, int exponent) noexcept {
+  double value = 1.0;
+  for (int i = 0; i < exponent; ++i) value *= base;
+  return value;
+}
+
+}  // namespace
+
+std::uint64_t Params::rho(std::uint32_t scale_k) const noexcept {
+  const double rho_value = rho_factor * static_cast<double>(max_degree) /
+                           ipow(2.0, static_cast<int>(scale_k) + 1);
+  return static_cast<std::uint64_t>(std::ceil(rho_value));
+}
+
+std::uint64_t Params::high_degree_threshold(
+    std::uint32_t scale_k) const noexcept {
+  return max_degree / (std::uint64_t{1} << std::min(scale_k, 63u)) + alpha;
+}
+
+std::uint64_t Params::bad_threshold(std::uint32_t scale_k) const noexcept {
+  return max_degree / (std::uint64_t{1} << std::min(scale_k + 2, 63u));
+}
+
+std::uint64_t Params::residual_degree_cut() const noexcept {
+  return high_degree_threshold(num_scales);
+}
+
+std::uint64_t Params::vhi_internal_degree_bound() const noexcept {
+  return bad_threshold(num_scales);
+}
+
+std::uint32_t Params::total_rounds() const noexcept {
+  return 1 + num_scales * (3 * iterations_per_scale + 2);
+}
+
+Params Params::paper_faithful(graph::NodeId alpha, graph::NodeId max_degree,
+                              std::uint32_t p) {
+  Params params;
+  params.alpha = std::max<graph::NodeId>(alpha, 1);
+  params.max_degree = max_degree;
+  const double a = static_cast<double>(params.alpha);
+  const double ln_delta = safe_log(max_degree);
+  const double ln2_delta = ln_delta * ln_delta;
+
+  // Θ = floor(log2(Δ / (1176·16·α^10·ln²Δ)))
+  const double theta_arg = static_cast<double>(max_degree) /
+                           (1176.0 * 16.0 * ipow(a, 10) * ln2_delta);
+  params.num_scales =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(floor_log2(theta_arg), 0));
+
+  // Λ = ceil(p·8·α²·(32·α^6+1)·ln(260·α^4·ln²Δ))
+  const double lambda = static_cast<double>(p) * 8.0 * a * a *
+                        (32.0 * ipow(a, 6) + 1.0) *
+                        std::log(260.0 * ipow(a, 4) * ln2_delta);
+  params.iterations_per_scale =
+      static_cast<std::uint32_t>(std::ceil(std::max(lambda, 1.0)));
+
+  // ρ_k = 8·lnΔ·Δ/2^(k+1)
+  params.rho_factor = 8.0 * ln_delta;
+  return params;
+}
+
+Params Params::practical(graph::NodeId alpha, graph::NodeId max_degree,
+                         PracticalTuning tuning) {
+  Params params;
+  params.alpha = std::max<graph::NodeId>(alpha, 1);
+  params.max_degree = max_degree;
+  const double a = static_cast<double>(params.alpha);
+  const double ln_delta = safe_log(max_degree);
+  const double ln2_delta = ln_delta * ln_delta;
+
+  const double leftover = tuning.shatter_constant * a * a * ln2_delta;
+  const double theta_arg = static_cast<double>(max_degree) / leftover;
+  params.num_scales =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(floor_log2(theta_arg), 0));
+  // Never run scales whose bad threshold Δ/2^(k+2) would be zero — on
+  // tiny-Δ graphs the scale machinery is meaningless and the finishing
+  // stage handles everything.
+  const std::int64_t scale_cap =
+      std::max<std::int64_t>(floor_log2(static_cast<double>(max_degree)) - 2, 0);
+  params.num_scales = static_cast<std::uint32_t>(
+      std::min<std::int64_t>(params.num_scales, scale_cap));
+
+  const double lambda =
+      tuning.iteration_constant * a * a * std::log(4.0 * ln2_delta + 2.0);
+  params.iterations_per_scale =
+      static_cast<std::uint32_t>(std::ceil(std::max(lambda, 1.0)));
+
+  params.rho_factor = tuning.rho_log_factor * ln_delta;
+  return params;
+}
+
+}  // namespace arbmis::core

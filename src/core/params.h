@@ -1,0 +1,73 @@
+// Parameterization of BoundedArbIndependentSet (the paper's Algorithm 1).
+//
+// The algorithm runs Θ scales of Λ iterations each; in scale k a node with
+// residual degree above ρ_k sets its priority to zero (opts out), a node
+// is "high degree" above Δ/2^k + α, and a node is marked bad when more
+// than Δ/2^(k+2) of its active neighbors are high degree.
+//
+// Two presets:
+//
+//  * paper_faithful(): the printed formulas —
+//        Θ   = floor(log2(Δ / (1176·16·α^10·ln²Δ)))
+//        Λ   = ceil(p·8·α²·(32·α^6+1)·ln(260·α^4·ln²Δ))
+//        ρ_k = 8·lnΔ·Δ/2^(k+1)
+//    These constants are chosen for proof convenience: Θ <= 0 (zero
+//    scales) for every graph that fits in memory once α >= 2, and the
+//    paper itself notes the α-degree "is not difficult to reduce". The
+//    preset exists so tests can pin the formulas and the degenerate path.
+//
+//  * practical(): identical functional shape with the proof slack removed
+//    (α^10 -> α², α^8 -> α², constants -> small), so scales actually
+//    execute on feasible graphs and the shattering dynamics can be
+//    measured. Every constant is a visible field, so benches can ablate.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace arbmis::core {
+
+/// Tuning knobs for Params::practical (namespace scope: GCC rejects nested
+/// aggregates with default member initializers as default arguments).
+struct PracticalTuning {
+  double shatter_constant = 1.0;    ///< leftover degree ≈ c·α²·ln²Δ
+  double iteration_constant = 1.0;  ///< Λ ≈ c·α²·ln(4·ln²Δ)
+  double rho_log_factor = 4.0;      ///< ρ_k = c·lnΔ·Δ/2^(k+1)
+};
+
+struct Params {
+  graph::NodeId alpha = 1;
+  graph::NodeId max_degree = 0;  ///< Δ of the input graph
+
+  std::uint32_t num_scales = 0;           ///< Θ
+  std::uint32_t iterations_per_scale = 0;  ///< Λ
+  double rho_factor = 0.0;                 ///< ρ_k = rho_factor·Δ/2^(k+1)
+
+  /// Competitiveness cap ρ_k for scale k (1-based, as in the paper).
+  std::uint64_t rho(std::uint32_t scale_k) const noexcept;
+  /// High-degree threshold Δ/2^k + α for scale k.
+  std::uint64_t high_degree_threshold(std::uint32_t scale_k) const noexcept;
+  /// Bad-marking threshold Δ/2^(k+2) for scale k.
+  std::uint64_t bad_threshold(std::uint32_t scale_k) const noexcept;
+
+  /// Thresholds the finishing phase derives from the final scale Θ
+  /// (paper §3.3): Vlo/Vhi degree cut Δ/2^Θ + α ...
+  std::uint64_t residual_degree_cut() const noexcept;
+  /// ... and the guaranteed max degree inside G[Vhi], Δ/2^(Θ+2).
+  std::uint64_t vhi_internal_degree_bound() const noexcept;
+
+  /// Simulator rounds one full run takes (fixed schedule):
+  /// 1 + Θ·(3Λ + 2).
+  std::uint32_t total_rounds() const noexcept;
+
+  static Params paper_faithful(graph::NodeId alpha, graph::NodeId max_degree,
+                               std::uint32_t p = 1);
+
+  using PracticalTuning = arbmis::core::PracticalTuning;
+
+  static Params practical(graph::NodeId alpha, graph::NodeId max_degree,
+                          PracticalTuning tuning = {});
+};
+
+}  // namespace arbmis::core

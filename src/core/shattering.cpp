@@ -1,0 +1,31 @@
+#include "core/shattering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/properties.h"
+
+namespace arbmis::core {
+
+ShatteringStats shattering_stats(const graph::Graph& g,
+                                 std::span<const std::uint8_t> mask) {
+  ShatteringStats stats;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    stats.set_size += mask[v] ? 1 : 0;
+  }
+  const graph::Components comps = graph::induced_components(g, mask);
+  stats.num_components = comps.count;
+  stats.component_sizes = comps.sizes;
+  std::sort(stats.component_sizes.begin(), stats.component_sizes.end());
+  if (!stats.component_sizes.empty()) {
+    stats.largest_component = stats.component_sizes.back();
+    stats.mean_component = static_cast<double>(stats.set_size) /
+                           static_cast<double>(stats.num_components);
+  }
+  const double n = std::max<double>(g.num_nodes(), 2.0);
+  const double delta = std::max<double>(g.max_degree(), 2.0);
+  stats.log_delta_n = std::log(n) / std::log(delta);
+  return stats;
+}
+
+}  // namespace arbmis::core

@@ -1,0 +1,34 @@
+// Shattering statistics for the bad set B (paper Lemma 3.7): Theorem 3.6
+// bounds Pr[v ∈ B] by 1/Δ^2p independently of nodes outside v's
+// 3-neighborhood, which implies every connected component of G[B] is
+// O(Δ^6 · log_Δ n) whp. This module measures the component-size
+// distribution of any node set, plus the derived quantities the
+// experiments report.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace arbmis::core {
+
+struct ShatteringStats {
+  std::uint64_t set_size = 0;         ///< |B|
+  std::uint64_t num_components = 0;
+  std::uint64_t largest_component = 0;
+  double mean_component = 0.0;
+  /// Sorted component sizes (ascending), for quantiles / histograms.
+  std::vector<graph::NodeId> component_sizes;
+
+  /// Lemma 3.7 reference scale: c·log n / log Δ (the t in the lemma; the
+  /// lemma's bound is Δ^6·t, we report both factors).
+  double log_delta_n = 0.0;
+};
+
+/// Component statistics of the subgraph induced by mask (1 = in set).
+ShatteringStats shattering_stats(const graph::Graph& g,
+                                 std::span<const std::uint8_t> mask);
+
+}  // namespace arbmis::core

@@ -1,0 +1,30 @@
+// TreeIndependentSet — the Barenboim–Elkin–Pettie–Schneider tree MIS
+// (FOCS 2012, §8) that the paper generalizes: BoundedArbIndependentSet is
+// "essentially identical ... except for parameter values" (paper §2), so
+// the tree algorithm is exactly the α = 1 instantiation, finished with
+// the deterministic forest machinery of Lemma 3.8 (forest decomposition +
+// Cole–Vishkin) instead of randomized competitions.
+//
+// This is the O(√(log n)·log log n)-round tree MIS the paper's
+// introduction describes; the experiments use it as the α = 1 anchor of
+// the α-sweep.
+#pragma once
+
+#include "core/arb_mis.h"
+
+namespace arbmis::core {
+
+struct TreeMisOptions {
+  /// Use the printed parameter formulas instead of the practical preset.
+  bool paper_faithful_params = false;
+  /// Practical-preset tuning knobs.
+  PracticalTuning tuning{};
+};
+
+/// Runs the tree MIS pipeline on a forest. Throws std::invalid_argument
+/// if `g` contains a cycle — this entry point is the *tree* algorithm;
+/// for general bounded-arboricity graphs call arb_mis() directly.
+ArbMisResult tree_independent_set(const graph::Graph& g, std::uint64_t seed,
+                                  TreeMisOptions options = {});
+
+}  // namespace arbmis::core

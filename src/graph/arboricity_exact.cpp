@@ -1,0 +1,223 @@
+#include "graph/arboricity_exact.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/properties.h"
+
+namespace arbmis::graph {
+
+namespace {
+
+constexpr std::uint32_t kUnplaced = ~std::uint32_t{0};
+
+/// Incremental partition of edges into k forests with matroid-union
+/// augmentation. Forests are kept as per-vertex incidence lists of edge
+/// indices.
+class ForestPartitioner {
+ public:
+  ForestPartitioner(const Graph& g, NodeId k)
+      : g_(g),
+        k_(k),
+        edges_(g.edges()),
+        forest_of_(edges_.size(), kUnplaced),
+        adjacency_(k, std::vector<std::vector<std::uint32_t>>(g.num_nodes())) {}
+
+  /// Tries to place every edge; false as soon as one cannot be placed.
+  bool run() {
+    for (std::uint32_t e = 0; e < edges_.size(); ++e) {
+      if (!insert(e)) return false;
+    }
+    return true;
+  }
+
+  ForestPartition partition() const {
+    ForestPartition out;
+    out.forest_parent.assign(k_, std::vector<NodeId>(g_.num_nodes(), kNoParent));
+    // Root every tree of every forest and emit parent pointers.
+    for (NodeId forest = 0; forest < k_; ++forest) {
+      std::vector<bool> seen(g_.num_nodes(), false);
+      for (NodeId root = 0; root < g_.num_nodes(); ++root) {
+        if (seen[root]) continue;
+        seen[root] = true;
+        std::vector<NodeId> stack{root};
+        while (!stack.empty()) {
+          const NodeId v = stack.back();
+          stack.pop_back();
+          for (std::uint32_t e : adjacency_[forest][v]) {
+            const NodeId w = other_endpoint(e, v);
+            if (seen[w]) continue;
+            seen[w] = true;
+            out.forest_parent[forest][w] = v;
+            stack.push_back(w);
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  NodeId other_endpoint(std::uint32_t e, NodeId v) const {
+    return edges_[e].u == v ? edges_[e].v : edges_[e].u;
+  }
+
+  /// Edges on the tree path between u and v in `forest`; empty return +
+  /// false if u, v are in different trees.
+  bool tree_path(NodeId forest, NodeId u, NodeId v,
+                 std::vector<std::uint32_t>& path) const {
+    path.clear();
+    if (u == v) return true;
+    std::vector<std::uint32_t> via(g_.num_nodes(), kUnplaced);
+    std::queue<NodeId> queue;
+    queue.push(u);
+    std::vector<bool> seen(g_.num_nodes(), false);
+    seen[u] = true;
+    while (!queue.empty()) {
+      const NodeId x = queue.front();
+      queue.pop();
+      for (std::uint32_t e : adjacency_[forest][x]) {
+        const NodeId y = other_endpoint(e, x);
+        if (seen[y]) continue;
+        seen[y] = true;
+        via[y] = e;
+        if (y == v) {
+          // Reconstruct.
+          NodeId cursor = v;
+          while (cursor != u) {
+            const std::uint32_t e_back = via[cursor];
+            path.push_back(e_back);
+            cursor = other_endpoint(e_back, cursor);
+          }
+          return true;
+        }
+        queue.push(y);
+      }
+    }
+    return false;
+  }
+
+  void attach(std::uint32_t e, NodeId forest) {
+    forest_of_[e] = forest;
+    adjacency_[forest][edges_[e].u].push_back(e);
+    adjacency_[forest][edges_[e].v].push_back(e);
+  }
+
+  void detach(std::uint32_t e) {
+    const NodeId forest = forest_of_[e];
+    for (NodeId endpoint : {edges_[e].u, edges_[e].v}) {
+      auto& list = adjacency_[forest][endpoint];
+      list.erase(std::find(list.begin(), list.end(), e));
+    }
+    forest_of_[e] = kUnplaced;
+  }
+
+  /// Matroid-union augmenting insertion of edge e0 (BFS over edge
+  /// displacements; the shortest augmenting sequence is applied, which is
+  /// what makes the cascade of exchanges valid).
+  bool insert(std::uint32_t e0) {
+    std::vector<std::uint32_t> pred(edges_.size(), kUnplaced);
+    std::vector<bool> visited(edges_.size(), false);
+    std::queue<std::uint32_t> queue;
+    queue.push(e0);
+    visited[e0] = true;
+
+    std::vector<std::uint32_t> path;
+    while (!queue.empty()) {
+      const std::uint32_t f = queue.front();
+      queue.pop();
+      for (NodeId forest = 0; forest < k_; ++forest) {
+        if (forest_of_[f] == forest) continue;
+        if (!tree_path(forest, edges_[f].u, edges_[f].v, path)) {
+          // f fits in `forest` outright: apply the augmenting sequence.
+          apply_chain(f, forest, pred);
+          return true;
+        }
+        for (std::uint32_t h : path) {
+          if (!visited[h]) {
+            visited[h] = true;
+            pred[h] = f;
+            queue.push(h);
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Unwinds pred pointers: `last` moves into `destination`, its old
+  /// forest receives its predecessor, and so on up to the unplaced root.
+  void apply_chain(std::uint32_t last, NodeId destination,
+                   const std::vector<std::uint32_t>& pred) {
+    std::uint32_t cursor = last;
+    NodeId dest = destination;
+    while (true) {
+      const NodeId old_forest = forest_of_[cursor];
+      if (old_forest != kUnplaced) detach(cursor);
+      attach(cursor, dest);
+      if (pred[cursor] == kUnplaced) break;  // reached the new edge e0
+      const std::uint32_t next = pred[cursor];
+      dest = old_forest;
+      cursor = next;
+    }
+  }
+
+  const Graph& g_;
+  NodeId k_;
+  std::vector<Edge> edges_;
+  std::vector<std::uint32_t> forest_of_;
+  // adjacency_[forest][vertex] -> incident edge indices in that forest
+  std::vector<std::vector<std::vector<std::uint32_t>>> adjacency_;
+};
+
+}  // namespace
+
+std::optional<ForestPartition> partition_into_forests(const Graph& g,
+                                                      NodeId k) {
+  if (g.num_edges() == 0) {
+    ForestPartition empty;
+    empty.forest_parent.assign(k, std::vector<NodeId>(g.num_nodes(), kNoParent));
+    return empty;
+  }
+  if (k == 0) return std::nullopt;
+  ForestPartitioner partitioner(g, k);
+  if (!partitioner.run()) return std::nullopt;
+  ForestPartition result = partitioner.partition();
+  if (!valid_forest_partition(g, result)) {
+    throw std::logic_error(
+        "partition_into_forests: internal error — produced an invalid "
+        "partition");
+  }
+  return result;
+}
+
+NodeId exact_arboricity(const Graph& g) {
+  if (g.num_edges() == 0) return 0;
+  NodeId lo = std::max<NodeId>(
+      static_cast<NodeId>(density_lower_bound(g)), 1);
+  NodeId hi = std::max<NodeId>(degeneracy(g), lo);
+  while (lo < hi) {
+    const NodeId mid = lo + (hi - lo) / 2;
+    if (partition_into_forests(g, mid).has_value()) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+ArboricityCertificate exact_arboricity_certified(const Graph& g) {
+  ArboricityCertificate certificate;
+  certificate.arboricity = exact_arboricity(g);
+  if (certificate.arboricity > 0) {
+    certificate.forests =
+        *partition_into_forests(g, certificate.arboricity);
+  } else {
+    certificate.forests.forest_parent.clear();
+  }
+  return certificate;
+}
+
+}  // namespace arbmis::graph

@@ -1,0 +1,46 @@
+// Exact arboricity via matroid union (Roskind–Tarjan style augmenting
+// sequences).
+//
+// The paper's parameter α is the arboricity — the minimum number of
+// forests covering the edge set (Nash-Williams:
+// α = max_H ceil(m_H / (n_H - 1))). properties.h gives the cheap sandwich
+// (density, degeneracy) and orientation_opt.h tightens it to
+// [p, p+1]; this module decides the remaining bit exactly, and produces a
+// certifying partition into α forests.
+//
+// Algorithm: insert edges one at a time into k forests; when an edge fits
+// nowhere directly, search (BFS) for an augmenting sequence of edge
+// displacements — place e into forest i, kicking some edge f off the
+// created cycle into another forest, and so on. Matroid union theory
+// guarantees the search is complete: if no augmenting sequence exists,
+// the current edge set is not partitionable into k forests at all.
+//
+// Complexity is polynomial but not tuned (O(m·k·m·n) worst case) — this
+// is a validation oracle for tests and workload certification on graphs
+// up to a few thousand edges, not a big-data routine.
+#pragma once
+
+#include <optional>
+
+#include "graph/graph.h"
+#include "graph/orientation.h"
+
+namespace arbmis::graph {
+
+/// Partitions g's edges into at most k forests, or nullopt if impossible
+/// (i.e. k < arboricity(g)).
+std::optional<ForestPartition> partition_into_forests(const Graph& g,
+                                                      NodeId k);
+
+/// Exact arboricity (0 for edgeless graphs).
+NodeId exact_arboricity(const Graph& g);
+
+/// Exact arboricity together with a certifying partition.
+struct ArboricityCertificate {
+  NodeId arboricity = 0;
+  ForestPartition forests;
+};
+
+ArboricityCertificate exact_arboricity_certified(const Graph& g);
+
+}  // namespace arbmis::graph

@@ -1,0 +1,355 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace arbmis::graph::gen {
+
+Graph path(NodeId n) {
+  Builder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return b.build();
+}
+
+Graph cycle(NodeId n) {
+  if (n < 3) return path(n);
+  Builder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  b.add_edge(n - 1, 0);
+  return b.build();
+}
+
+Graph star(NodeId n) {
+  Builder b(n);
+  for (NodeId i = 1; i < n; ++i) b.add_edge(0, i);
+  return b.build();
+}
+
+Graph complete(NodeId n) {
+  Builder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph complete_bipartite(NodeId a, NodeId b_size) {
+  Builder b(a + b_size);
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b_size; ++v) b.add_edge(u, a + v);
+  }
+  return b.build();
+}
+
+Graph balanced_tree(NodeId n, NodeId arity) {
+  Builder b(n);
+  const NodeId d = std::max<NodeId>(arity, 1);
+  for (NodeId i = 1; i < n; ++i) b.add_edge(i, (i - 1) / d);
+  return b.build();
+}
+
+Graph caterpillar(NodeId spine, NodeId legs) {
+  const NodeId n = spine + spine * legs;
+  Builder b(n);
+  for (NodeId i = 0; i + 1 < spine; ++i) b.add_edge(i, i + 1);
+  NodeId next = spine;
+  for (NodeId i = 0; i < spine; ++i) {
+    for (NodeId leg = 0; leg < legs; ++leg) b.add_edge(i, next++);
+  }
+  return b.build();
+}
+
+namespace {
+NodeId grid_id(NodeId r, NodeId c, NodeId cols) { return r * cols + c; }
+}  // namespace
+
+Graph grid(NodeId rows, NodeId cols) {
+  Builder b(rows * cols);
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(grid_id(r, c, cols), grid_id(r, c + 1, cols));
+      if (r + 1 < rows) b.add_edge(grid_id(r, c, cols), grid_id(r + 1, c, cols));
+    }
+  }
+  return b.build();
+}
+
+Graph torus(NodeId rows, NodeId cols) {
+  if (rows < 3 || cols < 3) return grid(rows, cols);
+  Builder b(rows * cols);
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      b.add_edge(grid_id(r, c, cols), grid_id(r, (c + 1) % cols, cols));
+      b.add_edge(grid_id(r, c, cols), grid_id((r + 1) % rows, c, cols));
+    }
+  }
+  return b.build();
+}
+
+Graph triangular_grid(NodeId rows, NodeId cols) {
+  Builder b(rows * cols);
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(grid_id(r, c, cols), grid_id(r, c + 1, cols));
+      if (r + 1 < rows) b.add_edge(grid_id(r, c, cols), grid_id(r + 1, c, cols));
+      if (r + 1 < rows && c + 1 < cols) {
+        b.add_edge(grid_id(r, c, cols), grid_id(r + 1, c + 1, cols));
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph hypercube(NodeId dimensions) {
+  const NodeId n = NodeId{1} << dimensions;
+  Builder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId bit = 0; bit < dimensions; ++bit) {
+      const NodeId w = v ^ (NodeId{1} << bit);
+      if (v < w) b.add_edge(v, w);
+    }
+  }
+  return b.build();
+}
+
+Graph random_tree(NodeId n, util::Rng& rng) {
+  if (n <= 1) return Graph(n);
+  if (n == 2) return path(2);
+  // Prüfer decoding: a uniform sequence of length n-2 over [0, n) maps to a
+  // uniform labeled tree.
+  std::vector<NodeId> prufer(n - 2);
+  for (auto& x : prufer) x = static_cast<NodeId>(rng.below(n));
+  std::vector<NodeId> remaining_degree(n, 1);
+  for (NodeId x : prufer) ++remaining_degree[x];
+
+  Builder b(n);
+  // Min-leaf extraction without a heap: sweep a pointer over candidates.
+  std::vector<bool> used(n, false);
+  NodeId ptr = 0;
+  while (remaining_degree[ptr] != 1) ++ptr;
+  NodeId leaf = ptr;
+  for (NodeId x : prufer) {
+    b.add_edge(leaf, x);
+    if (--remaining_degree[x] == 1 && x < ptr) {
+      leaf = x;  // new leaf with smaller label becomes next
+    } else {
+      do {
+        ++ptr;
+      } while (remaining_degree[ptr] != 1);
+      leaf = ptr;
+    }
+  }
+  // Final edge joins the last leaf to node n-1.
+  b.add_edge(leaf, n - 1);
+  return b.build();
+}
+
+Graph random_recursive_tree(NodeId n, util::Rng& rng) {
+  Builder b(n);
+  for (NodeId i = 1; i < n; ++i) {
+    b.add_edge(i, static_cast<NodeId>(rng.below(i)));
+  }
+  return b.build();
+}
+
+Graph preferential_attachment_tree(NodeId n, util::Rng& rng) {
+  Builder b(n);
+  if (n < 2) return b.build();
+  // endpoint multiset trick: each edge contributes both endpoints, so a
+  // uniform draw from `endpoints` is degree-proportional.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(n));
+  b.add_edge(0, 1);
+  endpoints.push_back(0);
+  endpoints.push_back(1);
+  for (NodeId i = 2; i < n; ++i) {
+    const NodeId target = endpoints[rng.below(endpoints.size())];
+    b.add_edge(i, target);
+    endpoints.push_back(i);
+    endpoints.push_back(target);
+  }
+  return b.build();
+}
+
+Graph gnp(NodeId n, double p, util::Rng& rng) {
+  Builder b(n);
+  if (n < 2 || p <= 0.0) return b.build();
+  if (p >= 1.0) return complete(n);
+  // Geometric skipping (Batagelj–Brandes): iterate over potential edges in
+  // lexicographic order, jumping ahead by Geometric(p) each time.
+  const double log1mp = std::log1p(-p);
+  std::int64_t u = 1;
+  std::int64_t v = -1;
+  const auto nn = static_cast<std::int64_t>(n);
+  while (u < nn) {
+    const double r = std::max(rng.uniform01(), 1e-300);
+    v += 1 + static_cast<std::int64_t>(std::floor(std::log(r) / log1mp));
+    while (v >= u && u < nn) {
+      v -= u;
+      ++u;
+    }
+    if (u < nn) {
+      b.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    }
+  }
+  return b.build();
+}
+
+Graph gnm(NodeId n, std::uint64_t m, util::Rng& rng) {
+  Builder b(n);
+  if (n < 2) return b.build();
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(m * 2);
+  while (chosen.size() < m) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (u == v) continue;
+    const auto a = std::min(u, v);
+    const auto bb = std::max(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | bb;
+    if (chosen.insert(key).second) b.add_edge(a, bb);
+  }
+  return b.build();
+}
+
+Graph union_of_random_forests(NodeId n, NodeId k, util::Rng& rng) {
+  Builder b(n);
+  for (NodeId forest = 0; forest < k; ++forest) {
+    // Random spanning tree over a random labeling so forests differ in
+    // structure, not just in Prüfer stream position.
+    Graph tree = random_tree(n, rng);
+    std::vector<NodeId> relabel(n);
+    std::iota(relabel.begin(), relabel.end(), NodeId{0});
+    for (NodeId i = n; i > 1; --i) {
+      std::swap(relabel[i - 1], relabel[rng.below(i)]);
+    }
+    for (const Edge& e : tree.edges()) {
+      b.add_edge(relabel[e.u], relabel[e.v]);
+    }
+  }
+  return b.build();
+}
+
+Graph chung_lu_power_law(NodeId n, double gamma, double average_degree,
+                         util::Rng& rng) {
+  Builder b(n);
+  if (n < 2) return b.build();
+  const double exponent = -1.0 / (std::max(gamma, 2.01) - 1.0);
+  std::vector<double> weight(n);
+  double total = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    weight[v] = std::pow(static_cast<double>(v + 1), exponent);
+    total += weight[v];
+  }
+  // Scale so the expected average degree is as requested.
+  const double scale =
+      average_degree * static_cast<double>(n) / (total * total);
+  // Weights are sorted decreasing, so for each u the edge probabilities
+  // p(u,v) decrease in v; sample v by geometric skipping against the
+  // upper bound p_max = p(u, u+1), thinning with p(u,v)/p_max.
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    const double p_max = std::min(1.0, scale * weight[u] * weight[u + 1]);
+    if (p_max <= 0.0) continue;
+    const double log1mp = std::log1p(-std::min(p_max, 1.0 - 1e-12));
+    std::int64_t v = static_cast<std::int64_t>(u);
+    while (true) {
+      const double r = std::max(rng.uniform01(), 1e-300);
+      v += 1 + static_cast<std::int64_t>(std::floor(std::log(r) / log1mp));
+      if (v >= static_cast<std::int64_t>(n)) break;
+      const double p =
+          std::min(1.0, scale * weight[u] * weight[static_cast<NodeId>(v)]);
+      if (rng.uniform01() * p_max < p) {
+        b.add_edge(u, static_cast<NodeId>(v));
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph hubbed_forest_union(NodeId n, NodeId k, NodeId num_hubs,
+                          util::Rng& rng) {
+  Builder b(n);
+  if (n == 0) return b.build();
+  num_hubs = std::max<NodeId>(std::min(num_hubs, n), 1);
+  // Star forest: node v attaches to the hub of its block.
+  const NodeId block = (n + num_hubs - 1) / num_hubs;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId hub = (v / block) * block;
+    if (v != hub) b.add_edge(v, hub);
+  }
+  // Plus k-1 random spanning trees.
+  if (k >= 2) {
+    Graph forests = union_of_random_forests(n, k - 1, rng);
+    for (const Edge& e : forests.edges()) b.add_edge(e.u, e.v);
+  }
+  return b.build();
+}
+
+Graph random_apollonian(NodeId n, util::Rng& rng) {
+  if (n < 3) return complete(n);
+  Builder b(n);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+  std::vector<std::array<NodeId, 3>> faces{{0, 1, 2}};
+  for (NodeId i = 3; i < n; ++i) {
+    const std::size_t f = rng.below(faces.size());
+    const std::array<NodeId, 3> face = faces[f];
+    for (NodeId corner : face) b.add_edge(i, corner);
+    faces[f] = {face[0], face[1], i};
+    faces.push_back({face[0], face[2], i});
+    faces.push_back({face[1], face[2], i});
+  }
+  return b.build();
+}
+
+Graph k_tree(NodeId n, NodeId k, util::Rng& rng) {
+  if (k == 0) return Graph(n);
+  if (n <= k + 1) return complete(n);
+  Builder b(n);
+  std::vector<std::vector<NodeId>> cliques;  // k-cliques usable as anchors
+  for (NodeId u = 0; u <= k; ++u) {
+    for (NodeId v = u + 1; v <= k; ++v) b.add_edge(u, v);
+  }
+  // All k-subsets of the seed (k+1)-clique.
+  for (NodeId skip = 0; skip <= k; ++skip) {
+    std::vector<NodeId> c;
+    for (NodeId u = 0; u <= k; ++u) {
+      if (u != skip) c.push_back(u);
+    }
+    cliques.push_back(std::move(c));
+  }
+  for (NodeId i = k + 1; i < n; ++i) {
+    // Copy: pushing new cliques below reallocates the vector.
+    const std::vector<NodeId> anchor = cliques[rng.below(cliques.size())];
+    for (NodeId u : anchor) b.add_edge(i, u);
+    // New k-cliques: replace each anchor member with i.
+    for (NodeId replaced = 0; replaced < k; ++replaced) {
+      std::vector<NodeId> c = anchor;
+      c[replaced] = i;
+      cliques.push_back(std::move(c));
+    }
+  }
+  return b.build();
+}
+
+Graph k_degenerate(NodeId n, NodeId k, util::Rng& rng) {
+  Builder b(n);
+  for (NodeId i = 1; i < n; ++i) {
+    const NodeId picks = std::min<NodeId>(i, k);
+    // Floyd's algorithm: sample `picks` distinct values from [0, i).
+    std::unordered_set<NodeId> chosen;
+    for (NodeId j = i - picks; j < i; ++j) {
+      auto t = static_cast<NodeId>(rng.below(j + 1));
+      if (!chosen.insert(t).second) chosen.insert(j);
+    }
+    for (NodeId target : chosen) b.add_edge(i, target);
+  }
+  return b.build();
+}
+
+}  // namespace arbmis::graph::gen

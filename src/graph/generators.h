@@ -1,0 +1,110 @@
+// Graph generators for the experiment workloads.
+//
+// The paper's result targets graphs of bounded arboricity α, so most of the
+// random families here come with a constructive arboricity certificate:
+//
+//   * trees / forests                         — α = 1
+//   * union_of_random_forests(n, k)           — α ≤ k (edges are k forests)
+//   * k_degenerate(n, k), k_tree(n, k)        — degeneracy ≤ k ⇒ α ≤ k
+//   * random_apollonian(n), grids             — planar ⇒ α ≤ 3
+//   * gnp / complete / hypercube              — unbounded-α controls
+//
+// Random generators take an Rng by reference; each call consumes from the
+// stream, so two calls with the same Rng produce different graphs while a
+// reseeded Rng reproduces them exactly.
+#pragma once
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace arbmis::graph::gen {
+
+// ----- deterministic families ---------------------------------------------
+
+/// Simple path 0-1-...-(n-1).
+Graph path(NodeId n);
+
+/// Cycle on n >= 3 nodes (n < 3 degrades to a path).
+Graph cycle(NodeId n);
+
+/// Star: node 0 adjacent to 1..n-1.
+Graph star(NodeId n);
+
+/// Complete graph K_n.
+Graph complete(NodeId n);
+
+/// Complete bipartite K_{a,b}; sides are [0,a) and [a,a+b).
+Graph complete_bipartite(NodeId a, NodeId b);
+
+/// Balanced d-ary tree on n nodes: parent(i) = (i-1)/d.
+Graph balanced_tree(NodeId n, NodeId arity);
+
+/// Caterpillar: a spine path with `legs` leaves hanging off each spine node.
+Graph caterpillar(NodeId spine, NodeId legs);
+
+/// rows x cols grid (4-neighborhood). Planar, α <= 2.
+Graph grid(NodeId rows, NodeId cols);
+
+/// rows x cols torus (grid with wraparound); needs rows,cols >= 3 to stay
+/// simple — smaller values degrade to a grid.
+Graph torus(NodeId rows, NodeId cols);
+
+/// Triangulated grid: grid plus one diagonal per cell. Planar, α <= 3.
+Graph triangular_grid(NodeId rows, NodeId cols);
+
+/// d-dimensional hypercube (2^d nodes, degree d).
+Graph hypercube(NodeId dimensions);
+
+// ----- random families ------------------------------------------------------
+
+/// Uniform random labeled tree via Prüfer sequence decoding (n >= 1).
+Graph random_tree(NodeId n, util::Rng& rng);
+
+/// Random recursive tree: node i attaches to a uniform node in [0, i).
+Graph random_recursive_tree(NodeId n, util::Rng& rng);
+
+/// Preferential-attachment tree: node i attaches to an existing node chosen
+/// proportionally to current degree (yields high-degree hubs; still α = 1).
+Graph preferential_attachment_tree(NodeId n, util::Rng& rng);
+
+/// Erdős–Rényi G(n, p) using geometric edge skipping (O(n + m) expected).
+Graph gnp(NodeId n, double p, util::Rng& rng);
+
+/// Uniform G(n, m): m distinct edges sampled without replacement.
+Graph gnm(NodeId n, std::uint64_t m, util::Rng& rng);
+
+/// Union of k independent uniform random spanning trees on [0, n); the edge
+/// set is a union of k forests, so arboricity <= k by construction.
+Graph union_of_random_forests(NodeId n, NodeId k, util::Rng& rng);
+
+/// Chung–Lu power-law random graph: node v gets weight
+/// w_v = c·(v+1)^(-1/(gamma-1)) and edge {u,v} appears independently with
+/// probability min(1, w_u·w_v / Σw). gamma in (2, 3] gives heavy-tailed
+/// degrees with hubs — a "real-world-like" workload whose degeneracy
+/// (hence arboricity) stays small while Δ grows polynomially in n.
+/// `average_degree` scales the weights.
+Graph chung_lu_power_law(NodeId n, double gamma, double average_degree,
+                         util::Rng& rng);
+
+/// Union of (k-1) random forests plus one star forest with `num_hubs`
+/// centers: arboricity <= k by construction, but maximum degree ~ n/hubs.
+/// This is the regime the paper targets — high-degree nodes in a sparse
+/// (bounded-arboricity) graph — and the workload where the scale/shatter
+/// machinery of Algorithm 1 actually engages.
+Graph hubbed_forest_union(NodeId n, NodeId k, NodeId num_hubs,
+                          util::Rng& rng);
+
+/// Random Apollonian network: repeatedly pick a face of a planar
+/// triangulation uniformly at random and insert a node adjacent to its
+/// three corners. Maximal planar (m = 3n - 6 for n >= 3), 3-degenerate.
+Graph random_apollonian(NodeId n, util::Rng& rng);
+
+/// Random k-tree: (k+1)-clique seed; each new node is adjacent to a
+/// uniformly chosen existing k-clique. Degeneracy exactly k (for n > k).
+Graph k_tree(NodeId n, NodeId k, util::Rng& rng);
+
+/// Random k-degenerate graph: node i attaches to min(i, k) distinct
+/// uniformly chosen earlier nodes. Degeneracy <= k, arboricity <= k.
+Graph k_degenerate(NodeId n, NodeId k, util::Rng& rng);
+
+}  // namespace arbmis::graph::gen

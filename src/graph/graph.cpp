@@ -1,0 +1,89 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace arbmis::graph {
+
+Graph::Graph(NodeId n) : num_nodes_(n), offsets_(n + 1, 0) {}
+
+bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
+  if (u >= num_nodes_ || v >= num_nodes_) return false;
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+NodeId Graph::port_of(NodeId v, NodeId w) const {
+  const auto nbrs = neighbors(v);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), w);
+  if (it == nbrs.end() || *it != w) {
+    throw std::invalid_argument("port_of: nodes are not adjacent");
+  }
+  return static_cast<NodeId>(it - nbrs.begin());
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) out.push_back({u, v});
+    }
+  }
+  return out;
+}
+
+Builder::Builder(NodeId n) : num_nodes_(n) {}
+
+Builder& Builder::add_edge(NodeId u, NodeId v) {
+  if (u == v) throw std::invalid_argument("add_edge: self-loop");
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    throw std::invalid_argument("add_edge: endpoint out of range");
+  }
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v});
+  return *this;
+}
+
+bool Builder::has_edge(NodeId u, NodeId v) const noexcept {
+  if (u > v) std::swap(u, v);
+  const Edge e{u, v};
+  return std::find(edges_.begin(), edges_.end(), e) != edges_.end();
+}
+
+Graph Builder::build() const {
+  std::vector<Edge> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  Graph g(num_nodes_);
+  std::vector<std::uint64_t> deg(num_nodes_ + 1, 0);
+  for (const Edge& e : sorted) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  g.offsets_.assign(num_nodes_ + 1, 0);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+    g.max_degree_ = std::max<NodeId>(g.max_degree_, static_cast<NodeId>(deg[v]));
+  }
+  g.adjacency_.resize(sorted.size() * 2);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : sorted) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end);
+  }
+  return g;
+}
+
+Graph from_edges(NodeId n, std::span<const Edge> edges) {
+  Builder b(n);
+  for (const Edge& e : edges) b.add_edge(e.u, e.v);
+  return b.build();
+}
+
+}  // namespace arbmis::graph

@@ -1,0 +1,97 @@
+// Immutable undirected simple graph in compressed sparse row (CSR) form.
+//
+// Every distributed algorithm in this repository runs against this type:
+// node ids are dense [0, n), adjacency lists are sorted, and neighbor
+// access is a contiguous span — which also gives each node a stable local
+// "port" numbering (index into its adjacency list), the communication
+// primitive the CONGEST simulator exposes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace arbmis::graph {
+
+using NodeId = std::uint32_t;
+
+/// Undirected edge; normalized so u < v inside Builder.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  /// Empty graph with n isolated nodes.
+  explicit Graph(NodeId n = 0);
+
+  NodeId num_nodes() const noexcept { return num_nodes_; }
+  /// Number of undirected edges.
+  std::uint64_t num_edges() const noexcept { return adjacency_.size() / 2; }
+
+  /// Sorted neighbors of v.
+  std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return std::span<const NodeId>(adjacency_)
+        .subspan(offsets_[v], offsets_[v + 1] - offsets_[v]);
+  }
+
+  NodeId degree(NodeId v) const noexcept {
+    return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  NodeId max_degree() const noexcept { return max_degree_; }
+
+  /// True if {u, v} is an edge (binary search; O(log deg)).
+  bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  /// Port of neighbor w at node v, i.e. the index of w in neighbors(v).
+  /// Throws std::invalid_argument if w is not adjacent to v.
+  NodeId port_of(NodeId v, NodeId w) const;
+
+  /// All edges, each reported once with u < v, sorted.
+  std::vector<Edge> edges() const;
+
+ private:
+  friend class Builder;
+  NodeId num_nodes_ = 0;
+  NodeId max_degree_ = 0;
+  std::vector<std::uint64_t> offsets_;  // size n+1
+  std::vector<NodeId> adjacency_;       // size 2m, sorted per node
+};
+
+/// Accumulates edges and finalizes into a Graph. Rejects self-loops and
+/// out-of-range endpoints immediately; duplicate edges are deduplicated at
+/// build() time (multi-edges collapse to one).
+class Builder {
+ public:
+  explicit Builder(NodeId n);
+
+  NodeId num_nodes() const noexcept { return num_nodes_; }
+
+  /// Adds undirected edge {u, v}. Throws std::invalid_argument on u == v or
+  /// an endpoint >= n.
+  Builder& add_edge(NodeId u, NodeId v);
+
+  /// True if the edge was already added (linear in edges added so far is
+  /// avoided by keeping the set sorted lazily at query time; intended for
+  /// generator-internal use on small batches).
+  bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  std::uint64_t num_edges_added() const noexcept { return edges_.size(); }
+
+  /// Finalizes. The builder may be reused afterwards (it keeps its edges).
+  Graph build() const;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+/// Convenience: graph from an explicit edge list.
+Graph from_edges(NodeId n, std::span<const Edge> edges);
+
+}  // namespace arbmis::graph

@@ -1,0 +1,98 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace arbmis::graph {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "# arbmis edge list: n m, then one 'u v' per undirected edge\n";
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+namespace {
+
+/// Next non-comment, non-empty line; false at EOF.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  if (!next_content_line(in, line)) {
+    throw std::invalid_argument("read_edge_list: missing header line");
+  }
+  std::istringstream header(line);
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  if (!(header >> n >> m)) {
+    throw std::invalid_argument("read_edge_list: malformed header");
+  }
+  if (n > ~NodeId{0}) {
+    throw std::invalid_argument("read_edge_list: node count too large");
+  }
+  Builder builder(static_cast<NodeId>(n));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    if (!next_content_line(in, line)) {
+      throw std::invalid_argument(
+          "read_edge_list: fewer edges than the header promised");
+    }
+    std::istringstream edge(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(edge >> u >> v)) {
+      throw std::invalid_argument("read_edge_list: malformed edge line");
+    }
+    if (u >= n || v >= n) {
+      throw std::invalid_argument("read_edge_list: endpoint out of range");
+    }
+    builder.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return builder.build();
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_graph: cannot open " + path);
+  }
+  write_edge_list(out, g);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_graph: cannot open " + path);
+  }
+  return read_edge_list(in);
+}
+
+void write_dot(std::ostream& out, const Graph& g,
+               std::span<const std::uint8_t> highlight) {
+  out << "graph arbmis {\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << "  " << v;
+    if (v < highlight.size() && highlight[v] != 0) {
+      out << " [style=filled, fillcolor=lightblue]";
+    }
+    out << ";\n";
+  }
+  for (const Edge& e : g.edges()) {
+    out << "  " << e.u << " -- " << e.v << ";\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace arbmis::graph

@@ -1,0 +1,35 @@
+// Plain-text graph serialization, so experiment workloads can be saved,
+// diffed, and re-loaded (and external graphs imported).
+//
+// Format: a header line "n m" followed by m lines "u v" (0-based ids,
+// whitespace separated). Lines starting with '#' are comments and are
+// skipped. Writing emits each undirected edge once with u < v.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace arbmis::graph {
+
+/// Writes the header + edge list (with a comment header line).
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Parses the format above. Throws std::invalid_argument on malformed
+/// input (bad header, edge count mismatch, out-of-range endpoints,
+/// self-loops).
+Graph read_edge_list(std::istream& in);
+
+/// File convenience wrappers; throw std::runtime_error when the file
+/// cannot be opened.
+void save_graph(const std::string& path, const Graph& g);
+Graph load_graph(const std::string& path);
+
+/// Graphviz DOT export (undirected). `highlight[v] != 0` fills node v —
+/// handy for eyeballing MIS outputs and bad sets; pass {} for none.
+void write_dot(std::ostream& out, const Graph& g,
+               std::span<const std::uint8_t> highlight = {});
+
+}  // namespace arbmis::graph

@@ -1,0 +1,127 @@
+#include "graph/orientation.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/properties.h"
+
+namespace arbmis::graph {
+
+Orientation::Orientation(const Graph& g,
+                         std::vector<std::vector<NodeId>> parents)
+    : parents_(std::move(parents)), children_(g.num_nodes()) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_out_degree_ =
+        std::max(max_out_degree_, static_cast<NodeId>(parents_[v].size()));
+    for (NodeId p : parents_[v]) children_[p].push_back(v);
+  }
+  for (auto& kids : children_) std::sort(kids.begin(), kids.end());
+}
+
+bool Orientation::is_acyclic() const {
+  // Kahn's algorithm over the child->parent digraph.
+  const NodeId n = num_nodes();
+  std::vector<NodeId> in_degree(n, 0);  // number of children pointing at v
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId p : parents_[v]) ++in_degree[p];
+  }
+  std::vector<NodeId> stack;
+  for (NodeId v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) stack.push_back(v);
+  }
+  NodeId seen = 0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    ++seen;
+    for (NodeId p : parents_[v]) {
+      if (--in_degree[p] == 0) stack.push_back(p);
+    }
+  }
+  return seen == n;
+}
+
+Orientation degeneracy_orientation(const Graph& g) {
+  const CoreDecomposition cores = core_decomposition(g);
+  std::vector<std::vector<NodeId>> parents(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId w : g.neighbors(v)) {
+      if (cores.position[v] < cores.position[w]) parents[v].push_back(w);
+    }
+  }
+  return Orientation(g, std::move(parents));
+}
+
+Orientation id_orientation(const Graph& g) {
+  std::vector<std::vector<NodeId>> parents(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId w : g.neighbors(v)) {
+      if (w > v) parents[v].push_back(w);
+    }
+  }
+  return Orientation(g, std::move(parents));
+}
+
+std::uint64_t ForestPartition::num_edges() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& forest : forest_parent) {
+    for (NodeId p : forest) {
+      if (p != kNoParent) ++total;
+    }
+  }
+  return total;
+}
+
+ForestPartition forests_from_orientation(const Graph& g,
+                                         const Orientation& orientation) {
+  ForestPartition out;
+  out.forest_parent.assign(orientation.max_out_degree(),
+                           std::vector<NodeId>(g.num_nodes(), kNoParent));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto parents = orientation.parents(v);
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      out.forest_parent[i][v] = parents[i];
+    }
+  }
+  return out;
+}
+
+bool valid_forest_partition(const Graph& g, const ForestPartition& partition) {
+  const NodeId n = g.num_nodes();
+  // Every (v, parent) pair must be a real edge, and each edge must be
+  // covered exactly once.
+  std::map<Edge, int> coverage;
+  for (const auto& forest : partition.forest_parent) {
+    if (forest.size() != n) return false;
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId p = forest[v];
+      if (p == kNoParent) continue;
+      if (p >= n || !g.has_edge(v, p)) return false;
+      ++coverage[{std::min(v, p), std::max(v, p)}];
+    }
+  }
+  if (coverage.size() != g.num_edges()) return false;
+  for (const auto& [edge, count] : coverage) {
+    if (count != 1) return false;
+  }
+  // Each forest must be acyclic: follow parent pointers with cycle marking.
+  for (const auto& forest : partition.forest_parent) {
+    // 0 = unvisited, 1 = on current path, 2 = done
+    std::vector<unsigned char> state(n, 0);
+    for (NodeId start = 0; start < n; ++start) {
+      if (state[start] != 0) continue;
+      std::vector<NodeId> chain;
+      NodeId v = start;
+      while (v != kNoParent && state[v] == 0) {
+        state[v] = 1;
+        chain.push_back(v);
+        v = forest[v];
+      }
+      if (v != kNoParent && state[v] == 1) return false;  // cycle
+      for (NodeId u : chain) state[u] = 2;
+    }
+  }
+  return true;
+}
+
+}  // namespace arbmis::graph

@@ -1,0 +1,187 @@
+#include "graph/orientation_opt.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "graph/properties.h"
+
+namespace arbmis::graph {
+
+namespace {
+
+/// Compact Dinic max-flow for the orientation charging network.
+class Dinic {
+ public:
+  explicit Dinic(std::uint32_t num_nodes) : head_(num_nodes, kNone) {}
+
+  void add_edge(std::uint32_t from, std::uint32_t to, std::uint32_t cap) {
+    arcs_.push_back({to, head_[from], cap});
+    head_[from] = static_cast<std::uint32_t>(arcs_.size() - 1);
+    arcs_.push_back({from, head_[to], 0});
+    head_[to] = static_cast<std::uint32_t>(arcs_.size() - 1);
+  }
+
+  std::uint64_t max_flow(std::uint32_t source, std::uint32_t sink) {
+    std::uint64_t total = 0;
+    while (bfs(source, sink)) {
+      cursor_ = head_;
+      while (std::uint64_t pushed = dfs(
+                 source, sink, std::numeric_limits<std::uint32_t>::max())) {
+        total += pushed;
+      }
+    }
+    return total;
+  }
+
+  /// Residual capacity of the i-th added edge (in insertion order,
+  /// counting only forward edges).
+  std::uint32_t forward_residual(std::uint32_t edge_index) const {
+    return arcs_[2 * edge_index].cap;
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+  struct Arc {
+    std::uint32_t to;
+    std::uint32_t next;
+    std::uint32_t cap;
+  };
+
+  bool bfs(std::uint32_t source, std::uint32_t sink) {
+    level_.assign(head_.size(), kNone);
+    level_[source] = 0;
+    std::queue<std::uint32_t> queue;
+    queue.push(source);
+    while (!queue.empty()) {
+      const std::uint32_t v = queue.front();
+      queue.pop();
+      for (std::uint32_t a = head_[v]; a != kNone; a = arcs_[a].next) {
+        if (arcs_[a].cap > 0 && level_[arcs_[a].to] == kNone) {
+          level_[arcs_[a].to] = level_[v] + 1;
+          queue.push(arcs_[a].to);
+        }
+      }
+    }
+    return level_[sink] != kNone;
+  }
+
+  std::uint64_t dfs(std::uint32_t v, std::uint32_t sink,
+                    std::uint32_t limit) {
+    if (v == sink || limit == 0) return limit;
+    for (std::uint32_t& a = cursor_[v]; a != kNone; a = arcs_[a].next) {
+      Arc& arc = arcs_[a];
+      if (arc.cap == 0 || level_[arc.to] != level_[v] + 1) continue;
+      const std::uint64_t pushed =
+          dfs(arc.to, sink, std::min(limit, arc.cap));
+      if (pushed > 0) {
+        arc.cap -= static_cast<std::uint32_t>(pushed);
+        arcs_[a ^ 1].cap += static_cast<std::uint32_t>(pushed);
+        return pushed;
+      }
+    }
+    return 0;
+  }
+
+  std::vector<std::uint32_t> head_;
+  std::vector<Arc> arcs_;
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint32_t> cursor_;
+};
+
+/// Builds the charging network for bound k and returns (flow == m, dinic,
+/// edge list). Node layout: 0 = source, 1..m = edge nodes,
+/// m+1..m+n = vertex nodes, m+n+1 = sink.
+struct ChargingNetwork {
+  Dinic dinic;
+  std::vector<Edge> edges;
+  bool feasible = false;
+
+  ChargingNetwork(const Graph& g, NodeId k)
+      : dinic(static_cast<std::uint32_t>(g.num_edges() + g.num_nodes() + 2)),
+        edges(g.edges()) {
+    const auto m = static_cast<std::uint32_t>(edges.size());
+    const std::uint32_t source = 0;
+    const std::uint32_t sink = m + g.num_nodes() + 1;
+    // Forward-edge indices 0..m-1: source -> edge node (these carry the
+    // charging decision read back by forward_residual / the arcs below).
+    for (std::uint32_t i = 0; i < m; ++i) {
+      dinic.add_edge(source, 1 + i, 1);
+    }
+    // Indices m..3m-1 alternate (edge->u, edge->v) per edge.
+    for (std::uint32_t i = 0; i < m; ++i) {
+      dinic.add_edge(1 + i, m + 1 + edges[i].u, 1);
+      dinic.add_edge(1 + i, m + 1 + edges[i].v, 1);
+    }
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      dinic.add_edge(m + 1 + v, sink, k);
+    }
+    feasible = (dinic.max_flow(source, sink) == m);
+  }
+
+  /// After a feasible run: true if edge i was charged to edges[i].u.
+  bool charged_to_u(std::uint32_t i) const {
+    // The edge->u forward arc is saturated iff its residual is 0.
+    const std::uint32_t m = static_cast<std::uint32_t>(edges.size());
+    return dinic.forward_residual(m + 2 * i) == 0;
+  }
+};
+
+}  // namespace
+
+bool has_orientation_with_outdegree(const Graph& g, NodeId k) {
+  if (g.num_edges() == 0) return true;
+  if (k == 0) return false;
+  return ChargingNetwork(g, k).feasible;
+}
+
+NodeId pseudoarboricity(const Graph& g) {
+  if (g.num_edges() == 0) return 0;
+  // p is at least the global density ceil(m/n) and at most the degeneracy.
+  NodeId lo = static_cast<NodeId>(
+      (g.num_edges() + g.num_nodes() - 1) / g.num_nodes());
+  lo = std::max<NodeId>(lo, 1);
+  NodeId hi = std::max<NodeId>(degeneracy(g), lo);
+  while (lo < hi) {
+    const NodeId mid = lo + (hi - lo) / 2;
+    if (has_orientation_with_outdegree(g, mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+Orientation min_outdegree_orientation(const Graph& g) {
+  const NodeId p = pseudoarboricity(g);
+  std::vector<std::vector<NodeId>> parents(g.num_nodes());
+  if (g.num_edges() > 0) {
+    ChargingNetwork network(g, p);
+    // feasible by construction of p
+    for (std::uint32_t i = 0; i < network.edges.size(); ++i) {
+      const Edge& e = network.edges[i];
+      if (network.charged_to_u(i)) {
+        parents[e.u].push_back(e.v);  // charged node pays: e.u -> e.v
+      } else {
+        parents[e.v].push_back(e.u);
+      }
+    }
+  }
+  return Orientation(g, std::move(parents));
+}
+
+TightArboricityBounds tight_arboricity_bounds(const Graph& g) {
+  TightArboricityBounds bounds;
+  bounds.pseudoarboricity = pseudoarboricity(g);
+  const ArboricityBounds basic = arboricity_bounds(g);
+  bounds.lower = std::max<NodeId>(static_cast<NodeId>(basic.lower),
+                                  bounds.pseudoarboricity);
+  const NodeId p_plus = g.num_edges() == 0 ? 0 : bounds.pseudoarboricity + 1;
+  bounds.upper = std::min<NodeId>(static_cast<NodeId>(basic.upper), p_plus);
+  bounds.upper = std::max(bounds.upper, bounds.lower);
+  return bounds;
+}
+
+}  // namespace arbmis::graph

@@ -1,0 +1,47 @@
+// Optimal (minimum out-degree) orientations via max-flow, and the exact
+// pseudoarboricity they certify.
+//
+// The paper's analysis fixes an orientation with at most α parents per
+// node. The degeneracy orientation (orientation.h) guarantees out-degree
+// <= 2α-1; this module computes the true optimum
+//
+//     p(G) = min over orientations of the max out-degree
+//          = ceil( max over subgraphs H of m_H / n_H )   (pseudoarboricity)
+//
+// by binary-searching k and checking feasibility with a Dinic max-flow on
+// the standard bipartite charging network (edge -> its two endpoints,
+// endpoint capacity k). Known sandwich: p(G) <= arboricity(G) <= p(G)+1,
+// so together with the Nash-Williams density lower bound from
+// properties.h this usually pins the paper's α exactly — and the
+// orientation itself gives the read-k event kernels the tightest k
+// certificate available.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/orientation.h"
+
+namespace arbmis::graph {
+
+/// True iff g admits an orientation with max out-degree <= k.
+bool has_orientation_with_outdegree(const Graph& g, NodeId k);
+
+/// Exact pseudoarboricity p(G) (0 for edgeless graphs).
+NodeId pseudoarboricity(const Graph& g);
+
+/// An orientation achieving out-degree p(G). Note: unlike the degeneracy
+/// orientation it need not be acyclic — the read-k counting arguments
+/// only need the parent bound, not acyclicity.
+Orientation min_outdegree_orientation(const Graph& g);
+
+/// Convenience: [density lower bound, degeneracy] refined with the exact
+/// pseudoarboricity sandwich p <= α <= p+1.
+struct TightArboricityBounds {
+  NodeId pseudoarboricity = 0;
+  NodeId lower = 0;  ///< max(density bound, p)
+  NodeId upper = 0;  ///< min(degeneracy, p + 1)
+  bool exact() const noexcept { return lower == upper; }
+};
+
+TightArboricityBounds tight_arboricity_bounds(const Graph& g);
+
+}  // namespace arbmis::graph

@@ -1,0 +1,168 @@
+#include "graph/properties.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace arbmis::graph {
+
+NodeId Components::largest() const noexcept {
+  NodeId best = 0;
+  for (NodeId s : sizes) best = std::max(best, s);
+  return best;
+}
+
+namespace {
+
+Components components_impl(const Graph& g, const std::uint8_t* in_set) {
+  const NodeId n = g.num_nodes();
+  Components out;
+  out.label.assign(n, kNoComponent);
+  std::vector<NodeId> queue;
+  for (NodeId start = 0; start < n; ++start) {
+    if (out.label[start] != kNoComponent) continue;
+    if (in_set != nullptr && in_set[start] == 0) continue;
+    const NodeId comp = out.count++;
+    NodeId size = 0;
+    queue.clear();
+    queue.push_back(start);
+    out.label[start] = comp;
+    while (!queue.empty()) {
+      const NodeId v = queue.back();
+      queue.pop_back();
+      ++size;
+      for (NodeId w : g.neighbors(v)) {
+        if (out.label[w] != kNoComponent) continue;
+        if (in_set != nullptr && in_set[w] == 0) continue;
+        out.label[w] = comp;
+        queue.push_back(w);
+      }
+    }
+    out.sizes.push_back(size);
+  }
+  return out;
+}
+
+}  // namespace
+
+Components connected_components(const Graph& g) {
+  return components_impl(g, nullptr);
+}
+
+Components induced_components(const Graph& g, std::span<const std::uint8_t> in_set) {
+  return components_impl(g, in_set.data());
+}
+
+std::vector<NodeId> bfs_distances(const Graph& g, NodeId source) {
+  std::vector<NodeId> dist(g.num_nodes(), kUnreachable);
+  std::queue<NodeId> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    for (NodeId w : g.neighbors(v)) {
+      if (dist[w] != kUnreachable) continue;
+      dist[w] = dist[v] + 1;
+      queue.push(w);
+    }
+  }
+  return dist;
+}
+
+bool is_forest(const Graph& g) {
+  const Components comps = connected_components(g);
+  // A forest has exactly n - (#components) edges.
+  return g.num_edges() ==
+         static_cast<std::uint64_t>(g.num_nodes()) - comps.count;
+}
+
+CoreDecomposition core_decomposition(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  CoreDecomposition out;
+  out.core.assign(n, 0);
+  out.order.reserve(n);
+  out.position.assign(n, 0);
+  if (n == 0) return out;
+
+  // Bucket queue keyed by current degree (Matula–Beck).
+  std::vector<NodeId> deg(n);
+  NodeId max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  std::vector<NodeId> bucket_start(max_deg + 2, 0);
+  for (NodeId v = 0; v < n; ++v) ++bucket_start[deg[v] + 1];
+  for (NodeId d = 1; d <= max_deg + 1; ++d) bucket_start[d] += bucket_start[d - 1];
+  std::vector<NodeId> sorted(n);       // nodes sorted by current degree
+  std::vector<NodeId> pos(n);          // index in `sorted`
+  {
+    std::vector<NodeId> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]];
+      sorted[pos[v]] = v;
+      ++cursor[deg[v]];
+    }
+  }
+  // bucket_head[d] = index in `sorted` of first node with degree d.
+  std::vector<NodeId> bucket_head(bucket_start.begin(),
+                                  bucket_start.end() - 1);
+
+  std::vector<bool> removed(n, false);
+  NodeId degeneracy_value = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId v = sorted[i];
+    removed[v] = true;
+    degeneracy_value = std::max(degeneracy_value, deg[v]);
+    out.core[v] = degeneracy_value;
+    out.position[v] = static_cast<NodeId>(out.order.size());
+    out.order.push_back(v);
+    for (NodeId w : g.neighbors(v)) {
+      if (removed[w] || deg[w] <= deg[v]) continue;
+      // Move w one bucket down: swap it with the first element of its
+      // bucket, then shrink the bucket from the left.
+      const NodeId dw = deg[w];
+      const NodeId head_idx = bucket_head[dw];
+      const NodeId head_node = sorted[head_idx];
+      if (head_node != w) {
+        std::swap(sorted[head_idx], sorted[pos[w]]);
+        std::swap(pos[head_node], pos[w]);
+      }
+      ++bucket_head[dw];
+      --deg[w];
+    }
+  }
+  out.degeneracy = degeneracy_value;
+  return out;
+}
+
+NodeId degeneracy(const Graph& g) { return core_decomposition(g).degeneracy; }
+
+std::uint64_t density_lower_bound(const Graph& g) {
+  if (g.num_nodes() < 2) return 0;
+  const std::uint64_t denom = g.num_nodes() - 1;
+  return (g.num_edges() + denom - 1) / denom;
+}
+
+ArboricityBounds arboricity_bounds(const Graph& g) {
+  return {density_lower_bound(g), degeneracy(g)};
+}
+
+NodeId eccentricity(const Graph& g, NodeId source) {
+  NodeId ecc = 0;
+  for (NodeId d : bfs_distances(g, source)) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::optional<NodeId> diameter(const Graph& g) {
+  if (g.num_nodes() == 0) return std::nullopt;
+  NodeId best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    best = std::max(best, eccentricity(g, v));
+  }
+  return best;
+}
+
+}  // namespace arbmis::graph

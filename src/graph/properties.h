@@ -1,0 +1,84 @@
+// Structural graph queries used by the algorithms, the analysis audits, and
+// the test suite: connectivity, BFS distances, degeneracy (k-core)
+// decomposition, and arboricity bounds.
+//
+// Arboricity itself is expensive to compute exactly; the repository uses
+// the standard sandwich
+//
+//     ceil(max-density) <= arboricity <= degeneracy  (and degeneracy <= 2α-1)
+//
+// where max-density is max over subgraphs S of |E(S)|/(|S|-1). We report the
+// whole-graph density as a cheap lower bound and degeneracy as the upper
+// bound; generators additionally carry constructive certificates (DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace arbmis::graph {
+
+/// Connected components result.
+struct Components {
+  /// Component index of each node, in [0, count).
+  std::vector<NodeId> label;
+  NodeId count = 0;
+  /// Size of each component.
+  std::vector<NodeId> sizes;
+
+  NodeId largest() const noexcept;
+};
+
+Components connected_components(const Graph& g);
+
+/// Components of the subgraph induced by the nodes where `in_set` is true.
+/// Nodes outside the set get label == kNoComponent.
+inline constexpr NodeId kNoComponent = ~NodeId{0};
+Components induced_components(const Graph& g, std::span<const std::uint8_t> in_set);
+
+/// BFS distances from `source`; unreachable nodes get kUnreachable.
+inline constexpr NodeId kUnreachable = ~NodeId{0};
+std::vector<NodeId> bfs_distances(const Graph& g, NodeId source);
+
+/// True if the graph has no cycle (i.e. it is a forest).
+bool is_forest(const Graph& g);
+
+/// Degeneracy ordering (Matula–Beck, O(n + m)).
+struct CoreDecomposition {
+  /// Core number of each node.
+  std::vector<NodeId> core;
+  /// Nodes in removal order: each node has <= degeneracy neighbors later
+  /// in this order.
+  std::vector<NodeId> order;
+  /// position[v] = index of v in `order`.
+  std::vector<NodeId> position;
+  NodeId degeneracy = 0;
+};
+
+CoreDecomposition core_decomposition(const Graph& g);
+
+NodeId degeneracy(const Graph& g);
+
+/// Whole-graph Nash-Williams density lower bound: ceil(m / (n - 1)).
+/// Zero for graphs with fewer than two nodes.
+std::uint64_t density_lower_bound(const Graph& g);
+
+/// Arboricity sandwich computed in one pass.
+struct ArboricityBounds {
+  std::uint64_t lower = 0;  ///< ceil(m/(n-1)) over the whole graph
+  std::uint64_t upper = 0;  ///< degeneracy
+};
+
+ArboricityBounds arboricity_bounds(const Graph& g);
+
+/// Eccentricity of `source` (max BFS distance in its component).
+NodeId eccentricity(const Graph& g, NodeId source);
+
+/// Exact diameter of the largest component via all-source BFS; intended for
+/// small graphs in tests. Returns nullopt for empty graphs.
+std::optional<NodeId> diameter(const Graph& g);
+
+}  // namespace arbmis::graph

@@ -1,0 +1,35 @@
+// Induced subgraphs with bidirectional node-id mappings. The finishing
+// pipeline (ArbMIS Algorithm 2) runs sub-algorithms on G[Vlo], G[Vhi], and
+// the bad-set components; this type carries the relabeling.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace arbmis::graph {
+
+struct Subgraph {
+  Graph graph{0};
+  /// to_original[local] = node id in the parent graph.
+  std::vector<NodeId> to_original;
+  /// to_local[original] = local id, or kNotInSubgraph.
+  std::vector<NodeId> to_local;
+
+  static constexpr NodeId kNotInSubgraph = ~NodeId{0};
+
+  NodeId original(NodeId local) const { return to_original[local]; }
+  bool contains(NodeId original_id) const {
+    return to_local[original_id] != kNotInSubgraph;
+  }
+};
+
+/// Subgraph induced by the nodes with mask[v] == true.
+Subgraph induced_subgraph(const Graph& g, std::span<const std::uint8_t> mask);
+
+/// Subgraph induced by an explicit node list (need not be sorted; must not
+/// contain duplicates).
+Subgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes);
+
+}  // namespace arbmis::graph

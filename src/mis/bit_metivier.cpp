@@ -1,0 +1,219 @@
+#include "mis/bit_metivier.h"
+
+namespace arbmis::mis {
+
+BitMetivierMis::BitMetivierMis(const graph::Graph& g)
+    : state_(g.num_nodes(), MisState::kUndecided),
+      phase_parity_(g.num_nodes(), 0),
+      ports_(g.num_nodes()),
+      my_bits_(g.num_nodes()),
+      settled_sent_(g.num_nodes(), false) {
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    ports_[v].resize(g.degree(v));
+  }
+}
+
+std::uint8_t BitMetivierMis::my_bit(sim::NodeContext& ctx,
+                                    std::uint32_t index) {
+  auto& bits = my_bits_[ctx.id()];
+  while (bits.size() <= index) {
+    bits.push_back(static_cast<std::uint8_t>(ctx.rng().next() & 1));
+  }
+  return bits[index];
+}
+
+void BitMetivierMis::send_bit(sim::NodeContext& ctx, graph::NodeId port) {
+  PortState& p = ports_[ctx.id()][port];
+  const std::uint8_t bit = my_bit(ctx, p.sent);
+  const std::uint64_t payload =
+      (static_cast<std::uint64_t>(phase_parity_[ctx.id()]) << 1) | bit;
+  ctx.send(port, kBit, payload);
+  semantic_bits_ += 2;
+  ++p.sent;
+}
+
+void BitMetivierMis::process_duel(graph::NodeId v, graph::NodeId port) {
+  PortState& p = ports_[v][port];
+  while (p.duel == Duel::kTied && p.compared < p.received.size() &&
+         p.compared < my_bits_[v].size()) {
+    const std::uint8_t mine = my_bits_[v][p.compared];
+    const std::uint8_t theirs = p.received[p.compared];
+    if (mine == theirs) {
+      ++p.compared;
+      continue;
+    }
+    p.duel = (mine == 1) ? Duel::kWon : Duel::kLost;
+  }
+}
+
+void BitMetivierMis::maybe_conclude_phase(sim::NodeContext& ctx) {
+  const graph::NodeId v = ctx.id();
+  if (state_[v] != MisState::kUndecided || settled_sent_[v]) return;
+  bool all_resolved = true;
+  bool all_won = true;
+  for (const PortState& p : ports_[v]) {
+    if (p.duel == Duel::kTied) all_resolved = false;
+    if (p.duel == Duel::kLost) all_won = false;
+  }
+  if (!all_resolved) return;
+  if (all_won) {
+    state_[v] = MisState::kInMis;
+    ctx.broadcast(kJoined, 0);
+    semantic_bits_ += 2 * ctx.degree();
+    ctx.halt();
+    return;
+  }
+  // Settled loser: tell the survivors and wait for the phase barrier.
+  for (graph::NodeId port = 0; port < ports_[v].size(); ++port) {
+    if (ports_[v][port].duel != Duel::kGone) {
+      ctx.send(port, kSettled, phase_parity_[v]);
+      semantic_bits_ += 2;
+    }
+  }
+  settled_sent_[v] = true;
+}
+
+void BitMetivierMis::maybe_advance_phase(sim::NodeContext& ctx) {
+  const graph::NodeId v = ctx.id();
+  if (!settled_sent_[v] || state_[v] != MisState::kUndecided) return;
+  bool everyone_settled = true;
+  bool any_neighbor = false;
+  for (const PortState& p : ports_[v]) {
+    if (p.duel == Duel::kGone) continue;
+    any_neighbor = true;
+    if (!p.settled) everyone_settled = false;
+  }
+  if (!everyone_settled) return;
+  if (!any_neighbor) {
+    // All neighbors are gone and none of them joined: we are free.
+    state_[v] = MisState::kInMis;
+    ctx.halt();
+    return;
+  }
+  // Phase barrier passed: restart every surviving duel.
+  phase_parity_[v] ^= 1;
+  settled_sent_[v] = false;
+  my_bits_[v].clear();
+  for (graph::NodeId port = 0; port < ports_[v].size(); ++port) {
+    PortState& p = ports_[v][port];
+    if (p.duel == Duel::kGone) continue;
+    p.duel = Duel::kTied;
+    p.sent = 0;
+    p.compared = 0;
+    p.received = std::move(p.pending);
+    p.pending.clear();
+    p.settled = p.pending_settled;
+    p.pending_settled = false;
+    send_bit(ctx, port);
+    // Buffered early bits may already resolve the duel; the conclusion is
+    // announced next round (control messages never share a round with
+    // bit sends — that would break the one-message-per-edge budget).
+    process_duel(v, port);
+  }
+}
+
+void BitMetivierMis::on_start(sim::NodeContext& ctx) {
+  const graph::NodeId v = ctx.id();
+  if (ctx.degree() == 0) {
+    state_[v] = MisState::kInMis;
+    ctx.halt();
+    return;
+  }
+  for (graph::NodeId port = 0; port < ctx.degree(); ++port) {
+    send_bit(ctx, port);
+  }
+}
+
+void BitMetivierMis::on_round(sim::NodeContext& ctx,
+                              std::span<const sim::Message> inbox) {
+  const graph::NodeId v = ctx.id();
+  // A join anywhere in the neighborhood covers us, regardless of state.
+  for (const sim::Message& m : inbox) {
+    if (m.tag == kJoined) {
+      state_[v] = MisState::kCovered;
+      ctx.broadcast(kCovered, 0);
+      semantic_bits_ += 2 * ctx.degree();
+      ctx.halt();
+      return;
+    }
+  }
+  for (const sim::Message& m : inbox) {
+    const graph::NodeId port = [&] {
+      const auto nbrs = ctx.neighbors();
+      return static_cast<graph::NodeId>(
+          std::lower_bound(nbrs.begin(), nbrs.end(), m.src) - nbrs.begin());
+    }();
+    PortState& p = ports_[v][port];
+    switch (m.tag) {
+      case kBit: {
+        const auto parity = static_cast<std::uint8_t>((m.payload >> 1) & 1);
+        const auto bit = static_cast<std::uint8_t>(m.payload & 1);
+        if (parity == phase_parity_[v]) {
+          p.received.push_back(bit);
+        } else {
+          p.pending.push_back(bit);  // they advanced first; buffer
+        }
+        break;
+      }
+      case kCovered:
+        p.duel = Duel::kGone;
+        break;
+      case kSettled: {
+        const auto parity = static_cast<std::uint8_t>(m.payload & 1);
+        if (parity == phase_parity_[v]) {
+          p.settled = true;
+        } else {
+          p.pending_settled = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Advance every live duel with the bits now available (no sends yet).
+  const bool was_settled = settled_sent_[v];
+  if (state_[v] == MisState::kUndecided && !settled_sent_[v]) {
+    for (graph::NodeId port = 0; port < ports_[v].size(); ++port) {
+      if (ports_[v][port].duel == Duel::kTied) process_duel(v, port);
+    }
+    // Conclude BEFORE any bit is sent this round, so the kJoined/kSettled
+    // control messages never collide with a duel bit on the same edge.
+    maybe_conclude_phase(ctx);
+    if (state_[v] != MisState::kUndecided) return;
+    if (!settled_sent_[v]) {
+      // Still dueling: owe the next bit wherever we are caught up. Any
+      // resolution this causes is announced next round.
+      for (graph::NodeId port = 0; port < ports_[v].size(); ++port) {
+        PortState& p = ports_[v][port];
+        if (p.duel == Duel::kTied && p.sent == p.compared) {
+          send_bit(ctx, port);
+          process_duel(v, port);
+        }
+      }
+    }
+  }
+  // Only advance if the settle announcement went out in an EARLIER round
+  // — advancing sends fresh bits, which must not share an edge-round with
+  // this round's kSettled.
+  if (was_settled) maybe_advance_phase(ctx);
+}
+
+BitMetivierMis::Result BitMetivierMis::run(const graph::Graph& g,
+                                           std::uint64_t seed,
+                                           std::uint32_t max_rounds) {
+  BitMetivierMis algorithm(g);
+  sim::Network net(g, seed);
+  Result result;
+  result.mis.stats = net.run(algorithm, max_rounds);
+  result.mis.state = algorithm.state_;
+  result.semantic_bits = algorithm.semantic_bits_;
+  result.bits_per_channel =
+      g.num_edges() > 0 ? static_cast<double>(algorithm.semantic_bits_) /
+                              static_cast<double>(g.num_edges())
+                        : 0.0;
+  return result;
+}
+
+}  // namespace arbmis::mis

@@ -1,0 +1,96 @@
+// The bit-level Métivier–Robson–Saheb-Djahromi–Zemmari MIS (SIROCCO 2009)
+// — the paper's reference [11], whose headline is OPTIMAL BIT COMPLEXITY:
+// O(log n) bits per channel whp, versus the O(log n) bits PER ROUND that
+// shipping whole priorities costs (mis/metivier.h sends a 64-bit word per
+// edge per iteration; Luby A ships log(n^4)-bit priorities).
+//
+// Idea: a node's priority is revealed one random bit at a time. Each edge
+// runs a "duel": both endpoints exchange their next bit; the first index
+// where the bits differ decides the duel (1 beats 0). Because every node
+// uses ONE bit stream for all its duels, the duel order is exactly the
+// order of the real numbers 0.b₁b₂b₃... — transitive, so every
+// neighborhood has a local maximum and the process advances like
+// Métivier's: a node that wins all its duels joins the MIS, its neighbors
+// leave, the rest synchronize and start the next phase. Expected bits per
+// duel are O(1) (each exchanged pair ends the duel with probability 1/2).
+//
+// Synchronization is the delicate part (phases end at different times in
+// different parts of the graph): duels are self-paced per edge (send your
+// (k+1)-th bit only after the k-th pair tied), a node that resolved all
+// duels without winning sends kSettled, and a node advances to the next
+// phase once every surviving neighbor has settled. Neighbors can then be
+// at most one phase apart, so a single phase-parity bit in every message
+// disambiguates, with early bits of the next phase buffered per port.
+//
+// Every message semantically carries O(1) bits (a duel bit, or a
+// join/covered/settled flag); semantic_bits() counts them so the bench
+// can report bits-per-channel next to the word-based baselines.
+#pragma once
+
+#include <vector>
+
+#include "mis/mis_types.h"
+#include "sim/algorithm.h"
+#include "sim/network.h"
+
+namespace arbmis::mis {
+
+class BitMetivierMis : public sim::Algorithm {
+ public:
+  explicit BitMetivierMis(const graph::Graph& g);
+
+  std::string_view name() const override { return "bit_metivier"; }
+  void on_start(sim::NodeContext& ctx) override;
+  void on_round(sim::NodeContext& ctx,
+                std::span<const sim::Message> inbox) override;
+
+  const std::vector<MisState>& states() const noexcept { return state_; }
+
+  /// Total semantic payload bits sent (2 per duel bit — value + parity —
+  /// and 2 per control message).
+  std::uint64_t semantic_bits() const noexcept { return semantic_bits_; }
+
+  struct Result {
+    MisResult mis;
+    std::uint64_t semantic_bits = 0;
+    double bits_per_channel = 0.0;  ///< semantic_bits / m
+  };
+
+  static Result run(const graph::Graph& g, std::uint64_t seed,
+                    std::uint32_t max_rounds = 1 << 22);
+
+ private:
+  enum Tag : std::uint32_t {
+    kBit = 1,      // payload: (parity << 1) | bit
+    kJoined = 2,
+    kCovered = 3,
+    kSettled = 4,  // payload: parity
+  };
+
+  enum class Duel : std::uint8_t { kTied, kWon, kLost, kGone };
+
+  struct PortState {
+    Duel duel = Duel::kTied;
+    std::uint32_t sent = 0;      ///< my bits sent this phase
+    std::uint32_t compared = 0;  ///< duel index resolved as tie so far
+    std::vector<std::uint8_t> received;         ///< their bits, this phase
+    std::vector<std::uint8_t> pending;          ///< early next-phase bits
+    bool settled = false;        ///< their kSettled for this phase
+    bool pending_settled = false;  ///< their kSettled for the next phase
+  };
+
+  void send_bit(sim::NodeContext& ctx, graph::NodeId port);
+  void process_duel(graph::NodeId v, graph::NodeId port);
+  void maybe_conclude_phase(sim::NodeContext& ctx);
+  void maybe_advance_phase(sim::NodeContext& ctx);
+  std::uint8_t my_bit(sim::NodeContext& ctx, std::uint32_t index);
+
+  std::vector<MisState> state_;
+  std::vector<std::uint8_t> phase_parity_;
+  std::vector<std::vector<PortState>> ports_;
+  std::vector<std::vector<std::uint8_t>> my_bits_;  ///< this phase's stream
+  std::vector<bool> settled_sent_;
+  std::uint64_t semantic_bits_ = 0;
+};
+
+}  // namespace arbmis::mis

@@ -1,0 +1,46 @@
+#include "mis/color_sweep.h"
+
+#include <stdexcept>
+
+namespace arbmis::mis {
+
+ColorSweepMis::ColorSweepMis(const graph::Graph& g,
+                             std::vector<std::uint64_t> colors,
+                             std::uint64_t num_classes)
+    : colors_(std::move(colors)),
+      num_classes_(num_classes),
+      state_(g.num_nodes(), MisState::kUndecided),
+      covered_(g.num_nodes(), false) {
+  if (colors_.size() != g.num_nodes()) {
+    throw std::invalid_argument("ColorSweepMis: colors size mismatch");
+  }
+  for (std::uint64_t c : colors_) {
+    if (c >= num_classes_) {
+      throw std::invalid_argument("ColorSweepMis: color out of range");
+    }
+  }
+}
+
+void ColorSweepMis::on_start(sim::NodeContext&) {}
+
+void ColorSweepMis::on_round(sim::NodeContext& ctx,
+                             std::span<const sim::Message> inbox) {
+  const graph::NodeId v = ctx.id();
+  for (const sim::Message& m : inbox) {
+    if (m.tag == kJoined) covered_[v] = true;
+  }
+  const std::uint64_t sweep_class = ctx.round() - 1;
+  if (sweep_class < num_classes_ && !covered_[v] &&
+      state_[v] == MisState::kUndecided && colors_[v] == sweep_class) {
+    state_[v] = MisState::kInMis;
+    ctx.broadcast(kJoined, 0);
+  }
+  if (ctx.round() >= total_rounds()) {
+    if (state_[v] == MisState::kUndecided) {
+      state_[v] = covered_[v] ? MisState::kCovered : MisState::kInMis;
+    }
+    ctx.halt();
+  }
+}
+
+}  // namespace arbmis::mis

@@ -1,0 +1,56 @@
+#include "mis/distributed_verify.h"
+
+namespace arbmis::mis {
+
+DistributedMisCheck::DistributedMisCheck(const graph::Graph& g,
+                                         std::vector<MisState> state)
+    : state_(std::move(state)), local_ok_(g.num_nodes(), 0) {
+  if (state_.size() != g.num_nodes()) {
+    throw std::invalid_argument("DistributedMisCheck: state size mismatch");
+  }
+}
+
+void DistributedMisCheck::on_start(sim::NodeContext& ctx) {
+  const graph::NodeId v = ctx.id();
+  ctx.broadcast(kMember, state_[v] == MisState::kInMis ? 1 : 0);
+}
+
+void DistributedMisCheck::on_round(sim::NodeContext& ctx,
+                                   std::span<const sim::Message> inbox) {
+  const graph::NodeId v = ctx.id();
+  bool has_member_neighbor = false;
+  for (const sim::Message& m : inbox) {
+    if (m.tag == kMember && (m.payload & 1) != 0) {
+      has_member_neighbor = true;
+      break;
+    }
+  }
+  switch (state_[v]) {
+    case MisState::kInMis:
+      local_ok_[v] = has_member_neighbor ? 0 : 1;  // independence
+      break;
+    case MisState::kCovered:
+      local_ok_[v] = has_member_neighbor ? 1 : 0;  // true coverage
+      break;
+    case MisState::kUndecided:
+      local_ok_[v] = 0;  // an undecided node is always a failure
+      break;
+  }
+  ctx.halt();
+}
+
+DistributedMisCheck::Result DistributedMisCheck::run(
+    const graph::Graph& g, std::vector<MisState> state, std::uint64_t seed) {
+  DistributedMisCheck algorithm(g, std::move(state));
+  sim::Network net(g, seed);
+  Result result;
+  result.stats = net.run(algorithm, 2);
+  result.local_ok = algorithm.local_ok_;
+  result.all_ok = true;
+  for (std::uint8_t ok : result.local_ok) {
+    result.all_ok = result.all_ok && (ok != 0);
+  }
+  return result;
+}
+
+}  // namespace arbmis::mis

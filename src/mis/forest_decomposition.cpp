@@ -1,0 +1,107 @@
+#include "mis/forest_decomposition.h"
+
+#include <cmath>
+
+namespace arbmis::mis {
+
+ForestDecomposition::ForestDecomposition(const graph::Graph& g,
+                                         Options options)
+    : graph_(&g),
+      threshold_(static_cast<graph::NodeId>(std::ceil(
+          (2.0 + options.eps) * static_cast<double>(options.alpha)))),
+      level_(g.num_nodes(), kUnassigned),
+      neighbor_levels_heard_(g.num_nodes(), 0),
+      neighbor_level_(g.num_nodes()) {
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    neighbor_level_[v].assign(g.degree(v), kUnassigned);
+  }
+}
+
+void ForestDecomposition::on_start(sim::NodeContext& ctx) {
+  const graph::NodeId v = ctx.id();
+  if (ctx.degree() == 0) {
+    level_[v] = 0;
+    ctx.halt();
+    return;
+  }
+  ctx.broadcast(kActive, 0);
+}
+
+void ForestDecomposition::on_round(sim::NodeContext& ctx,
+                                   std::span<const sim::Message> inbox) {
+  const graph::NodeId v = ctx.id();
+  graph::NodeId active_neighbors = 0;
+  for (const sim::Message& m : inbox) {
+    switch (m.tag) {
+      case kActive:
+        ++active_neighbors;
+        break;
+      case kLevel: {
+        const graph::NodeId port = graph_->port_of(v, m.src);
+        if (neighbor_level_[v][port] == kUnassigned) {
+          neighbor_level_[v][port] = static_cast<graph::NodeId>(m.payload);
+          ++neighbor_levels_heard_[v];
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (level_[v] == kUnassigned) {
+    if (active_neighbors <= threshold_) {
+      level_[v] = ctx.round();
+      ctx.broadcast(kLevel, level_[v]);
+    } else {
+      ctx.broadcast(kActive, 0);
+    }
+  }
+  if (level_[v] != kUnassigned &&
+      neighbor_levels_heard_[v] == ctx.degree()) {
+    ctx.halt();
+  }
+}
+
+graph::Orientation ForestDecomposition::orientation() const {
+  const graph::Graph& g = *graph_;
+  std::vector<std::vector<graph::NodeId>> parents(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (graph::NodeId port = 0; port < nbrs.size(); ++port) {
+      const graph::NodeId w = nbrs[port];
+      const graph::NodeId lv = level_[v];
+      const graph::NodeId lw = neighbor_level_[v][port];
+      // A node assigned at level L had at most `threshold` neighbors still
+      // active, all of which end up at levels >= L; orienting toward them
+      // (same-level ties by id) bounds the out-degree by the threshold.
+      if (lw > lv || (lw == lv && w > v)) {
+        parents[v].push_back(w);
+      }
+    }
+  }
+  return graph::Orientation(g, std::move(parents));
+}
+
+ForestDecomposition::Result ForestDecomposition::run(const graph::Graph& g,
+                                                     Options options,
+                                                     std::uint64_t seed,
+                                                     std::uint32_t max_rounds) {
+  ForestDecomposition algorithm(g, options);
+  sim::Network net(g, seed);
+  Result result{.levels = {},
+                .orientation = graph::Orientation(g, std::vector<std::vector<graph::NodeId>>(g.num_nodes())),
+                .forests = {},
+                .stats = net.run(algorithm, max_rounds),
+                .complete = true};
+  result.levels = algorithm.level_;
+  for (graph::NodeId level : result.levels) {
+    if (level == kUnassigned) result.complete = false;
+  }
+  if (result.complete) {
+    result.orientation = algorithm.orientation();
+    result.forests = graph::forests_from_orientation(g, result.orientation);
+  }
+  return result;
+}
+
+}  // namespace arbmis::mis

@@ -1,0 +1,79 @@
+// Barenboim–Elkin H-partition / forest decomposition (PODC 2008), used by
+// the paper's Lemma 3.8: an arboricity-α graph is partitioned into
+// ceil((2+eps)·α) rooted forests, together with an acyclic edge
+// orientation, in O(log n) CONGEST rounds.
+//
+// Protocol (one round per H-level, fully pipelined): every still-
+// unassigned node broadcasts kActive each round; a node whose count of
+// active neighbors drops to at most (2+eps)·α assigns itself to the
+// current level and broadcasts kLevel(level) once. Because an
+// arboricity-α graph always has average degree < 2α, a constant fraction
+// of the remaining nodes is assigned per level, giving O(log n) levels.
+// Edges are then oriented toward the endpoint with the (higher level,
+// higher id) and v's i-th out-edge goes to forest i — at most
+// ceil((2+eps)·α) parents per node, so that many forests.
+//
+// Every node halts once it is assigned AND has heard kLevel from all of
+// its neighbors, at which point its parent set is determined locally.
+#pragma once
+
+#include <vector>
+
+#include "graph/orientation.h"
+#include "sim/algorithm.h"
+#include "sim/network.h"
+
+namespace arbmis::mis {
+
+class ForestDecomposition : public sim::Algorithm {
+ public:
+  struct Options {
+    /// Arboricity bound the threshold is computed from. The decomposition
+    /// is correct for any value >= the true arboricity; smaller values can
+    /// stall (reported via unassigned nodes after max_rounds).
+    graph::NodeId alpha = 1;
+    /// eps in the (2+eps)·α degree threshold. eps = 2 matches the "4α
+    /// forest decomposition" the paper's Lemma 3.8 cites.
+    double eps = 2.0;
+  };
+
+  ForestDecomposition(const graph::Graph& g, Options options);
+
+  std::string_view name() const override { return "forest_decomposition"; }
+  void on_start(sim::NodeContext& ctx) override;
+  void on_round(sim::NodeContext& ctx,
+                std::span<const sim::Message> inbox) override;
+
+  /// Degree threshold (2+eps)·α used by every node.
+  graph::NodeId threshold() const noexcept { return threshold_; }
+  /// H-level of each node (valid after the run; kUnassigned if stalled).
+  static constexpr graph::NodeId kUnassigned = ~graph::NodeId{0};
+  const std::vector<graph::NodeId>& levels() const noexcept { return level_; }
+
+  /// Builds the orientation implied by the computed levels.
+  graph::Orientation orientation() const;
+
+  struct Result {
+    std::vector<graph::NodeId> levels;
+    graph::Orientation orientation;
+    graph::ForestPartition forests;
+    sim::RunStats stats;
+    bool complete = false;  ///< every node was assigned a level
+  };
+
+  /// Runs to completion and packages levels + orientation + forests.
+  static Result run(const graph::Graph& g, Options options,
+                    std::uint64_t seed = 0,
+                    std::uint32_t max_rounds = 1 << 20);
+
+ private:
+  enum Tag : std::uint32_t { kActive = 1, kLevel = 2 };
+
+  const graph::Graph* graph_;
+  graph::NodeId threshold_;
+  std::vector<graph::NodeId> level_;
+  std::vector<graph::NodeId> neighbor_levels_heard_;
+  std::vector<std::vector<graph::NodeId>> neighbor_level_;  // by port
+};
+
+}  // namespace arbmis::mis

@@ -1,0 +1,96 @@
+#include "mis/ghaffari.h"
+
+#include <cmath>
+
+namespace arbmis::mis {
+
+GhaffariMis::GhaffariMis(const graph::Graph& g)
+    : state_(g.num_nodes(), MisState::kUndecided),
+      phase_(g.num_nodes(), Phase::kSumDesires),
+      desire_exponent_(g.num_nodes(), 1),
+      marked_(g.num_nodes(), false) {}
+
+void GhaffariMis::begin_iteration(sim::NodeContext& ctx) {
+  ctx.broadcast(kDesire, desire_exponent_[ctx.id()]);
+  phase_[ctx.id()] = Phase::kSumDesires;
+}
+
+void GhaffariMis::on_start(sim::NodeContext& ctx) {
+  if (ctx.degree() == 0) {
+    state_[ctx.id()] = MisState::kInMis;
+    ctx.halt();
+    return;
+  }
+  begin_iteration(ctx);
+}
+
+void GhaffariMis::on_round(sim::NodeContext& ctx,
+                           std::span<const sim::Message> inbox) {
+  const graph::NodeId v = ctx.id();
+  for (const sim::Message& m : inbox) {
+    if (m.tag == kJoined) {
+      state_[v] = MisState::kCovered;
+      ctx.halt();
+      return;
+    }
+  }
+  switch (phase_[v]) {
+    case Phase::kSumDesires: {
+      double aggregate = 0.0;
+      bool any_active = false;
+      for (const sim::Message& m : inbox) {
+        if (m.tag != kDesire) continue;
+        any_active = true;
+        aggregate += std::ldexp(1.0, -static_cast<int>(m.payload));
+      }
+      if (!any_active) {
+        state_[v] = MisState::kInMis;
+        ctx.halt();
+        return;
+      }
+      // Ghaffari's update rule, applied to the desires just received:
+      // halve when the neighborhood is too eager, (re)double otherwise.
+      if (aggregate >= 2.0) {
+        ++desire_exponent_[v];
+      } else if (desire_exponent_[v] > 1) {
+        --desire_exponent_[v];
+      }
+      const double p = std::ldexp(1.0, -static_cast<int>(desire_exponent_[v]));
+      marked_[v] = ctx.rng().bernoulli(p);
+      ctx.broadcast(kMark, marked_[v] ? 1 : 0);
+      phase_[v] = Phase::kResolveMarks;
+      return;
+    }
+    case Phase::kResolveMarks: {
+      if (marked_[v]) {
+        bool lone_mark = true;
+        for (const sim::Message& m : inbox) {
+          if (m.tag == kMark && (m.payload & 1) != 0) {
+            lone_mark = false;
+            break;
+          }
+        }
+        if (lone_mark) {
+          state_[v] = MisState::kInMis;
+          ctx.broadcast(kJoined, 0);
+          ctx.halt();
+          return;
+        }
+      }
+      begin_iteration(ctx);
+      return;
+    }
+  }
+}
+
+MisResult GhaffariMis::run(const graph::Graph& g, std::uint64_t seed,
+                           std::uint32_t max_rounds) {
+  GhaffariMis algorithm(g);
+  sim::Network net(g, seed);
+  MisResult result;
+  result.stats = net.run(algorithm, max_rounds);
+  result.state = algorithm.state_;
+  return result;
+}
+
+}  // namespace arbmis::mis

@@ -1,0 +1,53 @@
+// Ghaffari's MIS algorithm (SODA 2016), the algorithm the paper's §1.2
+// concedes dominates its own bound: each node maintains a desire-level
+// p_t(v), initially 1/2; in each iteration it gets marked with probability
+// p_t(v) and joins the MIS if it is marked and no neighbor is marked. The
+// desire-level halves when the neighborhood's aggregate desire
+// d_t(v) = Σ_{u ∈ N(v)} p_t(u) is at least 2 and (at most) doubles
+// otherwise, capped at 1/2. Runs in O(log Δ) + 2^O(√(log log n)) rounds whp
+// (the local complexity part; the shattered remainder is finished by the
+// same machinery the rest of this repository provides).
+//
+// Desire-levels are always powers of two, so the CONGEST message carries
+// only the exponent.
+//
+// Round layout (3 rounds per iteration): kDesire -> kMark -> kJoined
+// resolution folded into the next kDesire round.
+#pragma once
+
+#include <vector>
+
+#include "mis/mis_types.h"
+#include "sim/algorithm.h"
+#include "sim/network.h"
+
+namespace arbmis::mis {
+
+class GhaffariMis : public sim::Algorithm {
+ public:
+  explicit GhaffariMis(const graph::Graph& g);
+
+  std::string_view name() const override { return "ghaffari"; }
+  void on_start(sim::NodeContext& ctx) override;
+  void on_round(sim::NodeContext& ctx,
+                std::span<const sim::Message> inbox) override;
+
+  const std::vector<MisState>& states() const noexcept { return state_; }
+
+  static MisResult run(const graph::Graph& g, std::uint64_t seed,
+                       std::uint32_t max_rounds = 1 << 20);
+
+ private:
+  enum Tag : std::uint32_t { kDesire = 1, kMark = 2, kJoined = 3 };
+  enum class Phase : std::uint8_t { kSumDesires, kResolveMarks };
+
+  void begin_iteration(sim::NodeContext& ctx);
+
+  std::vector<MisState> state_;
+  std::vector<Phase> phase_;
+  /// Desire-level exponent e; p = 2^-e, e >= 1.
+  std::vector<std::uint32_t> desire_exponent_;
+  std::vector<bool> marked_;
+};
+
+}  // namespace arbmis::mis

@@ -1,0 +1,38 @@
+#include "mis/greedy.h"
+
+#include <numeric>
+
+namespace arbmis::mis {
+
+MisResult greedy_mis(const graph::Graph& g,
+                     std::span<const graph::NodeId> order) {
+  MisResult result;
+  result.state.assign(g.num_nodes(), MisState::kUndecided);
+  for (graph::NodeId v : order) {
+    if (result.state[v] != MisState::kUndecided) continue;
+    result.state[v] = MisState::kInMis;
+    for (graph::NodeId w : g.neighbors(v)) {
+      if (result.state[w] == MisState::kUndecided) {
+        result.state[w] = MisState::kCovered;
+      }
+    }
+  }
+  return result;
+}
+
+MisResult greedy_mis(const graph::Graph& g) {
+  std::vector<graph::NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), graph::NodeId{0});
+  return greedy_mis(g, order);
+}
+
+MisResult greedy_mis_random(const graph::Graph& g, util::Rng& rng) {
+  std::vector<graph::NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), graph::NodeId{0});
+  for (graph::NodeId i = g.num_nodes(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  return greedy_mis(g, order);
+}
+
+}  // namespace arbmis::mis

@@ -1,0 +1,25 @@
+// Sequential greedy MIS — the centralized reference implementation used to
+// cross-check distributed outputs and to report MIS-size ratios in the
+// benchmark tables.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "mis/mis_types.h"
+#include "util/rng.h"
+
+namespace arbmis::mis {
+
+/// Greedy MIS scanning nodes in the given order (a permutation of [0, n)).
+MisResult greedy_mis(const graph::Graph& g,
+                     std::span<const graph::NodeId> order);
+
+/// Greedy MIS in node-id order.
+MisResult greedy_mis(const graph::Graph& g);
+
+/// Greedy MIS over a uniformly random permutation.
+MisResult greedy_mis_random(const graph::Graph& g, util::Rng& rng);
+
+}  // namespace arbmis::mis

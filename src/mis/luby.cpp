@@ -1,0 +1,92 @@
+#include "mis/luby.h"
+
+namespace arbmis::mis {
+
+LubyBMis::LubyBMis(const graph::Graph& g)
+    : state_(g.num_nodes(), MisState::kUndecided),
+      phase_(g.num_nodes(), Phase::kCountDegree),
+      residual_degree_(g.num_nodes(), 0),
+      marked_(g.num_nodes(), false) {}
+
+void LubyBMis::begin_iteration(sim::NodeContext& ctx) {
+  ctx.broadcast(kAlive, 0);
+  phase_[ctx.id()] = Phase::kCountDegree;
+}
+
+void LubyBMis::on_start(sim::NodeContext& ctx) {
+  if (ctx.degree() == 0) {
+    state_[ctx.id()] = MisState::kInMis;
+    ctx.halt();
+    return;
+  }
+  begin_iteration(ctx);
+}
+
+void LubyBMis::on_round(sim::NodeContext& ctx,
+                        std::span<const sim::Message> inbox) {
+  const graph::NodeId v = ctx.id();
+  for (const sim::Message& m : inbox) {
+    if (m.tag == kJoined) {
+      state_[v] = MisState::kCovered;
+      ctx.halt();
+      return;
+    }
+  }
+  switch (phase_[v]) {
+    case Phase::kCountDegree: {
+      std::uint32_t degree = 0;
+      for (const sim::Message& m : inbox) degree += (m.tag == kAlive);
+      if (degree == 0) {
+        // No active neighbors remain: join without announcement.
+        state_[v] = MisState::kInMis;
+        ctx.halt();
+        return;
+      }
+      residual_degree_[v] = degree;
+      marked_[v] = ctx.rng().bernoulli(1.0 / (2.0 * degree));
+      const std::uint64_t payload =
+          (static_cast<std::uint64_t>(degree) << 1) |
+          static_cast<std::uint64_t>(marked_[v] ? 1 : 0);
+      ctx.broadcast(kMark, payload);
+      phase_[v] = Phase::kResolveMarks;
+      return;
+    }
+    case Phase::kResolveMarks: {
+      if (marked_[v]) {
+        bool strongest = true;
+        for (const sim::Message& m : inbox) {
+          if (m.tag != kMark || (m.payload & 1) == 0) continue;
+          const auto neighbor_degree =
+              static_cast<std::uint32_t>(m.payload >> 1);
+          // Luby's rule: a marked neighbor of at least equal degree wins;
+          // equal degrees break toward the larger id.
+          if (neighbor_degree > residual_degree_[v] ||
+              (neighbor_degree == residual_degree_[v] && m.src > v)) {
+            strongest = false;
+            break;
+          }
+        }
+        if (strongest) {
+          state_[v] = MisState::kInMis;
+          ctx.broadcast(kJoined, 0);
+          ctx.halt();
+          return;
+        }
+      }
+      begin_iteration(ctx);
+      return;
+    }
+  }
+}
+
+MisResult LubyBMis::run(const graph::Graph& g, std::uint64_t seed,
+                        std::uint32_t max_rounds) {
+  LubyBMis algorithm(g);
+  sim::Network net(g, seed);
+  MisResult result;
+  result.stats = net.run(algorithm, max_rounds);
+  result.state = algorithm.state_;
+  return result;
+}
+
+}  // namespace arbmis::mis

@@ -1,0 +1,53 @@
+// Luby's Algorithm B (SIAM J. Comput. 1986): in each iteration every active
+// node marks itself with probability 1/(2·deg(v)) (isolated-in-residual
+// nodes join outright); a marked node unmarks if a marked neighbor has
+// larger degree (ties broken by id); surviving marked nodes join the MIS
+// and their neighborhoods leave. Runs in O(log n) rounds whp.
+//
+// This is the "simple randomized algorithm discovered in the late 80s" the
+// paper's introduction benchmarks against. Luby's Algorithm A is provided
+// by mis/metivier.h (luby_a_mis).
+//
+// Round layout (3 rounds per iteration):
+//   1. broadcast kAlive                       -> learn residual degree
+//   2. mark w.p. 1/(2 deg); broadcast kMark(degree, marked)
+//   3. marked nodes with no stronger marked neighbor join, broadcast
+//      kJoined, halt; nodes seeing kJoined cover+halt at the start of the
+//      next iteration's kAlive round.
+#pragma once
+
+#include <vector>
+
+#include "mis/mis_types.h"
+#include "sim/algorithm.h"
+#include "sim/network.h"
+
+namespace arbmis::mis {
+
+class LubyBMis : public sim::Algorithm {
+ public:
+  explicit LubyBMis(const graph::Graph& g);
+
+  std::string_view name() const override { return "luby_b"; }
+  void on_start(sim::NodeContext& ctx) override;
+  void on_round(sim::NodeContext& ctx,
+                std::span<const sim::Message> inbox) override;
+
+  const std::vector<MisState>& states() const noexcept { return state_; }
+
+  static MisResult run(const graph::Graph& g, std::uint64_t seed,
+                       std::uint32_t max_rounds = 1 << 20);
+
+ private:
+  enum Tag : std::uint32_t { kAlive = 1, kMark = 2, kJoined = 3 };
+  enum class Phase : std::uint8_t { kCountDegree, kResolveMarks };
+
+  void begin_iteration(sim::NodeContext& ctx);
+
+  std::vector<MisState> state_;
+  std::vector<Phase> phase_;
+  std::vector<std::uint32_t> residual_degree_;
+  std::vector<bool> marked_;
+};
+
+}  // namespace arbmis::mis

@@ -1,0 +1,107 @@
+#include "mis/matching.h"
+
+namespace arbmis::mis {
+
+std::uint64_t MatchingResult::num_matched_edges() const noexcept {
+  std::uint64_t endpoints = 0;
+  for (graph::NodeId p : partner) endpoints += (p != kUnmatched);
+  return endpoints / 2;
+}
+
+bool verify_maximal_matching(const graph::Graph& g,
+                             const MatchingResult& result) {
+  const auto& partner = result.partner;
+  if (partner.size() != g.num_nodes()) return false;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const graph::NodeId p = partner[v];
+    if (p == kUnmatched) continue;
+    if (p >= g.num_nodes() || partner[p] != v || !g.has_edge(v, p)) {
+      return false;
+    }
+  }
+  // Maximality: every edge has a matched endpoint.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (partner[v] != kUnmatched) continue;
+    for (graph::NodeId w : g.neighbors(v)) {
+      if (partner[w] == kUnmatched) return false;
+    }
+  }
+  return true;
+}
+
+IsraeliItaiMatching::IsraeliItaiMatching(const graph::Graph& g)
+    : graph_(&g),
+      partner_(g.num_nodes(), kUnmatched),
+      is_sender_(g.num_nodes(), false) {}
+
+void IsraeliItaiMatching::on_start(sim::NodeContext& ctx) {
+  if (ctx.degree() == 0) {
+    ctx.halt();
+    return;
+  }
+  ctx.broadcast(kAlive, 0);
+}
+
+void IsraeliItaiMatching::on_round(sim::NodeContext& ctx,
+                                   std::span<const sim::Message> inbox) {
+  const graph::NodeId v = ctx.id();
+  switch (ctx.round() % 3) {
+    case 1: {  // Propose phase: inbox holds kAlive.
+      std::vector<graph::NodeId> active_ports;
+      for (const sim::Message& m : inbox) {
+        if (m.tag == kAlive) {
+          active_ports.push_back(graph_->port_of(v, m.src));
+        }
+      }
+      if (active_ports.empty()) {
+        ctx.halt();  // unmatched, and no neighbor can ever match with us
+        return;
+      }
+      is_sender_[v] = ctx.rng().bernoulli(0.5);
+      if (is_sender_[v]) {
+        const graph::NodeId port =
+            active_ports[ctx.rng().below(active_ports.size())];
+        ctx.send(port, kPropose, 0);
+      }
+      return;
+    }
+    case 2: {  // Resolve phase: receivers accept one proposal.
+      if (is_sender_[v]) return;
+      std::vector<const sim::Message*> proposals;
+      for (const sim::Message& m : inbox) {
+        if (m.tag == kPropose) proposals.push_back(&m);
+      }
+      if (proposals.empty()) return;
+      const sim::Message& chosen =
+          *proposals[ctx.rng().below(proposals.size())];
+      partner_[v] = chosen.src;
+      ctx.send(graph_->port_of(v, chosen.src), kAccept, 0);
+      ctx.halt();
+      return;
+    }
+    case 0: {  // Alive phase: senders read acceptances, survivors re-arm.
+      for (const sim::Message& m : inbox) {
+        if (m.tag == kAccept) {
+          partner_[v] = m.src;
+          ctx.halt();
+          return;
+        }
+      }
+      ctx.broadcast(kAlive, 0);
+      return;
+    }
+  }
+}
+
+MatchingResult IsraeliItaiMatching::run(const graph::Graph& g,
+                                        std::uint64_t seed,
+                                        std::uint32_t max_rounds) {
+  IsraeliItaiMatching algorithm(g);
+  sim::Network net(g, seed);
+  MatchingResult result;
+  result.stats = net.run(algorithm, max_rounds);
+  result.partner = algorithm.partner_;
+  return result;
+}
+
+}  // namespace arbmis::mis

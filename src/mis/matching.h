@@ -1,0 +1,71 @@
+// Israeli–Itai randomized maximal matching (IPL 1986) — reference [8] of
+// the paper, one of the "late 80s" symmetry-breaking algorithms its
+// introduction situates Luby's MIS among. Included both as a companion
+// primitive (MIS and maximal matching are the twin symmetry-breaking
+// problems) and as a second, independent consumer of the CONGEST
+// simulator.
+//
+// Protocol: a fixed 3-round cadence keeps every node in lockstep
+// (round mod 3 determines the phase for all nodes):
+//   Alive   (round ≡ 0): a sender whose proposal was accepted last round
+//           reads the kAccept, records the match, and halts silently;
+//           everyone else broadcasts kAlive.
+//   Propose (round ≡ 1): recompute active ports from the kAlive inbox
+//           (none -> halt unmatched); flip a coin; senders send kPropose
+//           to one uniformly random active neighbor.
+//   Resolve (round ≡ 2): a receiver with incoming proposals accepts one
+//           uniformly (kAccept to that port), records the match, halts.
+//           A sender proposed to exactly one node, so at most one
+//           acceptance can reach it — matches never conflict.
+// O(log n) iterations whp (a constant fraction of edges dies per
+// iteration in expectation, as in the original paper).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/algorithm.h"
+#include "sim/network.h"
+
+namespace arbmis::mis {
+
+inline constexpr graph::NodeId kUnmatched = ~graph::NodeId{0};
+
+struct MatchingResult {
+  /// partner[v] = matched neighbor's id, or kUnmatched.
+  std::vector<graph::NodeId> partner;
+  sim::RunStats stats;
+
+  std::uint64_t num_matched_edges() const noexcept;
+};
+
+/// Checks symmetry (partner of my partner is me), edge validity, and
+/// maximality (no edge with both endpoints unmatched).
+bool verify_maximal_matching(const graph::Graph& g,
+                             const MatchingResult& result);
+
+class IsraeliItaiMatching : public sim::Algorithm {
+ public:
+  explicit IsraeliItaiMatching(const graph::Graph& g);
+
+  std::string_view name() const override { return "israeli_itai"; }
+  void on_start(sim::NodeContext& ctx) override;
+  void on_round(sim::NodeContext& ctx,
+                std::span<const sim::Message> inbox) override;
+
+  const std::vector<graph::NodeId>& partners() const noexcept {
+    return partner_;
+  }
+
+  static MatchingResult run(const graph::Graph& g, std::uint64_t seed,
+                            std::uint32_t max_rounds = 1 << 20);
+
+ private:
+  enum Tag : std::uint32_t { kAlive = 1, kPropose = 2, kAccept = 3 };
+
+  const graph::Graph* graph_;
+  std::vector<graph::NodeId> partner_;
+  std::vector<bool> is_sender_;
+};
+
+}  // namespace arbmis::mis

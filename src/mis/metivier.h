@@ -1,0 +1,72 @@
+// The Métivier–Robson–Saheb-Djahromi–Zemmari random-priority MIS algorithm
+// (SIROCCO 2009) — the competition engine at the heart of every shattering
+// algorithm in the paper (§1): in each iteration every active node draws a
+// priority and joins the MIS iff its priority strictly beats all active
+// neighbors; MIS nodes and their neighbors leave the graph.
+//
+// Luby's Algorithm A (priorities from {1, ..., n^4}) is the same protocol
+// with a discrete priority range, exposed here via Options::priority_range.
+//
+// Round layout: the protocol is fully pipelined at one round per
+// iteration. In round t every active node (1) covers and halts if a
+// neighbor announced kJoined in round t-1, else (2) resolves the
+// competition among the priorities drawn in round t-1 — a strict local
+// maximum joins the MIS, announces kJoined, and halts — and (3) losers
+// draw and broadcast the next priority. Covering is checked before
+// resolving, which makes adjacent wins in consecutive rounds impossible;
+// a covered node's final in-flight priority can only cause a neighbor to
+// lose one extra iteration, never a conflict.
+#pragma once
+
+#include <vector>
+
+#include "mis/mis_types.h"
+#include "sim/algorithm.h"
+#include "sim/network.h"
+
+namespace arbmis::mis {
+
+/// Options for MetivierMis (namespace scope so it can carry default
+/// member initializers and still be a default argument — GCC rejects that
+/// combination for nested classes).
+struct MetivierOptions {
+  /// 0 = continuous priorities (full 64-bit draws, Métivier et al.);
+  /// k > 0 = uniform integer priorities from {1, ..., k} (Luby A uses
+  /// n^4). Ties never win, matching both papers.
+  std::uint64_t priority_range = 0;
+};
+
+class MetivierMis : public sim::Algorithm {
+ public:
+  using Options = MetivierOptions;
+
+  explicit MetivierMis(const graph::Graph& g, Options options = {});
+
+  std::string_view name() const override { return "metivier"; }
+  void on_start(sim::NodeContext& ctx) override;
+  void on_round(sim::NodeContext& ctx,
+                std::span<const sim::Message> inbox) override;
+
+  const std::vector<MisState>& states() const noexcept { return state_; }
+
+  /// Runs to completion on a fresh network and packages the result.
+  static MisResult run(const graph::Graph& g, std::uint64_t seed,
+                       Options options = {},
+                       std::uint32_t max_rounds = 1 << 20);
+
+ private:
+  enum Tag : std::uint32_t { kPriority = 1, kJoined = 2 };
+
+  void start_iteration(sim::NodeContext& ctx);
+
+  Options options_;
+  std::vector<MisState> state_;
+  std::vector<std::uint64_t> my_priority_;
+};
+
+/// Convenience wrapper running Luby's Algorithm A: MetivierMis with integer
+/// priorities from {1, ..., n^4}.
+MisResult luby_a_mis(const graph::Graph& g, std::uint64_t seed,
+                     std::uint32_t max_rounds = 1 << 20);
+
+}  // namespace arbmis::mis

@@ -1,0 +1,58 @@
+// Shared result types for MIS computations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/network.h"
+
+namespace arbmis::mis {
+
+/// Final status of a node after an MIS computation.
+enum class MisState : std::uint8_t {
+  kUndecided = 0,  ///< algorithm did not decide this node (partial results)
+  kInMis = 1,
+  kCovered = 2,  ///< has a neighbor in the MIS
+};
+
+struct MisResult {
+  std::vector<MisState> state;
+  sim::RunStats stats;
+
+  bool in_mis(graph::NodeId v) const noexcept {
+    return state[v] == MisState::kInMis;
+  }
+
+  std::vector<graph::NodeId> mis_nodes() const {
+    std::vector<graph::NodeId> out;
+    for (graph::NodeId v = 0; v < state.size(); ++v) {
+      if (state[v] == MisState::kInMis) out.push_back(v);
+    }
+    return out;
+  }
+
+  std::uint64_t mis_size() const noexcept {
+    std::uint64_t count = 0;
+    for (MisState s : state) count += (s == MisState::kInMis);
+    return count;
+  }
+
+  std::uint64_t undecided_count() const noexcept {
+    std::uint64_t count = 0;
+    for (MisState s : state) count += (s == MisState::kUndecided);
+    return count;
+  }
+
+  /// Byte mask (1 = in MIS); std::uint8_t rather than bool so it can be
+  /// viewed as a std::span.
+  std::vector<std::uint8_t> mis_mask() const {
+    std::vector<std::uint8_t> mask(state.size(), 0);
+    for (graph::NodeId v = 0; v < state.size(); ++v) {
+      mask[v] = (state[v] == MisState::kInMis) ? 1 : 0;
+    }
+    return mask;
+  }
+};
+
+}  // namespace arbmis::mis

@@ -1,0 +1,53 @@
+#include "mis/slow_local.h"
+
+namespace arbmis::mis {
+
+ElectionMis::ElectionMis(const graph::Graph& g)
+    : state_(g.num_nodes(), MisState::kUndecided) {}
+
+void ElectionMis::on_start(sim::NodeContext& ctx) {
+  if (ctx.degree() == 0) {
+    state_[ctx.id()] = MisState::kInMis;
+    ctx.halt();
+    return;
+  }
+  ctx.broadcast(kCandidate, ctx.id());
+}
+
+void ElectionMis::on_round(sim::NodeContext& ctx,
+                           std::span<const sim::Message> inbox) {
+  const graph::NodeId v = ctx.id();
+  for (const sim::Message& m : inbox) {
+    if (m.tag == kJoined) {
+      state_[v] = MisState::kCovered;
+      ctx.halt();
+      return;
+    }
+  }
+  bool local_max = true;
+  bool any_candidate = false;
+  for (const sim::Message& m : inbox) {
+    if (m.tag != kCandidate) continue;
+    any_candidate = true;
+    if (m.payload > v) local_max = false;
+  }
+  if (local_max) {
+    state_[v] = MisState::kInMis;
+    if (any_candidate) ctx.broadcast(kJoined, 0);
+    ctx.halt();
+    return;
+  }
+  ctx.broadcast(kCandidate, v);
+}
+
+MisResult ElectionMis::run(const graph::Graph& g, std::uint64_t seed,
+                           std::uint32_t max_rounds) {
+  ElectionMis algorithm(g);
+  sim::Network net(g, seed);
+  MisResult result;
+  result.stats = net.run(algorithm, max_rounds);
+  result.state = algorithm.state_;
+  return result;
+}
+
+}  // namespace arbmis::mis

@@ -1,0 +1,39 @@
+// Deterministic local-election MIS: in each round every undecided node
+// with no MIS neighbor is a candidate, and a candidate whose id is a
+// strict local maximum among candidate neighbors joins. One node per
+// "decreasing-id path" is decided per round, so the worst case is O(n)
+// rounds — but on the small shattered components this finisher is used for
+// (Lemma 3.7 guarantees O(poly(Δ)·log n) sizes) it terminates in a handful
+// of rounds and needs no randomness, matching the paper's requirement that
+// bad components be finished deterministically.
+#pragma once
+
+#include <vector>
+
+#include "mis/mis_types.h"
+#include "sim/algorithm.h"
+#include "sim/network.h"
+
+namespace arbmis::mis {
+
+class ElectionMis : public sim::Algorithm {
+ public:
+  explicit ElectionMis(const graph::Graph& g);
+
+  std::string_view name() const override { return "election"; }
+  void on_start(sim::NodeContext& ctx) override;
+  void on_round(sim::NodeContext& ctx,
+                std::span<const sim::Message> inbox) override;
+
+  const std::vector<MisState>& states() const noexcept { return state_; }
+
+  static MisResult run(const graph::Graph& g, std::uint64_t seed = 0,
+                       std::uint32_t max_rounds = 1 << 24);
+
+ private:
+  enum Tag : std::uint32_t { kCandidate = 1, kJoined = 2 };
+
+  std::vector<MisState> state_;
+};
+
+}  // namespace arbmis::mis

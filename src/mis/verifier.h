@@ -1,0 +1,43 @@
+// Independent verification of MIS outputs. Every algorithm test funnels
+// through verify(); it never trusts algorithm bookkeeping (it recomputes
+// coverage from the graph).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "mis/mis_types.h"
+
+namespace arbmis::mis {
+
+struct Verification {
+  bool independent = false;
+  bool maximal = false;
+  /// All nodes decided (no kUndecided) and kCovered labels are truthful.
+  bool labels_consistent = false;
+  /// First few offending nodes, for diagnostics.
+  std::vector<graph::NodeId> violations;
+
+  bool ok() const noexcept {
+    return independent && maximal && labels_consistent;
+  }
+  std::string describe() const;
+};
+
+/// Full check of a labeled result.
+Verification verify(const graph::Graph& g, const MisResult& result);
+
+/// Check of a bare membership mask (independence + maximality only).
+Verification verify_mask(const graph::Graph& g, std::span<const std::uint8_t> in_mis);
+
+/// Independence of a set within the subgraph induced by `active` (used by
+/// pipeline stages that produce partial independent sets).
+bool is_independent(const graph::Graph& g, std::span<const std::uint8_t> in_mis);
+
+/// True iff `colors` is a proper coloring of g (adjacent nodes differ).
+bool is_proper_coloring(const graph::Graph& g,
+                        std::span<const std::uint64_t> colors);
+
+}  // namespace arbmis::mis

@@ -1,0 +1,65 @@
+#include "readk/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arbmis::readk {
+
+double conjunction_bound(double p, std::uint64_t n, std::uint64_t k) noexcept {
+  if (k == 0) return 1.0;
+  p = std::clamp(p, 0.0, 1.0);
+  return std::pow(p, static_cast<double>(n) / static_cast<double>(k));
+}
+
+double independent_conjunction(double p, std::uint64_t n) noexcept {
+  p = std::clamp(p, 0.0, 1.0);
+  return std::pow(p, static_cast<double>(n));
+}
+
+double lower_tail_form1(double eps, std::uint64_t n, std::uint64_t k) noexcept {
+  if (k == 0) return 1.0;
+  return std::exp(-2.0 * eps * eps * static_cast<double>(n) /
+                  static_cast<double>(k));
+}
+
+double lower_tail_form2(double delta, double expected_sum,
+                        std::uint64_t k) noexcept {
+  if (k == 0) return 1.0;
+  return std::exp(-delta * delta * expected_sum /
+                  (2.0 * static_cast<double>(k)));
+}
+
+double chernoff_lower_tail(double delta, double expected_sum) noexcept {
+  return std::exp(-delta * delta * expected_sum / 2.0);
+}
+
+double upper_tail_form1(double eps, std::uint64_t n, std::uint64_t k) noexcept {
+  return lower_tail_form1(eps, n, k);  // complement-family symmetry
+}
+
+double event1_bound(std::uint64_t m, std::uint64_t max_degree,
+                    std::uint64_t alpha) noexcept {
+  if (max_degree == 0 || alpha == 0) return 1.0;
+  const double base = 1.0 - 1.0 / static_cast<double>(max_degree);
+  const double exponent = static_cast<double>(m) /
+                          (2.0 * static_cast<double>(alpha) *
+                           static_cast<double>(alpha));
+  return 1.0 - std::pow(base, exponent);
+}
+
+double event2_failure_bound(std::uint64_t m, std::uint64_t rho,
+                            std::uint64_t alpha) noexcept {
+  if (rho == 0 || alpha == 0) return 1.0;
+  const double a2 = static_cast<double>(alpha) * static_cast<double>(alpha);
+  return std::exp(-2.0 * (1.0 / (4.0 * a2)) * static_cast<double>(m) /
+                  static_cast<double>(rho));
+}
+
+double event3_elimination_fraction(std::uint64_t alpha) noexcept {
+  const double a = static_cast<double>(std::max<std::uint64_t>(alpha, 1));
+  double a6 = 1.0;
+  for (int i = 0; i < 6; ++i) a6 *= a;
+  return 1.0 / (8.0 * a * a * (32.0 * a6 + 1.0));
+}
+
+}  // namespace arbmis::readk

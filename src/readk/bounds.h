@@ -1,0 +1,52 @@
+// Closed-form bounds from Gavinsky, Lovett, Saks, Srinivasan, "A tail
+// bound for read-k families of functions" (Random Structures & Algorithms
+// 2015), as used by the paper (its Theorems 1.1 and 1.2), plus the
+// independent-case references they are compared against.
+#pragma once
+
+#include <cstdint>
+
+namespace arbmis::readk {
+
+/// Theorem 1.1: for read-k indicators with Pr[Y_i = 1] = p,
+/// Pr[Y_1 = ... = Y_n = 1] <= p^(n/k).
+double conjunction_bound(double p, std::uint64_t n, std::uint64_t k) noexcept;
+
+/// Independent-case reference: p^n.
+double independent_conjunction(double p, std::uint64_t n) noexcept;
+
+/// Theorem 1.2 form (1): Pr[Y <= (p - eps)·n] <= exp(-2·eps²·n/k),
+/// where p is the mean of the p_i.
+double lower_tail_form1(double eps, std::uint64_t n, std::uint64_t k) noexcept;
+
+/// Theorem 1.2 form (2): Pr[Y <= (1-δ)·E[Y]] <= exp(-δ²·E[Y]/(2k)).
+double lower_tail_form2(double delta, double expected_sum,
+                        std::uint64_t k) noexcept;
+
+/// Chernoff reference (k = 1 case of form (2)):
+/// Pr[Y <= (1-δ)·E[Y]] <= exp(-δ²·E[Y]/2) for independent indicators.
+double chernoff_lower_tail(double delta, double expected_sum) noexcept;
+
+/// Upper tail, Pr[Y >= (p + eps)·n] <= exp(-2·eps²·n/k). Follows from
+/// form (1) applied to the complement family {1 - Y_i}, which reads the
+/// same base variables and is therefore read-k with mean 1 - p. (The
+/// paper only needs the lower tail; the toolkit provides both.)
+double upper_tail_form1(double eps, std::uint64_t n, std::uint64_t k) noexcept;
+
+/// Paper Theorem 3.1 (Event 1): success probability lower bound
+/// 1 - (1 - 1/max_degree)^(m / (2·α²)).
+double event1_bound(std::uint64_t m, std::uint64_t max_degree,
+                    std::uint64_t alpha) noexcept;
+
+/// Paper Theorem 3.2 (Event 2): failure probability upper bound via the
+/// read-ρ form-(1) tail with eps = 1/(2α):
+/// exp(-2·(1/4α²)·m/ρ). (The theorem then plugs in the scale's |M| lower
+/// bound to get 1/Δ⁴.)
+double event2_failure_bound(std::uint64_t m, std::uint64_t rho,
+                            std::uint64_t alpha) noexcept;
+
+/// Paper Theorem 3.3 (Event 3): per-iteration elimination fraction
+/// 1 / (8·α²·(32·α⁶ + 1)).
+double event3_elimination_fraction(std::uint64_t alpha) noexcept;
+
+}  // namespace arbmis::readk

@@ -1,0 +1,98 @@
+#include "readk/family.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arbmis::readk {
+
+ReadKFamily::ReadKFamily(std::uint32_t num_base,
+                         std::vector<std::vector<std::uint32_t>> deps,
+                         Evaluator evaluator)
+    : num_base_(num_base),
+      deps_(std::move(deps)),
+      evaluator_(std::move(evaluator)) {
+  std::vector<std::uint32_t> usage(num_base_, 0);
+  for (const auto& dep_list : deps_) {
+    for (std::uint32_t i : dep_list) {
+      if (i >= num_base_) {
+        throw std::invalid_argument("ReadKFamily: dependency out of range");
+      }
+      ++usage[i];
+    }
+  }
+  for (std::uint32_t count : usage) read_k_ = std::max(read_k_, count);
+}
+
+ReadKFamily independent_family(std::uint32_t n, double p) {
+  std::vector<std::vector<std::uint32_t>> deps(n);
+  for (std::uint32_t j = 0; j < n; ++j) deps[j] = {j};
+  return ReadKFamily(
+      n, std::move(deps),
+      [p](std::uint32_t j, std::span<const double> base) {
+        return base[j] < p;
+      });
+}
+
+ReadKFamily shared_block_family(std::uint32_t n, std::uint32_t k, double p) {
+  if (k == 0) throw std::invalid_argument("shared_block_family: k == 0");
+  const std::uint32_t num_base = (n + k - 1) / k;
+  std::vector<std::vector<std::uint32_t>> deps(n);
+  for (std::uint32_t j = 0; j < n; ++j) deps[j] = {j / k};
+  return ReadKFamily(
+      num_base, std::move(deps),
+      [p, k](std::uint32_t j, std::span<const double> base) {
+        return base[j / k] < p;
+      });
+}
+
+ReadKFamily child_max_family(const graph::Orientation& orientation,
+                             std::span<const graph::NodeId> members) {
+  std::vector<std::vector<std::uint32_t>> deps(members.size());
+  std::vector<std::vector<graph::NodeId>> children(members.size());
+  for (std::size_t j = 0; j < members.size(); ++j) {
+    const graph::NodeId v = members[j];
+    deps[j].push_back(v);
+    for (graph::NodeId c : orientation.children(v)) {
+      deps[j].push_back(c);
+      children[j].push_back(c);
+    }
+  }
+  return ReadKFamily(
+      orientation.num_nodes(), std::move(deps),
+      [members = std::vector<graph::NodeId>(members.begin(), members.end()),
+       children = std::move(children)](std::uint32_t j,
+                                       std::span<const double> base) {
+        const double mine = base[members[j]];
+        for (graph::NodeId c : children[j]) {
+          if (base[c] > mine) return true;
+        }
+        return false;
+      });
+}
+
+ReadKFamily parent_max_family(const graph::Orientation& orientation,
+                              std::span<const graph::NodeId> members) {
+  std::vector<std::vector<std::uint32_t>> deps(members.size());
+  std::vector<std::vector<graph::NodeId>> parents(members.size());
+  for (std::size_t j = 0; j < members.size(); ++j) {
+    const graph::NodeId v = members[j];
+    deps[j].push_back(v);
+    for (graph::NodeId p : orientation.parents(v)) {
+      deps[j].push_back(p);
+      parents[j].push_back(p);
+    }
+  }
+  return ReadKFamily(
+      orientation.num_nodes(), std::move(deps),
+      [members = std::vector<graph::NodeId>(members.begin(), members.end()),
+       parents = std::move(parents)](std::uint32_t j,
+                                     std::span<const double> base) {
+        const double mine = base[members[j]];
+        for (graph::NodeId p : parents[j]) {
+          if (base[p] >= mine) return false;
+        }
+        return true;
+      });
+}
+
+}  // namespace arbmis::readk

@@ -1,0 +1,85 @@
+// Executable read-k families.
+//
+// A read-k family (paper §1.1) is a set of indicator variables
+// Y_1, ..., Y_n, each a boolean function of a subset P_j of independent
+// base variables X_1, ..., X_m, such that every X_i appears in at most k
+// of the P_j. This module represents such families concretely (base
+// variables are iid Uniform[0,1) draws — exactly the priorities of the
+// paper's algorithm), computes their true read value from the dependency
+// lists, and provides the constructions the experiments use:
+//
+//   * independent_family        — read-1 control,
+//   * shared_block_family       — k indicators per base variable; the
+//     extremal family for which Theorem 1.1's bound p^(n/k) is exactly
+//     tight (all indicators in a block are equal),
+//   * child_max_family          — Y_v = [x_v < max over v's children] on
+//     an oriented graph: the paper's Event (1) structure (Figure 1A),
+//   * parent_max_family         — Y_v = [x_v > max over v's parents]: the
+//     Event (2) structure (Figure 1B).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/orientation.h"
+
+namespace arbmis::readk {
+
+class ReadKFamily {
+ public:
+  /// Evaluator: given the indicator index and the full base vector,
+  /// return the indicator's value. Must only read base[i] for i in
+  /// deps(j) — verified for the built-in constructions by tests.
+  using Evaluator =
+      std::function<bool(std::uint32_t j, std::span<const double> base)>;
+
+  ReadKFamily(std::uint32_t num_base,
+              std::vector<std::vector<std::uint32_t>> deps,
+              Evaluator evaluator);
+
+  std::uint32_t num_base() const noexcept { return num_base_; }
+  std::uint32_t num_indicators() const noexcept {
+    return static_cast<std::uint32_t>(deps_.size());
+  }
+  std::span<const std::uint32_t> deps(std::uint32_t j) const noexcept {
+    return deps_[j];
+  }
+
+  /// The actual k: max number of indicators any base variable feeds.
+  std::uint32_t read_k() const noexcept { return read_k_; }
+
+  bool evaluate(std::uint32_t j, std::span<const double> base) const {
+    return evaluator_(j, base);
+  }
+
+ private:
+  std::uint32_t num_base_;
+  std::vector<std::vector<std::uint32_t>> deps_;
+  Evaluator evaluator_;
+  std::uint32_t read_k_ = 0;
+};
+
+/// n independent indicators Y_j = [x_j < p]. read_k() == 1.
+ReadKFamily independent_family(std::uint32_t n, double p);
+
+/// n indicators in blocks of k sharing one base variable:
+/// Y_j = [x_{j/k} < p]. read_k() == k (last block may be smaller). The
+/// conjunction probability is exactly p^(ceil(n/k)).
+ReadKFamily shared_block_family(std::uint32_t n, std::uint32_t k, double p);
+
+/// One indicator per node of `members`: Y_v = [x_v < max_{c in
+/// children(v)} x_c] (nodes without children give Y_v = 0). Base variables
+/// are all node priorities. This is the event whose conjunction Theorem
+/// 3.1 bounds.
+ReadKFamily child_max_family(const graph::Orientation& orientation,
+                             std::span<const graph::NodeId> members);
+
+/// One indicator per node of `members`: Y_v = [x_v > max_{p in
+/// parents(v)} x_p] (no parents -> Y_v = 1). The sum of these is the X of
+/// Theorem 3.2.
+ReadKFamily parent_max_family(const graph::Orientation& orientation,
+                              std::span<const graph::NodeId> members);
+
+}  // namespace arbmis::readk

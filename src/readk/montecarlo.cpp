@@ -1,0 +1,96 @@
+#include "readk/montecarlo.h"
+
+namespace arbmis::readk {
+
+namespace {
+void draw_base(std::vector<double>& base, util::Rng& rng) {
+  for (double& x : base) x = rng.uniform01();
+}
+}  // namespace
+
+ConjunctionEstimate estimate_conjunction(const ReadKFamily& family,
+                                         std::uint64_t trials,
+                                         util::Rng& rng) {
+  ConjunctionEstimate estimate;
+  estimate.trials = trials;
+  std::vector<double> base(family.num_base());
+  std::uint64_t indicator_ones = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    draw_base(base, rng);
+    bool all = true;
+    for (std::uint32_t j = 0; j < family.num_indicators(); ++j) {
+      const bool y = family.evaluate(j, base);
+      indicator_ones += y;
+      all = all && y;
+      // No early exit: indicator_ones feeds mean_indicator.
+    }
+    estimate.all_ones += all;
+  }
+  estimate.probability = trials > 0
+                             ? static_cast<double>(estimate.all_ones) /
+                                   static_cast<double>(trials)
+                             : 0.0;
+  estimate.ci = util::wilson_interval(estimate.all_ones, trials);
+  const std::uint64_t total =
+      trials * static_cast<std::uint64_t>(family.num_indicators());
+  estimate.mean_indicator =
+      total > 0 ? static_cast<double>(indicator_ones) /
+                      static_cast<double>(total)
+                : 0.0;
+  return estimate;
+}
+
+TailEstimate estimate_lower_tail(const ReadKFamily& family,
+                                 std::uint64_t trials,
+                                 std::span<const double> deltas,
+                                 util::Rng& rng) {
+  TailEstimate estimate;
+  estimate.trials = trials;
+  std::vector<double> base(family.num_base());
+
+  // Pass 1: estimate E[Y].
+  double sum_total = 0.0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    draw_base(base, rng);
+    std::uint32_t sum = 0;
+    for (std::uint32_t j = 0; j < family.num_indicators(); ++j) {
+      sum += family.evaluate(j, base);
+    }
+    sum_total += sum;
+  }
+  estimate.expected_sum =
+      trials > 0 ? sum_total / static_cast<double>(trials) : 0.0;
+
+  // Pass 2: tail counts at each threshold.
+  estimate.points.reserve(deltas.size());
+  for (double delta : deltas) {
+    TailEstimate::Point point;
+    point.delta = delta;
+    point.threshold = (1.0 - delta) * estimate.expected_sum;
+    estimate.points.push_back(point);
+  }
+  std::vector<std::uint64_t> hits(deltas.size(), 0);
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    draw_base(base, rng);
+    std::uint32_t sum = 0;
+    for (std::uint32_t j = 0; j < family.num_indicators(); ++j) {
+      sum += family.evaluate(j, base);
+    }
+    estimate.sum_stats.add(static_cast<double>(sum));
+    for (std::size_t i = 0; i < estimate.points.size(); ++i) {
+      if (static_cast<double>(sum) <= estimate.points[i].threshold) {
+        ++hits[i];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < estimate.points.size(); ++i) {
+    estimate.points[i].probability =
+        trials > 0
+            ? static_cast<double>(hits[i]) / static_cast<double>(trials)
+            : 0.0;
+    estimate.points[i].ci = util::wilson_interval(hits[i], trials);
+  }
+  return estimate;
+}
+
+}  // namespace arbmis::readk

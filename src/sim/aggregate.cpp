@@ -1,0 +1,119 @@
+#include "sim/aggregate.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/bfs_rooting.h"
+
+namespace arbmis::sim {
+
+GlobalAggregate::GlobalAggregate(const graph::Graph& g,
+                                 std::vector<graph::NodeId> parent,
+                                 std::vector<std::uint64_t> value,
+                                 AggregateOp op)
+    : graph_(&g),
+      op_(op),
+      parent_(std::move(parent)),
+      parent_port_(g.num_nodes(), graph::kNoParent),
+      child_ports_(g.num_nodes()),
+      children_pending_(g.num_nodes(), 0),
+      accumulator_(std::move(value)),
+      result_(g.num_nodes(), 0),
+      sent_up_(g.num_nodes(), false) {
+  if (parent_.size() != g.num_nodes() ||
+      accumulator_.size() != g.num_nodes()) {
+    throw std::invalid_argument("GlobalAggregate: input size mismatch");
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (parent_[v] != graph::kNoParent) {
+      parent_port_[v] = g.port_of(v, parent_[v]);
+    }
+  }
+}
+
+std::uint64_t GlobalAggregate::combine(std::uint64_t a,
+                                       std::uint64_t b) const noexcept {
+  switch (op_) {
+    case AggregateOp::kSum: return a + b;
+    case AggregateOp::kMax: return std::max(a, b);
+    case AggregateOp::kMin: return std::min(a, b);
+  }
+  return a;
+}
+
+void GlobalAggregate::on_start(NodeContext& ctx) {
+  const graph::NodeId v = ctx.id();
+  if (ctx.degree() == 0) {
+    result_[v] = accumulator_[v];
+    ctx.halt();
+    return;
+  }
+  if (parent_port_[v] != graph::kNoParent) {
+    ctx.send(parent_port_[v], kHello, 0);
+  }
+}
+
+void GlobalAggregate::on_round(NodeContext& ctx,
+                               std::span<const Message> inbox) {
+  const graph::NodeId v = ctx.id();
+  const bool is_root = parent_port_[v] == graph::kNoParent;
+  for (const Message& m : inbox) {
+    switch (m.tag) {
+      case kHello:
+        child_ports_[v].push_back(graph_->port_of(v, m.src));
+        ++children_pending_[v];
+        break;
+      case kUp:
+        accumulator_[v] = combine(accumulator_[v], m.payload);
+        --children_pending_[v];
+        break;
+      case kDown:
+        result_[v] = m.payload;
+        for (graph::NodeId port : child_ports_[v]) {
+          ctx.send(port, kDown, m.payload);
+        }
+        ctx.halt();
+        return;
+      default:
+        break;
+    }
+  }
+  // Child discovery completes at round 1; afterwards, report upward (or
+  // conclude, for the root) once every child has reported.
+  if (ctx.round() >= 2 && !sent_up_[v] && children_pending_[v] == 0) {
+    sent_up_[v] = true;
+    if (is_root) {
+      result_[v] = accumulator_[v];
+      for (graph::NodeId port : child_ports_[v]) {
+        ctx.send(port, kDown, result_[v]);
+      }
+      ctx.halt();
+      return;
+    }
+    ctx.send(parent_port_[v], kUp, accumulator_[v]);
+  }
+}
+
+GlobalAggregate::Result GlobalAggregate::run(const graph::Graph& g,
+                                             std::vector<std::uint64_t> value,
+                                             AggregateOp op,
+                                             std::uint64_t seed,
+                                             std::uint32_t rooting_budget) {
+  if (rooting_budget == 0) rooting_budget = g.num_nodes() + 2;
+  const BfsRooting::Result rooting =
+      BfsRooting::run(g, seed, rooting_budget);
+  if (!rooting.stabilized) {
+    throw std::invalid_argument(
+        "GlobalAggregate: rooting did not stabilize within the budget");
+  }
+  GlobalAggregate algorithm(g, rooting.parent, std::move(value), op);
+  Network net(g, seed + 1);
+  Result result;
+  result.stats = rooting.stats;
+  const RunStats aggregate_stats = net.run(algorithm, 1 << 22);
+  result.stats.absorb(aggregate_stats);
+  result.value = algorithm.result_;
+  return result;
+}
+
+}  // namespace arbmis::sim

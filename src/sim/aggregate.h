@@ -1,0 +1,66 @@
+// Global aggregation over a BFS tree: convergecast + broadcast.
+//
+// Every algorithm in this repository (and in the paper's literature)
+// assumes nodes know global quantities — n for priority ranges and
+// schedules, Δ for the scale parameters, α as a promise. This module is
+// the standard O(diameter)-round CONGEST protocol that justifies the
+// assumption: elect a leader (sim/bfs_rooting.h), combine the per-node
+// values up the BFS tree (one word per edge), and flood the result back
+// down. Each component computes its own aggregate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/algorithm.h"
+#include "sim/network.h"
+
+namespace arbmis::sim {
+
+enum class AggregateOp : std::uint8_t { kSum, kMax, kMin };
+
+class GlobalAggregate : public Algorithm {
+ public:
+  /// `parent` from a stabilized BfsRooting; `value[v]` is each node's
+  /// contribution.
+  GlobalAggregate(const graph::Graph& g, std::vector<graph::NodeId> parent,
+                  std::vector<std::uint64_t> value, AggregateOp op);
+
+  std::string_view name() const override { return "global_aggregate"; }
+  void on_start(NodeContext& ctx) override;
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override;
+
+  /// Per-node result: the aggregate of the node's component.
+  const std::vector<std::uint64_t>& results() const noexcept {
+    return result_;
+  }
+
+  struct Result {
+    std::vector<std::uint64_t> value;  ///< component aggregate, per node
+    RunStats stats;                    ///< includes the rooting rounds
+  };
+
+  /// Full pipeline (rooting + convergecast + broadcast).
+  /// rooting_budget = 0 uses n + 2.
+  static Result run(const graph::Graph& g, std::vector<std::uint64_t> value,
+                    AggregateOp op, std::uint64_t seed = 0,
+                    std::uint32_t rooting_budget = 0);
+
+ private:
+  enum Tag : std::uint32_t { kHello = 1, kUp = 2, kDown = 3 };
+
+  std::uint64_t combine(std::uint64_t a, std::uint64_t b) const noexcept;
+
+  const graph::Graph* graph_;
+  AggregateOp op_;
+  std::vector<graph::NodeId> parent_;
+  std::vector<graph::NodeId> parent_port_;
+  std::vector<std::vector<graph::NodeId>> child_ports_;
+  std::vector<graph::NodeId> children_pending_;
+  std::vector<std::uint64_t> accumulator_;
+  std::vector<std::uint64_t> result_;
+  std::vector<bool> sent_up_;
+};
+
+}  // namespace arbmis::sim

@@ -1,0 +1,83 @@
+// Per-node algorithm interface for the synchronous message-passing
+// simulator.
+//
+// One Algorithm instance serves the whole network and owns its per-node
+// state (vectors indexed by node id). The network calls
+//
+//   on_start(ctx)          once per node before round 1 (may send), then
+//   on_round(ctx, inbox)   once per non-halted node per round,
+//
+// where `inbox` contains exactly the messages the node's neighbors sent in
+// the previous round. Correct implementations read only their own node's
+// state plus the inbox — the simulator cannot mechanically prevent global
+// peeking, but the audit hooks (core/invariant.h) are the only sanctioned
+// cross-node readers, and they run between rounds.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "graph/graph.h"
+#include "sim/message.h"
+#include "util/rng.h"
+
+namespace arbmis::sim {
+
+class Network;
+
+/// Facade handed to algorithm callbacks; valid only for the duration of the
+/// callback.
+class NodeContext {
+ public:
+  NodeContext(Network& net, graph::NodeId id) : net_(&net), id_(id) {}
+
+  graph::NodeId id() const noexcept { return id_; }
+  graph::NodeId degree() const noexcept;
+  /// Sorted global ids of neighbors; index into this span == port number.
+  std::span<const graph::NodeId> neighbors() const noexcept;
+  /// Current round number (0 during on_start).
+  std::uint32_t round() const noexcept;
+  /// Number of nodes in the network (used for priority ranges etc.).
+  graph::NodeId network_size() const noexcept;
+
+  /// Sends to the neighbor at `port` (delivered next round). Throws
+  /// std::logic_error if the CONGEST per-edge budget is exceeded.
+  void send(graph::NodeId port, std::uint32_t tag, std::uint64_t payload);
+
+  /// Sends the same message to every neighbor.
+  void broadcast(std::uint32_t tag, std::uint64_t payload);
+
+  /// This node's private random stream (deterministic in (seed, id)).
+  util::Rng& rng();
+
+  /// Marks the node terminated; it receives no further callbacks. Messages
+  /// already queued to it are silently dropped.
+  void halt();
+
+ private:
+  Network* net_;
+  graph::NodeId id_;
+};
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Round 0: initialize per-node state; may send and may halt.
+  virtual void on_start(NodeContext& ctx) = 0;
+
+  /// One synchronous round: react to last round's messages; may send/halt.
+  virtual void on_round(NodeContext& ctx, std::span<const Message> inbox) = 0;
+
+  /// A reactive algorithm acts only on received messages: a round with no
+  /// message in flight anywhere is a global no-op. The network uses this
+  /// to cut a run short once the system quiesces (e.g. BFS rooting, which
+  /// cannot detect quiescence locally and therefore never halts) — the
+  /// skipped rounds are free in a real network too, because nothing is
+  /// transmitted and no state changes.
+  virtual bool is_reactive() const { return false; }
+};
+
+}  // namespace arbmis::sim

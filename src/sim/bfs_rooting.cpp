@@ -1,0 +1,90 @@
+#include "sim/bfs_rooting.h"
+
+#include <algorithm>
+
+#include "graph/properties.h"
+
+namespace arbmis::sim {
+
+BfsRooting::BfsRooting(const graph::Graph& g)
+    : graph_(&g),
+      best_(g.num_nodes()),
+      distance_(g.num_nodes(), 0),
+      parent_(g.num_nodes(), graph::kNoParent) {
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) best_[v] = v;
+}
+
+void BfsRooting::on_start(NodeContext& ctx) {
+  const graph::NodeId v = ctx.id();
+  if (ctx.degree() == 0) {
+    ctx.halt();
+    return;
+  }
+  ctx.broadcast(kOffer, encode(best_[v], distance_[v]));
+}
+
+void BfsRooting::on_round(NodeContext& ctx,
+                          std::span<const Message> inbox) {
+  const graph::NodeId v = ctx.id();
+  bool improved = false;
+  for (const Message& m : inbox) {
+    if (m.tag != kOffer) continue;
+    const auto offered_root = static_cast<graph::NodeId>(m.payload >> 32);
+    const auto offered_distance =
+        static_cast<graph::NodeId>(m.payload & 0xffffffffu) + 1;
+    if (offered_root < best_[v] ||
+        (offered_root == best_[v] && offered_distance < distance_[v])) {
+      best_[v] = offered_root;
+      distance_[v] = offered_distance;
+      parent_[v] = m.src;
+      improved = true;
+    }
+  }
+  if (improved) {
+    last_improvement_round_ = std::max(last_improvement_round_, ctx.round());
+    ctx.broadcast(kOffer, encode(best_[v], distance_[v]));
+  }
+  // Never halts voluntarily: quiescence (no node improves, so no one
+  // sends) makes rounds free in practice, and the budget ends the run.
+}
+
+bool bfs_forest_consistent(const graph::Graph& g,
+                           std::span<const graph::NodeId> parent,
+                           std::span<const graph::NodeId> root,
+                           std::span<const graph::NodeId> distance) {
+  // Reference: components and their minimum ids.
+  const graph::Components comps = graph::connected_components(g);
+  std::vector<graph::NodeId> min_id(comps.count, ~graph::NodeId{0});
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    min_id[comps.label[v]] = std::min(min_id[comps.label[v]], v);
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (root[v] != min_id[comps.label[v]]) return false;
+    if (v == root[v]) {
+      if (parent[v] != graph::kNoParent || distance[v] != 0) return false;
+    } else {
+      const graph::NodeId p = parent[v];
+      if (p == graph::kNoParent || !g.has_edge(v, p)) return false;
+      if (root[p] != root[v]) return false;
+      if (distance[v] != distance[p] + 1) return false;
+    }
+  }
+  return true;
+}
+
+BfsRooting::Result BfsRooting::run(const graph::Graph& g, std::uint64_t seed,
+                                   std::uint32_t round_budget) {
+  BfsRooting algorithm(g);
+  Network net(g, seed);
+  Result result;
+  result.stats = net.run(algorithm, round_budget);
+  result.parent = algorithm.parent_;
+  result.root = algorithm.best_;
+  result.distance = algorithm.distance_;
+  result.stabilized = bfs_forest_consistent(g, result.parent, result.root,
+                                            result.distance);
+  result.quiescence_round = algorithm.last_improvement_round_;
+  return result;
+}
+
+}  // namespace arbmis::sim

@@ -1,0 +1,88 @@
+// Distributed BFS rooting: elects the minimum id of every connected
+// component as root and builds a BFS spanning tree (parent pointers)
+// around it — the standard CONGEST building block the paper's §1 alludes
+// to when it contrasts unoriented trees ("hard") with consistently
+// oriented ones (O(log* n) via Cole–Vishkin). Composing this with
+// mis/cole_vishkin.h gives a fully distributed tree MIS path:
+// O(diameter) rooting + O(log* n) coloring.
+//
+// Protocol (flooding): every node starts believing it is the root
+// (best = own id, distance 0) and broadcasts (best, dist). On hearing a
+// smaller (best, dist+1) offer it adopts the sender as parent and
+// re-broadcasts. Nodes re-broadcast only on improvement, so the protocol
+// quiesces after O(component diameter) rounds; because CONGEST nodes
+// cannot detect global quiescence without a known diameter bound, run()
+// takes an explicit round budget and reports whether the forest it built
+// is consistent (stabilized() — computed centrally, as verification).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/orientation.h"
+#include "sim/algorithm.h"
+#include "sim/network.h"
+
+namespace arbmis::sim {
+
+class BfsRooting : public Algorithm {
+ public:
+  explicit BfsRooting(const graph::Graph& g);
+
+  std::string_view name() const override { return "bfs_rooting"; }
+  void on_start(NodeContext& ctx) override;
+  void on_round(NodeContext& ctx, std::span<const Message> inbox) override;
+  bool is_reactive() const override { return true; }
+
+  /// parent[v] = BFS parent (graph::kNoParent for roots).
+  const std::vector<graph::NodeId>& parents() const noexcept {
+    return parent_;
+  }
+  /// Elected root id each node currently believes in.
+  const std::vector<graph::NodeId>& roots() const noexcept { return best_; }
+  /// BFS distance to the believed root.
+  const std::vector<graph::NodeId>& distances() const noexcept {
+    return distance_;
+  }
+
+  struct Result {
+    std::vector<graph::NodeId> parent;
+    std::vector<graph::NodeId> root;
+    std::vector<graph::NodeId> distance;
+    RunStats stats;
+    /// True iff the flood quiesced within the budget: every node's root
+    /// is its component's minimum id and parents decrease the distance.
+    bool stabilized = false;
+    /// Last round in which any node improved its offer — the protocol's
+    /// actual O(diameter) cost (stats.rounds always equals the budget,
+    /// because quiescence is not locally detectable).
+    std::uint32_t quiescence_round = 0;
+  };
+
+  /// Runs with the given round budget (>= component diameter + 1 to
+  /// stabilize; n always suffices).
+  static Result run(const graph::Graph& g, std::uint64_t seed,
+                    std::uint32_t round_budget);
+
+ private:
+  enum Tag : std::uint32_t { kOffer = 1 };
+
+  static std::uint64_t encode(graph::NodeId root,
+                              graph::NodeId distance) noexcept {
+    return (static_cast<std::uint64_t>(root) << 32) | distance;
+  }
+
+  const graph::Graph* graph_;
+  std::uint32_t last_improvement_round_ = 0;
+  std::vector<graph::NodeId> best_;
+  std::vector<graph::NodeId> distance_;
+  std::vector<graph::NodeId> parent_;
+};
+
+/// Centralized audit used by Result::stabilized and the tests.
+bool bfs_forest_consistent(const graph::Graph& g,
+                           std::span<const graph::NodeId> parent,
+                           std::span<const graph::NodeId> root,
+                           std::span<const graph::NodeId> distance);
+
+}  // namespace arbmis::sim

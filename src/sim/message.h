@@ -1,0 +1,29 @@
+// CONGEST message format.
+//
+// Every message carries an algorithm-defined 32-bit tag plus one 64-bit
+// payload word; the network fills in the sender id on delivery. This is a
+// deliberate straitjacket: a tag + one machine word is O(log n) bits for
+// every graph this repository can hold, so any algorithm expressible on
+// this interface is a CONGEST algorithm. The network additionally enforces
+// "at most one message per directed edge per round" (the standard CONGEST
+// normalization) unless a test opts out.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace arbmis::sim {
+
+struct Message {
+  graph::NodeId src = 0;     ///< sender's node id (set by the network)
+  std::uint32_t tag = 0;     ///< algorithm-defined message kind
+  std::uint64_t payload = 0; ///< one CONGEST word
+};
+
+/// Bits accounted per message: tag is bounded by O(1) distinct kinds in all
+/// our algorithms, payload is one word, src is implicit from the port. We
+/// charge the full 64-bit word plus an 8-bit kind.
+inline constexpr std::uint64_t kBitsPerMessage = 72;
+
+}  // namespace arbmis::sim

@@ -1,0 +1,141 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arbmis::sim {
+
+void RunStats::absorb(const RunStats& other) noexcept {
+  rounds += other.rounds;
+  messages += other.messages;
+  payload_bits += other.payload_bits;
+  max_edge_load = std::max(max_edge_load, other.max_edge_load);
+  all_halted = other.all_halted;
+}
+
+Network::Network(const graph::Graph& g, std::uint64_t seed,
+                 NetworkOptions options)
+    : graph_(&g), options_(options) {
+  const graph::NodeId n = g.num_nodes();
+  rngs_.reserve(n);
+  const util::Rng base(seed);
+  for (graph::NodeId v = 0; v < n; ++v) rngs_.push_back(base.child(v));
+  halted_.assign(n, false);
+  inbox_.resize(n);
+  next_inbox_.resize(n);
+  edge_offset_.resize(n + 1, 0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    edge_offset_[v + 1] = edge_offset_[v] + g.degree(v);
+  }
+  edge_sends_.assign(edge_offset_[n], 0);
+  edge_epoch_.assign(edge_offset_[n], ~std::uint32_t{0});
+}
+
+void Network::do_send(graph::NodeId from, graph::NodeId port,
+                      std::uint32_t tag, std::uint64_t payload) {
+  const auto nbrs = graph_->neighbors(from);
+  if (port >= nbrs.size()) {
+    throw std::logic_error("send: port out of range");
+  }
+  const std::uint64_t slot = edge_offset_[from] + port;
+  if (edge_epoch_[slot] != round_) {
+    edge_epoch_[slot] = round_;
+    edge_sends_[slot] = 0;
+  }
+  const std::uint32_t load = ++edge_sends_[slot];
+  if (options_.enforce_congest &&
+      load > options_.max_messages_per_edge_per_round) {
+    throw std::logic_error(
+        "CONGEST violation: more than the per-edge message budget sent on "
+        "one edge in one round");
+  }
+  stats_.max_edge_load = std::max(stats_.max_edge_load, load);
+  const graph::NodeId target = nbrs[port];
+  next_inbox_[target].push_back(Message{from, tag, payload});
+}
+
+void Network::do_halt(graph::NodeId v) noexcept {
+  if (!halted_[v]) {
+    halted_[v] = true;
+    ++num_halted_;
+  }
+}
+
+RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
+                      const RoundObserver& observer) {
+  const graph::NodeId n = graph_->num_nodes();
+  // Reset per-run state; RNG streams intentionally persist across runs.
+  std::fill(halted_.begin(), halted_.end(), false);
+  num_halted_ = 0;
+  round_ = 0;
+  stats_ = RunStats{};
+  for (auto& box : inbox_) box.clear();
+  for (auto& box : next_inbox_) box.clear();
+  std::fill(edge_epoch_.begin(), edge_epoch_.end(), ~std::uint32_t{0});
+
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (halted_[v]) continue;
+    NodeContext ctx(*this, v);
+    algorithm.on_start(ctx);
+  }
+
+  while (num_halted_ < n && round_ < max_rounds) {
+    if (algorithm.is_reactive()) {
+      // Quiescence cut: nothing in flight means every further round is a
+      // global no-op for a reactive algorithm.
+      bool any_in_flight = false;
+      for (const auto& box : next_inbox_) {
+        if (!box.empty()) {
+          any_in_flight = true;
+          break;
+        }
+      }
+      if (!any_in_flight) break;
+    }
+    // Deliver: next becomes current.
+    std::swap(inbox_, next_inbox_);
+    for (auto& box : next_inbox_) box.clear();
+    ++round_;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (halted_[v]) continue;
+      NodeContext ctx(*this, v);
+      algorithm.on_round(ctx, inbox_[v]);
+      stats_.messages += inbox_[v].size();
+    }
+    ++stats_.rounds;
+    if (observer) observer(*this, round_);
+  }
+  stats_.payload_bits = stats_.messages * kBitsPerMessage;
+  stats_.all_halted = (num_halted_ == n);
+  return stats_;
+}
+
+graph::NodeId NodeContext::degree() const noexcept {
+  return net_->graph_->degree(id_);
+}
+
+std::span<const graph::NodeId> NodeContext::neighbors() const noexcept {
+  return net_->graph_->neighbors(id_);
+}
+
+std::uint32_t NodeContext::round() const noexcept { return net_->round_; }
+
+graph::NodeId NodeContext::network_size() const noexcept {
+  return net_->graph_->num_nodes();
+}
+
+void NodeContext::send(graph::NodeId port, std::uint32_t tag,
+                       std::uint64_t payload) {
+  net_->do_send(id_, port, tag, payload);
+}
+
+void NodeContext::broadcast(std::uint32_t tag, std::uint64_t payload) {
+  const auto deg = degree();
+  for (graph::NodeId port = 0; port < deg; ++port) send(port, tag, payload);
+}
+
+util::Rng& NodeContext::rng() { return net_->rngs_[id_]; }
+
+void NodeContext::halt() { net_->do_halt(id_); }
+
+}  // namespace arbmis::sim

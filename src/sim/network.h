@@ -1,0 +1,97 @@
+// Synchronous CONGEST network simulator.
+//
+// Execution model: in each round the network (1) delivers all messages sent
+// in the previous round, (2) calls Algorithm::on_round for every non-halted
+// node, collecting its sends into next-round inboxes, and (3) advances the
+// round counter. Nodes halt individually via NodeContext::halt(); the run
+// ends when every node has halted or the round budget is exhausted.
+//
+// Accounting: rounds, total messages, total payload bits, and the maximum
+// number of messages any single directed edge carried in one round. With
+// `enforce_congest` (default on) a node sending more than
+// `max_messages_per_edge_per_round` on one port aborts the run with
+// std::logic_error — this is how the test suite proves the algorithms obey
+// the CONGEST normalization rather than merely claiming it.
+//
+// Determinism: node v draws from Rng(seed).child(v); callback order never
+// affects the streams, so a run is a pure function of (graph, seed,
+// algorithm).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/algorithm.h"
+#include "sim/message.h"
+#include "util/rng.h"
+
+namespace arbmis::sim {
+
+struct NetworkOptions {
+  bool enforce_congest = true;
+  std::uint32_t max_messages_per_edge_per_round = 1;
+};
+
+struct RunStats {
+  std::uint32_t rounds = 0;           ///< rounds executed (excludes on_start)
+  std::uint64_t messages = 0;         ///< total messages delivered
+  std::uint64_t payload_bits = 0;     ///< messages * kBitsPerMessage
+  std::uint32_t max_edge_load = 0;    ///< max msgs on one directed edge/round
+  bool all_halted = false;            ///< every node halted within budget
+
+  /// Accumulates another stage's stats (pipeline composition): rounds add,
+  /// loads max.
+  void absorb(const RunStats& other) noexcept;
+};
+
+class Network {
+ public:
+  Network(const graph::Graph& g, std::uint64_t seed,
+          NetworkOptions options = {});
+
+  const graph::Graph& graph() const noexcept { return *graph_; }
+  std::uint32_t round() const noexcept { return round_; }
+  bool halted(graph::NodeId v) const noexcept { return halted_[v]; }
+  graph::NodeId num_halted() const noexcept { return num_halted_; }
+
+  /// Called after every completed round with the round number just
+  /// finished; used by audits and traces. May inspect but not mutate.
+  using RoundObserver = std::function<void(const Network&, std::uint32_t)>;
+
+  /// Runs `algorithm` until all nodes halt or `max_rounds` rounds complete.
+  /// The network resets its per-run state (halts, inboxes, round counter)
+  /// at the top of each run; RNG streams continue across runs so that a
+  /// pipeline of stages consumes one coherent randomness source.
+  RunStats run(Algorithm& algorithm, std::uint32_t max_rounds,
+               const RoundObserver& observer = {});
+
+ private:
+  friend class NodeContext;
+
+  void do_send(graph::NodeId from, graph::NodeId port, std::uint32_t tag,
+               std::uint64_t payload);
+  void do_halt(graph::NodeId v) noexcept;
+
+  const graph::Graph* graph_;
+  NetworkOptions options_;
+  std::vector<util::Rng> rngs_;
+  std::vector<bool> halted_;
+  graph::NodeId num_halted_ = 0;
+  std::uint32_t round_ = 0;
+
+  // inboxes for the current round / being filled for the next round
+  std::vector<std::vector<Message>> inbox_;
+  std::vector<std::vector<Message>> next_inbox_;
+
+  // Per-directed-edge send counters, epoch-stamped by round to avoid a
+  // clear per round. Slot for (v, port) = edge_slot_offset_[v] + port.
+  std::vector<std::uint64_t> edge_offset_;
+  std::vector<std::uint32_t> edge_sends_;
+  std::vector<std::uint32_t> edge_epoch_;
+
+  RunStats stats_;
+};
+
+}  // namespace arbmis::sim

@@ -1,0 +1,28 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace arbmis::sim {
+
+Network::RoundObserver Trace::observer() {
+  return [this](const Network& net, std::uint32_t round) {
+    records_.push_back({round, net.num_halted()});
+  };
+}
+
+std::uint32_t Trace::round_reaching_halted_fraction(
+    double fraction, graph::NodeId n) const noexcept {
+  const double target = fraction * static_cast<double>(n);
+  for (const RoundRecord& rec : records_) {
+    if (static_cast<double>(rec.halted) >= target) return rec.round;
+  }
+  return 0;
+}
+
+void Trace::print(std::ostream& out) const {
+  for (const RoundRecord& rec : records_) {
+    out << "round " << rec.round << ": halted=" << rec.halted << '\n';
+  }
+}
+
+}  // namespace arbmis::sim

@@ -1,0 +1,39 @@
+// Optional per-round trace: a RoundObserver that snapshots aggregate
+// progress (halted counts) and, when verbose, prints one line per round.
+// Used by examples/congest_trace and by debugging sessions; cheap enough to
+// leave attached in tests.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace arbmis::sim {
+
+class Trace {
+ public:
+  struct RoundRecord {
+    std::uint32_t round = 0;
+    graph::NodeId halted = 0;
+  };
+
+  /// Returns an observer bound to this trace. The trace must outlive the
+  /// Network::run call.
+  Network::RoundObserver observer();
+
+  const std::vector<RoundRecord>& records() const noexcept { return records_; }
+
+  /// First round by which at least `fraction` of nodes had halted, or 0 if
+  /// never reached.
+  std::uint32_t round_reaching_halted_fraction(double fraction,
+                                               graph::NodeId n) const noexcept;
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<RoundRecord> records_;
+};
+
+}  // namespace arbmis::sim

@@ -1,0 +1,49 @@
+// Minimal leveled logger for examples and the benchmark harness. Defaults
+// to Info; benches flip to Warn to keep tables clean, examples flip to
+// Debug when tracing.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace arbmis::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, std::string_view message);
+}
+
+/// Stream-style log statement: LOG(Info) << "x=" << x;
+/// The right-hand side is only evaluated when the level is enabled.
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() {
+    if (enabled()) detail::log_line(level_, stream_.str());
+  }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  bool enabled() const noexcept { return level_ >= log_level(); }
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    if (enabled()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace arbmis::util
+
+#define ARBMIS_LOG(level) \
+  ::arbmis::util::LogStatement(::arbmis::util::LogLevel::k##level)

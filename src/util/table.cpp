@@ -1,0 +1,106 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace arbmis::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  if (rows_.empty()) row();
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision_, value);
+  return cell(std::string(buf));
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == 'e' || c == 'E' || c == '%')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  std::vector<bool> numeric(headers_.size(), true);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+      if (!looks_numeric(row[c])) numeric[c] = false;
+    }
+  }
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& value = c < cells.size() ? cells[c] : std::string{};
+      const std::size_t pad = widths[c] - std::min(widths[c], value.size());
+      if (c > 0) out << "  ";
+      if (numeric[c]) {
+        out << std::string(pad, ' ') << value;
+      } else {
+        out << value << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      out << csv_escape(cells[c]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace arbmis::util

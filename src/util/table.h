@@ -1,0 +1,56 @@
+// Aligned-text + CSV table emitter. Every benchmark binary in bench/ builds
+// its output through this type so that the experiment tables share one
+// format (and can be diffed between runs or re-parsed from CSV).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arbmis::util {
+
+/// Row-oriented table. All cells are formatted at insertion time; the
+/// emitter only aligns and escapes.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  std::size_t num_columns() const noexcept { return headers_.size(); }
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Begins a new row; subsequent add()/cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(std::string value);
+  Table& cell(std::string_view value) { return cell(std::string(value)); }
+  Table& cell(const char* value) { return cell(std::string(value)); }
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+  Table& cell(unsigned value) { return cell(static_cast<std::uint64_t>(value)); }
+  /// Doubles use %.*g with the configured precision.
+  Table& cell(double value);
+
+  /// Digits of precision for double cells (default 5).
+  void set_double_precision(int digits) noexcept { precision_ = digits; }
+
+  /// Pretty-prints with a header rule and right-aligned numeric-looking
+  /// columns.
+  void print(std::ostream& out) const;
+
+  /// RFC-4180-style CSV (quotes cells containing comma/quote/newline).
+  void print_csv(std::ostream& out) const;
+
+  const std::string& at(std::size_t row, std::size_t col) const {
+    return rows_.at(row).at(col);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 5;
+};
+
+}  // namespace arbmis::util

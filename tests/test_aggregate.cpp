@@ -1,0 +1,116 @@
+// Tests for the BFS-tree global aggregation — the protocol that justifies
+// the "nodes know n and Δ" assumption of the paper's model.
+#include <gtest/gtest.h>
+
+#include "core/params.h"
+#include "graph/generators.h"
+#include "graph/orientation.h"
+#include "graph/properties.h"
+#include "sim/aggregate.h"
+
+namespace arbmis::sim {
+namespace {
+
+class AggregateSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggregateSweep, ComputesComponentCountAndMax) {
+  util::Rng rng(GetParam());
+  for (const graph::Graph& g :
+       {graph::gen::random_tree(200, rng), graph::gen::gnp(200, 0.04, rng),
+        graph::gen::grid(8, 9), graph::gen::star(60)}) {
+    // Count nodes: every node contributes 1; each node must learn its
+    // component size.
+    const auto count = GlobalAggregate::run(
+        g, std::vector<std::uint64_t>(g.num_nodes(), 1),
+        AggregateOp::kSum, GetParam());
+    const graph::Components comps = graph::connected_components(g);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(count.value[v], comps.sizes[comps.label[v]]) << "node " << v;
+    }
+    // Max degree per component.
+    std::vector<std::uint64_t> degrees(g.num_nodes());
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      degrees[v] = g.degree(v);
+    }
+    const auto max_degree = GlobalAggregate::run(g, degrees,
+                                                 AggregateOp::kMax,
+                                                 GetParam() + 1);
+    std::vector<std::uint64_t> reference(comps.count, 0);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      reference[comps.label[v]] =
+          std::max<std::uint64_t>(reference[comps.label[v]], g.degree(v));
+    }
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(max_degree.value[v], reference[comps.label[v]]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregateSweep, ::testing::Values(1, 7, 99));
+
+TEST(Aggregate, MinOp) {
+  const graph::Graph g = graph::gen::path(5);
+  std::vector<std::uint64_t> values{7, 3, 9, 1, 5};
+  const auto result =
+      GlobalAggregate::run(g, values, AggregateOp::kMin, 1);
+  for (graph::NodeId v = 0; v < 5; ++v) EXPECT_EQ(result.value[v], 1u);
+}
+
+TEST(Aggregate, DisconnectedComponentsIndependent) {
+  graph::Builder b(7);
+  b.add_edge(0, 1).add_edge(1, 2);  // component A
+  b.add_edge(4, 5);                 // component B; 3 and 6 isolated
+  const graph::Graph g = b.build();
+  const auto result = GlobalAggregate::run(
+      g, std::vector<std::uint64_t>(7, 1), AggregateOp::kSum, 3);
+  EXPECT_EQ(result.value[0], 3u);
+  EXPECT_EQ(result.value[2], 3u);
+  EXPECT_EQ(result.value[4], 2u);
+  EXPECT_EQ(result.value[3], 1u);  // isolated: its own value
+  EXPECT_EQ(result.value[6], 1u);
+}
+
+TEST(Aggregate, RoundsScaleWithDiameter) {
+  const graph::Graph path = graph::gen::path(300);
+  const graph::Graph star = graph::gen::star(300);
+  // Aggregation itself is O(depth): compare the post-rooting phases by
+  // giving both the same rooting budget.
+  const auto slow = GlobalAggregate::run(
+      path, std::vector<std::uint64_t>(300, 1), AggregateOp::kSum, 1, 302);
+  const auto fast = GlobalAggregate::run(
+      star, std::vector<std::uint64_t>(300, 1), AggregateOp::kSum, 1, 302);
+  // Same budgets for rooting; the difference is the tree depth.
+  EXPECT_GT(slow.stats.rounds, fast.stats.rounds);
+}
+
+TEST(Aggregate, DischargesTheKnownDeltaAssumption) {
+  // Compute Δ distributedly, then build the paper's Params from it — the
+  // result must match the centrally computed parameters.
+  util::Rng rng(5);
+  const graph::Graph g = graph::gen::hubbed_forest_union(500, 2, 4, rng);
+  std::vector<std::uint64_t> degrees(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) degrees[v] = g.degree(v);
+  const auto result =
+      GlobalAggregate::run(g, degrees, AggregateOp::kMax, 7);
+  // Connected graph: every node learned the true Δ.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(result.value[v], g.max_degree());
+  }
+  const core::Params distributed = core::Params::practical(
+      2, static_cast<graph::NodeId>(result.value[0]));
+  const core::Params central = core::Params::practical(2, g.max_degree());
+  EXPECT_EQ(distributed.num_scales, central.num_scales);
+  EXPECT_EQ(distributed.iterations_per_scale, central.iterations_per_scale);
+}
+
+TEST(Aggregate, RejectsBadInput) {
+  const graph::Graph g = graph::gen::path(3);
+  EXPECT_THROW(
+      GlobalAggregate(g, std::vector<graph::NodeId>{graph::kNoParent},
+                      std::vector<std::uint64_t>{1, 1, 1},
+                      AggregateOp::kSum),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arbmis::sim

@@ -1,0 +1,98 @@
+// Tests for exact arboricity (matroid-union partition).
+#include <gtest/gtest.h>
+
+#include "graph/arboricity_exact.h"
+#include "graph/generators.h"
+#include "graph/orientation_opt.h"
+#include "graph/properties.h"
+
+namespace arbmis::graph {
+namespace {
+
+TEST(ExactArboricity, KnownValues) {
+  EXPECT_EQ(exact_arboricity(Graph(4)), 0u);
+  EXPECT_EQ(exact_arboricity(gen::path(10)), 1u);
+  EXPECT_EQ(exact_arboricity(gen::star(10)), 1u);
+  EXPECT_EQ(exact_arboricity(gen::cycle(8)), 2u);  // one cycle needs 2
+  // Nash-Williams on cliques: ceil(n/2).
+  EXPECT_EQ(exact_arboricity(gen::complete(4)), 2u);
+  EXPECT_EQ(exact_arboricity(gen::complete(5)), 3u);
+  EXPECT_EQ(exact_arboricity(gen::complete(6)), 3u);
+  EXPECT_EQ(exact_arboricity(gen::complete(7)), 4u);
+  // Complete bipartite K_{3,3}: ceil(9/5) = 2.
+  EXPECT_EQ(exact_arboricity(gen::complete_bipartite(3, 3)), 2u);
+  // Grid (planar, has cycles): 2.
+  EXPECT_EQ(exact_arboricity(gen::grid(5, 5)), 2u);
+}
+
+TEST(ExactArboricity, ApollonianIsThree) {
+  util::Rng rng(3);
+  // Maximal planar with n >= 5: m = 3n-6 > 2(n-1), so alpha = 3 exactly.
+  EXPECT_EQ(exact_arboricity(gen::random_apollonian(40, rng)), 3u);
+}
+
+TEST(ExactArboricity, WithinSandwichAlways) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Graph g = gen::gnp(36, 0.08 + 0.03 * trial, rng);
+    const NodeId alpha = exact_arboricity(g);
+    const TightArboricityBounds bounds = tight_arboricity_bounds(g);
+    EXPECT_GE(alpha, bounds.lower) << "trial " << trial;
+    EXPECT_LE(alpha, bounds.upper) << "trial " << trial;
+  }
+}
+
+TEST(ExactArboricity, ForestUnionsAtMostK) {
+  util::Rng rng(7);
+  for (NodeId k : {1u, 2u, 3u, 4u}) {
+    const Graph g = gen::union_of_random_forests(60, k, rng);
+    EXPECT_LE(exact_arboricity(g), k);
+  }
+}
+
+TEST(PartitionIntoForests, ProducesValidPartitions) {
+  util::Rng rng(9);
+  for (const Graph& g :
+       {gen::complete(7), gen::random_apollonian(50, rng),
+        gen::gnp(40, 0.2, rng), gen::hubbed_forest_union(80, 3, 4, rng)}) {
+    const NodeId alpha = exact_arboricity(g);
+    const auto partition = partition_into_forests(g, alpha);
+    ASSERT_TRUE(partition.has_value());
+    EXPECT_TRUE(valid_forest_partition(g, *partition));
+    EXPECT_EQ(partition->num_forests(), alpha);
+    // One fewer forest must fail.
+    if (alpha > 1) {
+      EXPECT_FALSE(partition_into_forests(g, alpha - 1).has_value());
+    }
+  }
+}
+
+TEST(PartitionIntoForests, ZeroForestsOnlyForEdgeless) {
+  EXPECT_TRUE(partition_into_forests(Graph(5), 0).has_value());
+  EXPECT_FALSE(partition_into_forests(gen::path(3), 0).has_value());
+}
+
+TEST(ExactArboricity, CertificateMatches) {
+  util::Rng rng(11);
+  const Graph g = gen::gnp(40, 0.15, rng);
+  const ArboricityCertificate certificate = exact_arboricity_certified(g);
+  EXPECT_EQ(certificate.arboricity, exact_arboricity(g));
+  if (certificate.arboricity > 0) {
+    EXPECT_TRUE(valid_forest_partition(g, certificate.forests));
+  }
+}
+
+TEST(ExactArboricity, AgreesWithPseudoarboricitySandwich) {
+  // p <= alpha <= p+1 on a battery of random graphs.
+  util::Rng rng(13);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = gen::gnm(30, 60 + 10 * trial, rng);
+    const NodeId p = pseudoarboricity(g);
+    const NodeId alpha = exact_arboricity(g);
+    EXPECT_GE(alpha, p);
+    EXPECT_LE(alpha, p + 1);
+  }
+}
+
+}  // namespace
+}  // namespace arbmis::graph

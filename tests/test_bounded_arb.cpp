@@ -1,0 +1,190 @@
+// Tests for BoundedArbIndependentSet (the paper's Algorithm 1): schedule
+// bookkeeping, postconditions on I/B/VIB, the Invariant audit, and the
+// bad-probability behavior.
+#include <gtest/gtest.h>
+
+#include "core/bounded_arb.h"
+#include "core/invariant.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "mis/verifier.h"
+
+namespace arbmis::core {
+namespace {
+
+graph::Graph test_graph(graph::NodeId n, graph::NodeId alpha,
+                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  return graph::gen::union_of_random_forests(n, alpha, rng);
+}
+
+TEST(Schedule, PointsFollowTheLayout) {
+  Params params;
+  params.num_scales = 2;
+  params.iterations_per_scale = 2;
+  params.max_degree = 64;
+  params.alpha = 1;
+  params.rho_factor = 8.0;
+  const graph::Graph g = graph::gen::path(2);
+  BoundedArbIndependentSet algorithm(g, params);
+
+  using Phase = SchedulePoint::Phase;
+  EXPECT_EQ(algorithm.schedule_point(0).phase, Phase::kBootstrap);
+  // Scale 1: rounds 1..8 (3Λ+2 = 8).
+  EXPECT_EQ(algorithm.schedule_point(1).phase, Phase::kPrio);
+  EXPECT_EQ(algorithm.schedule_point(1).iteration, 1u);
+  EXPECT_EQ(algorithm.schedule_point(2).phase, Phase::kResolve);
+  EXPECT_EQ(algorithm.schedule_point(3).phase, Phase::kAliveProcess);
+  EXPECT_EQ(algorithm.schedule_point(4).phase, Phase::kPrio);
+  EXPECT_EQ(algorithm.schedule_point(4).iteration, 2u);
+  EXPECT_EQ(algorithm.schedule_point(7).phase, Phase::kDegreeReport);
+  EXPECT_EQ(algorithm.schedule_point(8).phase, Phase::kBadCheck);
+  EXPECT_TRUE(algorithm.is_scale_end(8));
+  // Scale 2 starts at round 9.
+  EXPECT_EQ(algorithm.schedule_point(9).scale, 2u);
+  EXPECT_EQ(algorithm.schedule_point(9).phase, Phase::kPrio);
+  EXPECT_TRUE(algorithm.is_scale_end(16));
+  EXPECT_FALSE(algorithm.is_scale_end(15));
+}
+
+class BoundedArbSweep
+    : public ::testing::TestWithParam<std::tuple<graph::NodeId, std::uint64_t>> {
+};
+
+TEST_P(BoundedArbSweep, PostconditionsHold) {
+  const auto [alpha, seed] = GetParam();
+  const graph::Graph g = test_graph(600, alpha, seed);
+  const Params params = Params::practical(alpha, g.max_degree());
+  const auto result = BoundedArbIndependentSet::run(g, params, seed);
+
+  EXPECT_TRUE(result.stats.all_halted);
+  // Every node got a final outcome.
+  EXPECT_EQ(result.count(ArbOutcome::kActive), 0u);
+
+  // I is independent.
+  EXPECT_TRUE(mis::is_independent(g, result.mis_mask()));
+
+  // Covered nodes really have an I-neighbor.
+  const auto mis_mask = result.mis_mask();
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (result.outcome[v] != ArbOutcome::kCovered) continue;
+    bool covered = false;
+    for (graph::NodeId w : g.neighbors(v)) covered |= (mis_mask[w] != 0);
+    EXPECT_TRUE(covered) << "node " << v;
+  }
+
+  // The Invariant (paper §3) for survivors: at the end of the final scale
+  // every remaining node has at most Δ/2^(Θ+2) high-degree active
+  // neighbors — recomputed from scratch here.
+  const auto remaining = result.remaining_mask();
+  const auto bad = result.bad_mask();
+  std::vector<std::uint64_t> residual_degree(g.num_nodes(), 0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!remaining[v]) continue;
+    for (graph::NodeId w : g.neighbors(v)) residual_degree[v] += remaining[w];
+  }
+  if (params.num_scales > 0) {
+    const std::uint64_t high = params.residual_degree_cut();
+    const std::uint64_t bad_threshold = params.vhi_internal_degree_bound();
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!remaining[v]) continue;
+      std::uint64_t high_neighbors = 0;
+      for (graph::NodeId w : g.neighbors(v)) {
+        if (remaining[w] && residual_degree[w] > high) ++high_neighbors;
+      }
+      EXPECT_LE(high_neighbors, bad_threshold) << "node " << v;
+    }
+  }
+  (void)bad;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaSeeds, BoundedArbSweep,
+    ::testing::Combine(::testing::Values<graph::NodeId>(1, 2, 3),
+                       ::testing::Values<std::uint64_t>(1, 77, 4242)));
+
+TEST(BoundedArb, InvariantAuditorSeesNoViolations) {
+  const graph::Graph g = test_graph(800, 2, 5);
+  const Params params = Params::practical(2, g.max_degree());
+  BoundedArbIndependentSet algorithm(g, params);
+  InvariantAuditor auditor(g, algorithm);
+  sim::Network net(g, 5);
+  const auto stats = net.run(algorithm, params.total_rounds(),
+                             auditor.observer());
+  EXPECT_TRUE(stats.all_halted);
+  ASSERT_EQ(auditor.audits().size(), params.num_scales);
+  EXPECT_TRUE(auditor.all_hold());
+  for (const auto& audit : auditor.audits()) {
+    EXPECT_EQ(audit.violations, 0u) << "scale " << audit.scale;
+    EXPECT_LE(audit.max_high_degree_neighbors, audit.bad_threshold);
+  }
+}
+
+TEST(BoundedArb, ZeroScalesLeavesEverythingRemaining) {
+  const graph::Graph g = graph::gen::path(10);
+  Params params = Params::practical(1, g.max_degree());
+  ASSERT_EQ(params.num_scales, 0u);  // Δ = 2 is below any practical cut
+  const auto result = BoundedArbIndependentSet::run(g, params, 1);
+  EXPECT_EQ(result.count(ArbOutcome::kRemaining), 10u);
+  EXPECT_EQ(result.stats.rounds, 0u);
+}
+
+TEST(BoundedArb, DeterministicGivenSeed) {
+  const graph::Graph g = test_graph(300, 2, 9);
+  const Params params = Params::practical(2, g.max_degree());
+  const auto a = BoundedArbIndependentSet::run(g, params, 123);
+  const auto b = BoundedArbIndependentSet::run(g, params, 123);
+  EXPECT_EQ(a.outcome, b.outcome);
+}
+
+TEST(BoundedArb, ScaleStatsAccountForEveryNode) {
+  const graph::Graph g = test_graph(500, 2, 13);
+  const Params params = Params::practical(2, g.max_degree());
+  const auto result = BoundedArbIndependentSet::run(g, params, 3);
+  std::uint64_t joined = 0, covered = 0, bad = 0;
+  for (const auto& scale : result.scale_stats) {
+    joined += scale.joined;
+    covered += scale.covered;
+    bad += scale.bad;
+  }
+  EXPECT_EQ(joined, result.count(ArbOutcome::kInMis));
+  EXPECT_EQ(covered, result.count(ArbOutcome::kCovered));
+  EXPECT_EQ(bad, result.count(ArbOutcome::kBad));
+  if (!result.scale_stats.empty()) {
+    EXPECT_EQ(result.scale_stats.back().active_after,
+              result.count(ArbOutcome::kRemaining));
+  }
+}
+
+TEST(BoundedArb, ScheduleBoundsTheRounds) {
+  // The fixed schedule is an upper bound; the run ends early if every
+  // node is decided (joined/covered/bad) before the last scale.
+  util::Rng rng(21);
+  const graph::Graph g = graph::gen::hubbed_forest_union(4000, 2, 4, rng);
+  const Params params = Params::practical(2, g.max_degree());
+  const auto result = BoundedArbIndependentSet::run(g, params, 2);
+  ASSERT_GT(params.num_scales, 0u);
+  EXPECT_TRUE(result.stats.all_halted);
+  EXPECT_LE(result.stats.rounds,
+            params.num_scales * (3 * params.iterations_per_scale + 2));
+  EXPECT_EQ(result.count(ArbOutcome::kActive), 0u);
+}
+
+TEST(BoundedArb, BadNodesAreRareOnBoundedArbGraphs) {
+  // Theorem 3.6's qualitative content with practical constants: only a
+  // small fraction of nodes lands in B.
+  std::uint64_t total_nodes = 0;
+  std::uint64_t total_bad = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const graph::Graph g = test_graph(1000, 2, seed + 31);
+    const Params params = Params::practical(2, g.max_degree());
+    const auto result = BoundedArbIndependentSet::run(g, params, seed);
+    total_nodes += g.num_nodes();
+    total_bad += result.count(ArbOutcome::kBad);
+  }
+  EXPECT_LT(static_cast<double>(total_bad),
+            0.05 * static_cast<double>(total_nodes));
+}
+
+}  // namespace
+}  // namespace arbmis::core

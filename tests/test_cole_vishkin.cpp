@@ -1,0 +1,169 @@
+// Tests for the Cole–Vishkin forest coloring and forest MIS.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "graph/orientation.h"
+#include "graph/properties.h"
+#include "mis/cole_vishkin.h"
+#include "mis/verifier.h"
+
+namespace arbmis::mis {
+namespace {
+
+/// Builds the parent array of a tree/forest rooted by BFS from each
+/// component's smallest node.
+std::vector<graph::NodeId> root_forest(const graph::Graph& g) {
+  std::vector<graph::NodeId> parent(g.num_nodes(), graph::kNoParent);
+  std::vector<bool> visited(g.num_nodes(), false);
+  for (graph::NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (visited[root]) continue;
+    std::vector<graph::NodeId> stack{root};
+    visited[root] = true;
+    while (!stack.empty()) {
+      const graph::NodeId v = stack.back();
+      stack.pop_back();
+      for (graph::NodeId w : g.neighbors(v)) {
+        if (visited[w]) continue;
+        visited[w] = true;
+        parent[w] = v;
+        stack.push_back(w);
+      }
+    }
+  }
+  return parent;
+}
+
+void expect_proper_3_coloring(const graph::Graph& g,
+                              const std::vector<graph::NodeId>& parent,
+                              const std::vector<std::uint8_t>& colors) {
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LT(colors[v], 3u);
+    if (parent[v] != graph::kNoParent) {
+      EXPECT_NE(colors[v], colors[parent[v]]) << "edge " << v << "-"
+                                              << parent[v];
+    }
+  }
+}
+
+class ColeVishkinTrees : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ColeVishkinTrees, ColorsRandomTreeProperly) {
+  util::Rng rng(GetParam());
+  const graph::Graph t = graph::gen::random_tree(300, rng);
+  const auto parent = root_forest(t);
+  const auto result =
+      ColeVishkin::run(t, parent, ColeVishkin::Mode::kColorOnly);
+  expect_proper_3_coloring(t, parent, result.colors);
+}
+
+TEST_P(ColeVishkinTrees, TreeMisIsVerified) {
+  util::Rng rng(GetParam() + 100);
+  const graph::Graph t = graph::gen::random_tree(300, rng);
+  const auto parent = root_forest(t);
+  const auto result =
+      ColeVishkin::run(t, parent, ColeVishkin::Mode::kForestMis);
+  MisResult mis;
+  mis.state = result.state;
+  mis.stats = result.stats;
+  EXPECT_TRUE(verify(t, mis).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColeVishkinTrees,
+                         ::testing::Values(1, 17, 303, 9999));
+
+TEST(ColeVishkin, WorksOnPathAndStar) {
+  for (const graph::Graph& g :
+       {graph::gen::path(64), graph::gen::star(64),
+        graph::gen::balanced_tree(64, 2), graph::gen::caterpillar(10, 4)}) {
+    const auto parent = root_forest(g);
+    const auto result =
+        ColeVishkin::run(g, parent, ColeVishkin::Mode::kForestMis);
+    expect_proper_3_coloring(g, parent, result.colors);
+    MisResult mis;
+    mis.state = result.state;
+    EXPECT_TRUE(verify(g, mis).ok());
+  }
+}
+
+TEST(ColeVishkin, WorksOnDisconnectedForest) {
+  graph::Builder b(9);
+  b.add_edge(0, 1).add_edge(1, 2);  // path
+  b.add_edge(3, 4).add_edge(3, 5).add_edge(3, 6);  // star
+  // 7, 8 isolated
+  const graph::Graph g = b.build();
+  const auto parent = root_forest(g);
+  const auto result =
+      ColeVishkin::run(g, parent, ColeVishkin::Mode::kForestMis);
+  expect_proper_3_coloring(g, parent, result.colors);
+  MisResult mis;
+  mis.state = result.state;
+  EXPECT_TRUE(verify(g, mis).ok());
+}
+
+TEST(ColeVishkin, PartialForestColorsForestEdgesOnly) {
+  // A cycle with a spanning-path forest: coloring must be proper on the
+  // path edges (the chord is not the algorithm's responsibility).
+  const graph::Graph g = graph::gen::cycle(10);
+  std::vector<graph::NodeId> parent(10, graph::kNoParent);
+  for (graph::NodeId v = 1; v < 10; ++v) parent[v] = v - 1;
+  const auto result =
+      ColeVishkin::run(g, parent, ColeVishkin::Mode::kColorOnly);
+  expect_proper_3_coloring(g, parent, result.colors);
+}
+
+TEST(ColeVishkin, RejectsNonEdgeParent) {
+  const graph::Graph g = graph::gen::path(4);
+  std::vector<graph::NodeId> parent{graph::kNoParent, 0, 1, 0};  // 3-0 not an edge
+  EXPECT_THROW(ColeVishkin(g, parent, ColeVishkin::Mode::kColorOnly),
+               std::invalid_argument);
+}
+
+TEST(ColeVishkin, RejectsCyclicParents) {
+  const graph::Graph g = graph::gen::cycle(3);
+  std::vector<graph::NodeId> parent{1, 2, 0};
+  EXPECT_THROW(ColeVishkin(g, parent, ColeVishkin::Mode::kColorOnly),
+               std::invalid_argument);
+}
+
+TEST(ColeVishkin, RejectsSizeMismatch) {
+  const graph::Graph g = graph::gen::path(4);
+  std::vector<graph::NodeId> parent{graph::kNoParent, 0};
+  EXPECT_THROW(ColeVishkin(g, parent, ColeVishkin::Mode::kColorOnly),
+               std::invalid_argument);
+}
+
+TEST(ColeVishkin, ReductionIterationsAreLogStar) {
+  EXPECT_EQ(ColeVishkin::reduction_iterations(6), 0u);
+  EXPECT_GE(ColeVishkin::reduction_iterations(1 << 20), 2u);
+  EXPECT_LE(ColeVishkin::reduction_iterations(1 << 30), 6u);
+  // log* growth: doubling n rarely adds rounds.
+  EXPECT_LE(ColeVishkin::reduction_iterations(1u << 30),
+            ColeVishkin::reduction_iterations(1u << 15) + 1);
+}
+
+TEST(ColeVishkin, RoundsMatchSchedule) {
+  util::Rng rng(7);
+  const graph::Graph t = graph::gen::random_tree(200, rng);
+  const auto parent = root_forest(t);
+  const auto result =
+      ColeVishkin::run(t, parent, ColeVishkin::Mode::kForestMis);
+  EXPECT_EQ(result.stats.rounds,
+            ColeVishkin::total_rounds(200, ColeVishkin::Mode::kForestMis));
+  EXPECT_TRUE(result.stats.all_halted);
+}
+
+TEST(ColeVishkin, DeterministicSchedule) {
+  // The algorithm is deterministic: same input, same colors, any seed.
+  util::Rng rng(11);
+  const graph::Graph t = graph::gen::random_tree(100, rng);
+  const auto parent = root_forest(t);
+  const auto a = ColeVishkin::run(t, parent, ColeVishkin::Mode::kColorOnly, 1);
+  const auto b =
+      ColeVishkin::run(t, parent, ColeVishkin::Mode::kColorOnly, 999);
+  EXPECT_EQ(a.colors, b.colors);
+}
+
+}  // namespace
+}  // namespace arbmis::mis

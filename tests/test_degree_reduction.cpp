@@ -1,0 +1,88 @@
+// Tests for the degree-reduction pre-phase and partial-result flushing.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "mis/degree_reduction.h"
+#include "mis/verifier.h"
+
+namespace arbmis::mis {
+namespace {
+
+TEST(FinalizePartial, FlushesUnprocessedJoins) {
+  const graph::Graph g = graph::gen::path(3);
+  std::vector<MisState> state{MisState::kInMis, MisState::kUndecided,
+                              MisState::kUndecided};
+  const std::uint64_t flushed = finalize_partial(g, state);
+  EXPECT_EQ(flushed, 1u);
+  EXPECT_EQ(state[1], MisState::kCovered);
+  EXPECT_EQ(state[2], MisState::kUndecided);
+}
+
+TEST(FinalizePartial, NoopOnConsistentState) {
+  const graph::Graph g = graph::gen::path(3);
+  std::vector<MisState> state{MisState::kInMis, MisState::kCovered,
+                              MisState::kInMis};
+  EXPECT_EQ(finalize_partial(g, state), 0u);
+}
+
+TEST(DegreeReduction, PartialResultIsConsistent) {
+  util::Rng rng(13);
+  const graph::Graph g = graph::gen::gnp(400, 0.05, rng);
+  const DegreeReductionResult result = degree_reduction(g, 4, 1);
+  // Joined nodes are independent.
+  std::vector<std::uint8_t> mask(g.num_nodes(), 0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    mask[v] = (result.state[v] == MisState::kInMis) ? 1 : 0;
+  }
+  EXPECT_TRUE(is_independent(g, mask));
+  // Covered nodes have an MIS neighbor; undecided ones have none.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    bool has_mis_neighbor = false;
+    for (graph::NodeId w : g.neighbors(v)) has_mis_neighbor |= (mask[w] != 0);
+    if (result.state[v] == MisState::kCovered) EXPECT_TRUE(has_mis_neighbor);
+    if (result.state[v] == MisState::kUndecided) {
+      EXPECT_FALSE(has_mis_neighbor);
+    }
+  }
+}
+
+TEST(DegreeReduction, ResidualMaskMatchesStates) {
+  util::Rng rng(17);
+  const graph::Graph g = graph::gen::gnp(200, 0.05, rng);
+  const DegreeReductionResult result = degree_reduction(g, 3, 2);
+  std::uint64_t undecided = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(result.residual_mask[v] != 0,
+              result.state[v] == MisState::kUndecided);
+    undecided += result.residual_mask[v];
+  }
+  EXPECT_EQ(undecided, result.residual_nodes);
+}
+
+TEST(DegreeReduction, MoreRoundsShrinkResidual) {
+  util::Rng rng(19);
+  const graph::Graph g = graph::gen::gnp(500, 0.04, rng);
+  const auto few = degree_reduction(g, 2, 3);
+  const auto many = degree_reduction(g, 40, 3);
+  EXPECT_LE(many.residual_nodes, few.residual_nodes);
+  EXPECT_EQ(many.residual_nodes, 0u);  // 40 rounds finishes this graph whp
+}
+
+TEST(DegreeReduction, BudgetFormulaGrowsSlowly) {
+  const auto small = degree_reduction_budget(1 << 10);
+  const auto large = degree_reduction_budget(1 << 20);
+  EXPECT_GT(small, 0u);
+  EXPECT_LT(large, 2 * small);  // sqrt(log n · log log n) growth
+}
+
+TEST(DegreeReduction, ReportsResidualDegree) {
+  // A star survives few rounds badly for the center; residual degree is
+  // always <= its true degree and 0 when nothing is left.
+  const graph::Graph g = graph::gen::star(50);
+  const auto result = degree_reduction(g, 50, 1);
+  EXPECT_EQ(result.residual_nodes, 0u);
+  EXPECT_EQ(result.residual_max_degree, 0u);
+}
+
+}  // namespace
+}  // namespace arbmis::mis

@@ -1,0 +1,69 @@
+// Determinism meta-test: every randomized algorithm is a pure function of
+// (graph, seed) — two runs with the same seed must agree bit-for-bit on
+// the outputs and the round counts; different seeds must (overwhelmingly
+// likely) differ somewhere. This is what makes every experiment in
+// bench/ reproducible from the seed it prints.
+#include <gtest/gtest.h>
+
+#include "core/arb_mis.h"
+#include "core/ghaffari_arb.h"
+#include "core/lw_tree_mis.h"
+#include "graph/generators.h"
+#include "mis/bit_metivier.h"
+#include "mis/gather_solve.h"
+#include "mis/ghaffari.h"
+#include "mis/luby.h"
+#include "mis/matching.h"
+#include "mis/metivier.h"
+
+namespace arbmis {
+namespace {
+
+TEST(Determinism, EveryAlgorithmIsAPureFunctionOfGraphAndSeed) {
+  util::Rng rng(2024);
+  const graph::Graph g = graph::gen::hubbed_forest_union(400, 2, 4, rng);
+
+  auto expect_same = [&](auto run) {
+    const auto a = run(11);
+    const auto b = run(11);
+    EXPECT_EQ(a, b);
+  };
+
+  expect_same([&](std::uint64_t s) { return mis::MetivierMis::run(g, s).state; });
+  expect_same([&](std::uint64_t s) { return mis::LubyBMis::run(g, s).state; });
+  expect_same([&](std::uint64_t s) { return mis::GhaffariMis::run(g, s).state; });
+  expect_same([&](std::uint64_t s) { return mis::BitMetivierMis::run(g, s).mis.state; });
+  expect_same([&](std::uint64_t s) { return mis::GatherSolveMis::run(g, s).state; });
+  expect_same([&](std::uint64_t s) { return mis::IsraeliItaiMatching::run(g, s).partner; });
+  expect_same([&](std::uint64_t s) { return core::arb_mis(g, {.alpha = 2}, s).mis.state; });
+  expect_same([&](std::uint64_t s) { return core::ghaffari_arb_mis(g, s).mis.state; });
+  expect_same([&](std::uint64_t s) {
+    return core::lw_tree_mis(g, s, {.alpha = 2}).mis.state;
+  });
+}
+
+TEST(Determinism, SeedsActuallyMatter) {
+  util::Rng rng(2025);
+  const graph::Graph g = graph::gen::gnp(300, 0.04, rng);
+  // At least one of the randomized algorithms must differ across seeds
+  // (all of them, in practice; require all to be safe against freak ties).
+  EXPECT_NE(mis::MetivierMis::run(g, 1).state,
+            mis::MetivierMis::run(g, 2).state);
+  EXPECT_NE(mis::LubyBMis::run(g, 1).state, mis::LubyBMis::run(g, 2).state);
+  EXPECT_NE(mis::BitMetivierMis::run(g, 1).mis.state,
+            mis::BitMetivierMis::run(g, 2).mis.state);
+  EXPECT_NE(mis::IsraeliItaiMatching::run(g, 1).partner,
+            mis::IsraeliItaiMatching::run(g, 2).partner);
+}
+
+TEST(Determinism, RoundCountsReproduce) {
+  util::Rng rng(2026);
+  const graph::Graph g = graph::gen::random_apollonian(500, rng);
+  EXPECT_EQ(mis::MetivierMis::run(g, 7).stats.rounds,
+            mis::MetivierMis::run(g, 7).stats.rounds);
+  EXPECT_EQ(core::arb_mis(g, {.alpha = 3}, 7).mis.stats.rounds,
+            core::arb_mis(g, {.alpha = 3}, 7).mis.stats.rounds);
+}
+
+}  // namespace
+}  // namespace arbmis

@@ -1,0 +1,79 @@
+// Tests for the 2-round distributed MIS self-check.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "mis/distributed_verify.h"
+#include "mis/verifier.h"
+#include "mis/metivier.h"
+
+namespace arbmis::mis {
+namespace {
+
+TEST(DistributedVerify, AcceptsRealMis) {
+  util::Rng rng(3);
+  const graph::Graph g = graph::gen::gnp(300, 0.04, rng);
+  const MisResult mis = MetivierMis::run(g, 1);
+  const auto check = DistributedMisCheck::run(g, mis.state);
+  EXPECT_TRUE(check.all_ok);
+  EXPECT_EQ(check.stats.rounds, 1u);
+}
+
+TEST(DistributedVerify, FlagsIndependenceViolationLocally) {
+  const graph::Graph g = graph::gen::path(4);
+  std::vector<MisState> state{MisState::kInMis, MisState::kInMis,
+                              MisState::kCovered, MisState::kInMis};
+  const auto check = DistributedMisCheck::run(g, state);
+  EXPECT_FALSE(check.all_ok);
+  // Both endpoints of the violating edge flag it; the others are fine.
+  EXPECT_EQ(check.local_ok[0], 0);
+  EXPECT_EQ(check.local_ok[1], 0);
+  EXPECT_EQ(check.local_ok[2], 1);
+  EXPECT_EQ(check.local_ok[3], 1);
+}
+
+TEST(DistributedVerify, FlagsFalseCoverage) {
+  const graph::Graph g = graph::gen::path(3);
+  std::vector<MisState> state{MisState::kInMis, MisState::kCovered,
+                              MisState::kCovered};
+  const auto check = DistributedMisCheck::run(g, state);
+  EXPECT_FALSE(check.all_ok);
+  EXPECT_EQ(check.local_ok[1], 1);
+  EXPECT_EQ(check.local_ok[2], 0);  // claims coverage, has no member
+}
+
+TEST(DistributedVerify, FlagsUndecidedNodes) {
+  const graph::Graph g = graph::gen::path(2);
+  std::vector<MisState> state{MisState::kInMis, MisState::kUndecided};
+  const auto check = DistributedMisCheck::run(g, state);
+  EXPECT_FALSE(check.all_ok);
+  EXPECT_EQ(check.local_ok[0], 1);
+  EXPECT_EQ(check.local_ok[1], 0);
+}
+
+TEST(DistributedVerify, AgreesWithCentralVerifierOnFuzz) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const graph::Graph g = graph::gen::gnp(60, 0.08, rng);
+    // Random (mostly invalid) labelings.
+    std::vector<MisState> state(g.num_nodes());
+    for (auto& s : state) {
+      const auto r = rng.below(3);
+      s = r == 0 ? MisState::kInMis
+                 : (r == 1 ? MisState::kCovered : MisState::kUndecided);
+    }
+    MisResult as_result;
+    as_result.state = state;
+    const bool central = verify(g, as_result).ok();
+    const bool distributed = DistributedMisCheck::run(g, state).all_ok;
+    EXPECT_EQ(central, distributed) << "trial " << trial;
+  }
+}
+
+TEST(DistributedVerify, RejectsSizeMismatch) {
+  const graph::Graph g = graph::gen::path(3);
+  EXPECT_THROW(DistributedMisCheck(g, {MisState::kInMis}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arbmis::mis

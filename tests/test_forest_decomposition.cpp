@@ -1,0 +1,102 @@
+// Tests for the Barenboim–Elkin H-partition forest decomposition.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "mis/forest_decomposition.h"
+
+namespace arbmis::mis {
+namespace {
+
+class ForestDecompSweep
+    : public ::testing::TestWithParam<std::tuple<graph::NodeId, std::uint64_t>> {
+};
+
+TEST_P(ForestDecompSweep, DecomposesUnionOfForests) {
+  const auto [alpha, seed] = GetParam();
+  util::Rng rng(seed);
+  const graph::Graph g =
+      graph::gen::union_of_random_forests(200, alpha, rng);
+  const auto result =
+      ForestDecomposition::run(g, {.alpha = alpha, .eps = 2.0});
+  ASSERT_TRUE(result.complete);
+  EXPECT_TRUE(result.stats.all_halted);
+  // (2+eps)·α forests at most.
+  EXPECT_LE(result.forests.num_forests(), 4 * alpha);
+  EXPECT_TRUE(graph::valid_forest_partition(g, result.forests));
+  EXPECT_TRUE(result.orientation.is_acyclic());
+  EXPECT_LE(result.orientation.max_out_degree(), 4 * alpha);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaSeeds, ForestDecompSweep,
+    ::testing::Combine(::testing::Values<graph::NodeId>(1, 2, 3),
+                       ::testing::Values<std::uint64_t>(3, 91, 512)));
+
+TEST(ForestDecomposition, TreeNeedsFewForests) {
+  util::Rng rng(5);
+  const graph::Graph t = graph::gen::random_tree(300, rng);
+  const auto result = ForestDecomposition::run(t, {.alpha = 1, .eps = 2.0});
+  ASSERT_TRUE(result.complete);
+  EXPECT_LE(result.forests.num_forests(), 4u);
+  EXPECT_TRUE(graph::valid_forest_partition(t, result.forests));
+}
+
+TEST(ForestDecomposition, ApollonianWithAlpha3) {
+  util::Rng rng(9);
+  const graph::Graph g = graph::gen::random_apollonian(300, rng);
+  const auto result = ForestDecomposition::run(g, {.alpha = 3, .eps = 2.0});
+  ASSERT_TRUE(result.complete);
+  EXPECT_TRUE(graph::valid_forest_partition(g, result.forests));
+}
+
+TEST(ForestDecomposition, LevelsRespectThreshold) {
+  util::Rng rng(13);
+  const graph::Graph g = graph::gen::k_degenerate(200, 2, rng);
+  ForestDecomposition algorithm(g, {.alpha = 2, .eps = 2.0});
+  sim::Network net(g, 1);
+  net.run(algorithm, 1 << 20);
+  const auto& levels = algorithm.levels();
+  // Every node assigned, and counting same-or-later-level neighbors
+  // bounds out-degree by the threshold.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_NE(levels[v], ForestDecomposition::kUnassigned);
+    graph::NodeId later = 0;
+    for (graph::NodeId w : g.neighbors(v)) {
+      later += (levels[w] > levels[v] || (levels[w] == levels[v] && w > v));
+    }
+    EXPECT_LE(later, algorithm.threshold());
+  }
+}
+
+TEST(ForestDecomposition, StallsGracefullyWhenAlphaTooSmall) {
+  // K_8 has arboricity 4; alpha = 1 gives threshold 3 < min degree 7,
+  // so no node is ever assigned.
+  const graph::Graph g = graph::gen::complete(8);
+  const auto result =
+      ForestDecomposition::run(g, {.alpha = 1, .eps = 1.0}, 1, 50);
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(ForestDecomposition, RoundsLogarithmic) {
+  util::Rng rng(17);
+  const graph::Graph small = graph::gen::union_of_random_forests(128, 2, rng);
+  const graph::Graph large =
+      graph::gen::union_of_random_forests(4096, 2, rng);
+  const auto rs = ForestDecomposition::run(small, {.alpha = 2, .eps = 2.0});
+  const auto rl = ForestDecomposition::run(large, {.alpha = 2, .eps = 2.0});
+  ASSERT_TRUE(rs.complete);
+  ASSERT_TRUE(rl.complete);
+  // 32x nodes should cost only a few extra rounds (O(log n) levels).
+  EXPECT_LE(rl.stats.rounds, rs.stats.rounds + 24);
+}
+
+TEST(ForestDecomposition, IsolatedNodesGetLevelZero) {
+  const graph::Graph g = graph::Builder(4).build();
+  const auto result = ForestDecomposition::run(g, {.alpha = 1, .eps = 2.0});
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.forests.num_forests(), 0u);
+}
+
+}  // namespace
+}  // namespace arbmis::mis

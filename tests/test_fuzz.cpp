@@ -1,0 +1,142 @@
+// Randomized property tests ("fuzz"): differential checks of the graph
+// substrate against naive reference implementations, and end-to-end
+// pipeline runs on randomly generated structures.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/arb_mis.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "graph/subgraph.h"
+#include "mis/matching.h"
+#include "mis/metivier.h"
+#include "mis/verifier.h"
+#include "util/rng.h"
+
+namespace arbmis {
+namespace {
+
+/// Random simple graph as a set of edges (reference representation).
+std::set<std::pair<graph::NodeId, graph::NodeId>> random_edge_set(
+    graph::NodeId n, std::uint64_t edge_attempts, util::Rng& rng) {
+  std::set<std::pair<graph::NodeId, graph::NodeId>> edges;
+  for (std::uint64_t i = 0; i < edge_attempts; ++i) {
+    const auto u = static_cast<graph::NodeId>(rng.below(n));
+    const auto v = static_cast<graph::NodeId>(rng.below(n));
+    if (u == v) continue;
+    edges.insert({std::min(u, v), std::max(u, v)});
+  }
+  return edges;
+}
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fuzz, BuilderMatchesReferenceEdgeSet) {
+  util::Rng rng(GetParam());
+  const graph::NodeId n = 2 + static_cast<graph::NodeId>(rng.below(60));
+  const auto reference = random_edge_set(n, 3 * n, rng);
+
+  graph::Builder builder(n);
+  // Insert in scrambled order with duplicates.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> inserts(
+      reference.begin(), reference.end());
+  for (const auto& e : inserts) builder.add_edge(e.second, e.first);
+  for (std::size_t i = 0; i < inserts.size(); i += 2) {
+    builder.add_edge(inserts[i].first, inserts[i].second);  // duplicate
+  }
+  const graph::Graph g = builder.build();
+
+  EXPECT_EQ(g.num_edges(), reference.size());
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (graph::NodeId v = u + 1; v < n; ++v) {
+      EXPECT_EQ(g.has_edge(u, v), reference.count({u, v}) > 0)
+          << u << "-" << v;
+    }
+  }
+  // Degrees match reference counts.
+  for (graph::NodeId v = 0; v < n; ++v) {
+    graph::NodeId expected = 0;
+    for (const auto& e : reference) {
+      expected += (e.first == v || e.second == v);
+    }
+    EXPECT_EQ(g.degree(v), expected);
+  }
+}
+
+TEST_P(Fuzz, DegeneracyMatchesBruteForceOnSmallGraphs) {
+  util::Rng rng(GetParam() + 100);
+  const graph::NodeId n = 2 + static_cast<graph::NodeId>(rng.below(14));
+  const auto reference = random_edge_set(n, 2 * n, rng);
+  graph::Builder builder(n);
+  for (const auto& e : reference) builder.add_edge(e.first, e.second);
+  const graph::Graph g = builder.build();
+
+  // Brute-force degeneracy: repeatedly remove a minimum-degree node.
+  std::vector<bool> removed(n, false);
+  std::vector<graph::NodeId> degree(n, 0);
+  for (graph::NodeId v = 0; v < n; ++v) degree[v] = g.degree(v);
+  graph::NodeId reference_degeneracy = 0;
+  for (graph::NodeId step = 0; step < n; ++step) {
+    graph::NodeId best = graph::kUnreachable;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (!removed[v] &&
+          (best == graph::kUnreachable || degree[v] < degree[best])) {
+        best = v;
+      }
+    }
+    reference_degeneracy = std::max(reference_degeneracy, degree[best]);
+    removed[best] = true;
+    for (graph::NodeId w : g.neighbors(best)) {
+      if (!removed[w]) --degree[w];
+    }
+  }
+  EXPECT_EQ(graph::degeneracy(g), reference_degeneracy);
+}
+
+TEST_P(Fuzz, SubgraphOfSubgraphConsistent) {
+  util::Rng rng(GetParam() + 200);
+  const graph::Graph g = graph::gen::gnp(50, 0.15, rng);
+  std::vector<std::uint8_t> mask1(50, 0);
+  for (auto& b : mask1) b = rng.bernoulli(0.7) ? 1 : 0;
+  const graph::Subgraph sub1 = graph::induced_subgraph(g, mask1);
+  std::vector<std::uint8_t> mask2(sub1.graph.num_nodes(), 0);
+  for (auto& b : mask2) b = rng.bernoulli(0.7) ? 1 : 0;
+  const graph::Subgraph sub2 = graph::induced_subgraph(sub1.graph, mask2);
+  // Edges of the nested subgraph are edges of the original graph.
+  for (const graph::Edge& e : sub2.graph.edges()) {
+    const graph::NodeId u = sub1.original(sub2.original(e.u));
+    const graph::NodeId v = sub1.original(sub2.original(e.v));
+    EXPECT_TRUE(g.has_edge(u, v));
+  }
+}
+
+TEST_P(Fuzz, PipelineOnRandomStructures) {
+  util::Rng rng(GetParam() + 300);
+  // Random graph; alpha hint derived from its actual degeneracy.
+  const graph::NodeId n = 100 + static_cast<graph::NodeId>(rng.below(400));
+  const double p = 2.0 / static_cast<double>(n) * (1 + rng.below(4));
+  const graph::Graph g = graph::gen::gnp(n, p, rng);
+  const graph::NodeId alpha = std::max<graph::NodeId>(
+      graph::degeneracy(g), 1);
+  const core::ArbMisResult result =
+      core::arb_mis(g, {.alpha = alpha}, GetParam());
+  EXPECT_TRUE(mis::verify(g, result.mis).ok());
+  EXPECT_FALSE(result.cleanup_used);
+}
+
+TEST_P(Fuzz, MisAndMatchingCoexistOnSameGraph) {
+  util::Rng rng(GetParam() + 400);
+  const graph::Graph g = graph::gen::k_degenerate(300, 3, rng);
+  EXPECT_TRUE(
+      mis::verify(g, mis::MetivierMis::run(g, GetParam())).ok());
+  EXPECT_TRUE(mis::verify_maximal_matching(
+      g, mis::IsraeliItaiMatching::run(g, GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace arbmis

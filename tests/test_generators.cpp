@@ -1,0 +1,218 @@
+// Generator guarantees: sizes, degrees, and the constructive arboricity /
+// degeneracy / planarity certificates each family promises (DESIGN.md §2).
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+
+namespace arbmis::graph {
+namespace {
+
+TEST(Deterministic, PathCycleStar) {
+  const Graph p = gen::path(5);
+  EXPECT_EQ(p.num_edges(), 4u);
+  EXPECT_TRUE(is_forest(p));
+
+  const Graph c = gen::cycle(5);
+  EXPECT_EQ(c.num_edges(), 5u);
+  EXPECT_FALSE(is_forest(c));
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(c.degree(v), 2u);
+
+  const Graph s = gen::star(6);
+  EXPECT_EQ(s.degree(0), 5u);
+  EXPECT_TRUE(is_forest(s));
+}
+
+TEST(Deterministic, TinyCycleDegradesToPath) {
+  EXPECT_EQ(gen::cycle(2).num_edges(), 1u);
+}
+
+TEST(Deterministic, CompleteAndBipartite) {
+  const Graph k5 = gen::complete(5);
+  EXPECT_EQ(k5.num_edges(), 10u);
+  EXPECT_EQ(k5.max_degree(), 4u);
+
+  const Graph k23 = gen::complete_bipartite(2, 3);
+  EXPECT_EQ(k23.num_edges(), 6u);
+  EXPECT_EQ(k23.num_nodes(), 5u);
+}
+
+TEST(Deterministic, BalancedTreeIsTree) {
+  const Graph t = gen::balanced_tree(100, 3);
+  EXPECT_EQ(t.num_edges(), 99u);
+  EXPECT_TRUE(is_forest(t));
+  EXPECT_EQ(connected_components(t).count, 1u);
+}
+
+TEST(Deterministic, CaterpillarShape) {
+  const Graph t = gen::caterpillar(5, 3);
+  EXPECT_EQ(t.num_nodes(), 20u);
+  EXPECT_TRUE(is_forest(t));
+  EXPECT_EQ(connected_components(t).count, 1u);
+}
+
+TEST(Deterministic, GridPlanarEdgeCount) {
+  const Graph g = gen::grid(4, 6);
+  EXPECT_EQ(g.num_nodes(), 24u);
+  EXPECT_EQ(g.num_edges(), 4u * 5 + 6u * 3);
+  EXPECT_LE(degeneracy(g), 2u);  // grids are 2-degenerate
+}
+
+TEST(Deterministic, TorusIsRegular) {
+  const Graph g = gen::torus(4, 5);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Deterministic, TriangularGridPlanarBound) {
+  const Graph g = gen::triangular_grid(6, 6);
+  // planar: m <= 3n - 6
+  EXPECT_LE(g.num_edges(), 3u * g.num_nodes() - 6);
+  EXPECT_LE(degeneracy(g), 3u);
+}
+
+TEST(Deterministic, Hypercube) {
+  const Graph g = gen::hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(connected_components(g).count, 1u);
+}
+
+class RandomGenerators : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGenerators, RandomTreeIsUniformTree) {
+  util::Rng rng(GetParam());
+  for (NodeId n : {1u, 2u, 3u, 10u, 257u}) {
+    const Graph t = gen::random_tree(n, rng);
+    EXPECT_EQ(t.num_nodes(), n);
+    if (n > 0) {
+      EXPECT_EQ(t.num_edges(), n - 1u);
+    }
+    EXPECT_TRUE(is_forest(t));
+    EXPECT_EQ(connected_components(t).count, n > 0 ? 1u : 0u);
+  }
+}
+
+TEST_P(RandomGenerators, RecursiveAndPreferentialTrees) {
+  util::Rng rng(GetParam());
+  const Graph r = gen::random_recursive_tree(200, rng);
+  EXPECT_TRUE(is_forest(r));
+  EXPECT_EQ(connected_components(r).count, 1u);
+
+  const Graph p = gen::preferential_attachment_tree(200, rng);
+  EXPECT_TRUE(is_forest(p));
+  EXPECT_EQ(connected_components(p).count, 1u);
+}
+
+TEST_P(RandomGenerators, GnpEdgeCountNearExpectation) {
+  util::Rng rng(GetParam());
+  const NodeId n = 300;
+  const double p = 0.05;
+  const Graph g = gen::gnp(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.25);
+}
+
+TEST_P(RandomGenerators, GnpExtremes) {
+  util::Rng rng(GetParam());
+  EXPECT_EQ(gen::gnp(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gen::gnp(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST_P(RandomGenerators, GnmExactEdgeCount) {
+  util::Rng rng(GetParam());
+  const Graph g = gen::gnm(100, 321, rng);
+  EXPECT_EQ(g.num_edges(), 321u);
+  // m capped at C(n,2)
+  EXPECT_EQ(gen::gnm(5, 1000, rng).num_edges(), 10u);
+}
+
+TEST_P(RandomGenerators, ForestUnionHasBoundedArboricity) {
+  util::Rng rng(GetParam());
+  for (NodeId k : {1u, 2u, 4u}) {
+    const Graph g = gen::union_of_random_forests(128, k, rng);
+    // Degeneracy <= 2·arboricity - 1 <= 2k - 1.
+    EXPECT_LE(degeneracy(g), 2 * k - 1);
+    EXPECT_GE(density_lower_bound(g), 1u);
+    if (k == 1) {
+      EXPECT_TRUE(is_forest(g));
+    }
+  }
+}
+
+TEST_P(RandomGenerators, ApollonianIsMaximalPlanar) {
+  util::Rng rng(GetParam());
+  const Graph g = gen::random_apollonian(100, rng);
+  EXPECT_EQ(g.num_edges(), 3u * 100 - 6);
+  EXPECT_EQ(degeneracy(g), 3u);
+  EXPECT_EQ(connected_components(g).count, 1u);
+}
+
+TEST_P(RandomGenerators, KTreeDegeneracy) {
+  util::Rng rng(GetParam());
+  for (NodeId k : {1u, 2u, 3u}) {
+    const Graph g = gen::k_tree(64, k, rng);
+    EXPECT_EQ(degeneracy(g), k);
+    // k-tree edge count: C(k+1,2) + (n-k-1)·k
+    EXPECT_EQ(g.num_edges(),
+              static_cast<std::uint64_t>(k) * (k + 1) / 2 +
+                  static_cast<std::uint64_t>(64 - k - 1) * k);
+  }
+}
+
+TEST_P(RandomGenerators, KDegenerateBound) {
+  util::Rng rng(GetParam());
+  for (NodeId k : {1u, 2u, 5u}) {
+    const Graph g = gen::k_degenerate(200, k, rng);
+    EXPECT_LE(degeneracy(g), k);
+    EXPECT_EQ(g.num_edges(),
+              static_cast<std::uint64_t>(k) * (200 - k) +
+                  static_cast<std::uint64_t>(k) * (k - 1) / 2);
+  }
+}
+
+TEST_P(RandomGenerators, HubbedForestUnionCertificates) {
+  util::Rng rng(GetParam());
+  for (NodeId k : {1u, 2u, 4u}) {
+    for (NodeId hubs : {2u, 8u}) {
+      const Graph g = gen::hubbed_forest_union(1000, k, hubs, rng);
+      // Star forest + (k-1) spanning trees: arboricity <= k, so
+      // degeneracy <= 2k - 1.
+      EXPECT_LE(degeneracy(g), 2 * k - 1) << "k=" << k << " hubs=" << hubs;
+      // Hubs give the high-degree regime the paper targets.
+      EXPECT_GE(g.max_degree(), 1000u / hubs - 2) << "k=" << k;
+      EXPECT_EQ(g.num_nodes(), 1000u);
+    }
+  }
+  // Degenerate parameters.
+  EXPECT_EQ(gen::hubbed_forest_union(0, 2, 4, rng).num_nodes(), 0u);
+  EXPECT_EQ(gen::hubbed_forest_union(5, 1, 100, rng).num_nodes(), 5u);
+}
+
+TEST_P(RandomGenerators, ChungLuPowerLawShape) {
+  util::Rng rng(GetParam());
+  const NodeId n = 2000;
+  const Graph g = gen::chung_lu_power_law(n, 2.5, 6.0, rng);
+  // Average degree near target.
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) /
+                     static_cast<double>(n);
+  EXPECT_GT(avg, 2.0);
+  EXPECT_LT(avg, 12.0);
+  // Heavy tail: the max degree dwarfs the average...
+  EXPECT_GT(g.max_degree(), 8 * static_cast<NodeId>(avg));
+  // ...while the degeneracy (and hence arboricity) stays small.
+  EXPECT_LT(degeneracy(g), 20u);
+}
+
+TEST_P(RandomGenerators, SameSeedReproduces) {
+  util::Rng a(GetParam());
+  util::Rng b(GetParam());
+  const Graph ga = gen::random_apollonian(50, a);
+  const Graph gb = gen::random_apollonian(50, b);
+  EXPECT_EQ(ga.edges(), gb.edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGenerators,
+                         ::testing::Values(1, 7, 1234, 99991));
+
+}  // namespace
+}  // namespace arbmis::graph

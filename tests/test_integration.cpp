@@ -1,0 +1,109 @@
+// End-to-end integration: cross-algorithm agreement on MIS validity,
+// pipeline composition at scale, and the headline qualitative claims.
+#include <gtest/gtest.h>
+
+#include "core/arb_mis.h"
+#include "core/bounded_arb.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "mis/ghaffari.h"
+#include "mis/greedy.h"
+#include "mis/luby.h"
+#include "mis/metivier.h"
+#include "mis/verifier.h"
+
+namespace arbmis {
+namespace {
+
+TEST(Integration, AllAlgorithmsAgreeOnValidityAtScale) {
+  util::Rng rng(101);
+  const graph::Graph g = graph::gen::union_of_random_forests(3000, 2, rng);
+  const auto greedy = mis::greedy_mis(g);
+  const auto metivier = mis::MetivierMis::run(g, 1);
+  const auto luby = mis::LubyBMis::run(g, 2);
+  const auto ghaffari = mis::GhaffariMis::run(g, 3);
+  const auto pipeline = core::arb_mis(g, {.alpha = 2}, 4);
+  for (const auto* result :
+       {&greedy, &metivier, &luby, &ghaffari, &pipeline.mis}) {
+    EXPECT_TRUE(mis::verify(g, *result).ok());
+  }
+  // MIS sizes on the same graph are within a small factor of each other.
+  const double base = static_cast<double>(greedy.mis_size());
+  for (const auto* result : {&metivier, &luby, &ghaffari, &pipeline.mis}) {
+    const double size = static_cast<double>(result->mis_size());
+    EXPECT_GT(size, base * 0.5);
+    EXPECT_LT(size, base * 2.0);
+  }
+}
+
+TEST(Integration, LargeTreePipeline) {
+  util::Rng rng(103);
+  const graph::Graph t = graph::gen::random_tree(20000, rng);
+  const auto result = core::arb_mis(t, {.alpha = 1}, 9);
+  EXPECT_TRUE(mis::verify(t, result.mis).ok());
+  EXPECT_FALSE(result.cleanup_used);
+}
+
+TEST(Integration, LargePlanarPipeline) {
+  util::Rng rng(107);
+  const graph::Graph g = graph::gen::random_apollonian(20000, rng);
+  const auto result = core::arb_mis(g, {.alpha = 3}, 10);
+  EXPECT_TRUE(mis::verify(g, result.mis).ok());
+}
+
+TEST(Integration, ShatteringLeavesSmallBadComponents) {
+  // Lemma 3.7's qualitative content: bad components are tiny relative to
+  // the graph.
+  util::Rng rng(109);
+  const graph::Graph g = graph::gen::union_of_random_forests(8000, 3, rng);
+  const auto result = core::arb_mis(g, {.alpha = 3}, 11);
+  EXPECT_TRUE(mis::verify(g, result.mis).ok());
+  if (result.bad_components.set_size > 0) {
+    EXPECT_LT(result.bad_components.largest_component, g.num_nodes() / 50);
+  }
+}
+
+TEST(Integration, HighDegreeHubsHandled) {
+  // Preferential-attachment trees have huge hubs (Δ up to ~n^(1/2)); the
+  // scale machinery must still terminate and verify.
+  util::Rng rng(113);
+  const graph::Graph t = graph::gen::preferential_attachment_tree(10000, rng);
+  const auto result = core::arb_mis(t, {.alpha = 1}, 12);
+  EXPECT_TRUE(mis::verify(t, result.mis).ok());
+}
+
+TEST(Integration, MessageComplexityIsPerEdgeBounded) {
+  util::Rng rng(127);
+  const graph::Graph g = graph::gen::union_of_random_forests(2000, 2, rng);
+  const auto result = mis::MetivierMis::run(g, 13);
+  // CONGEST normalization: never more than one message per directed edge
+  // per round.
+  EXPECT_EQ(result.stats.max_edge_load, 1u);
+  EXPECT_LE(result.stats.messages,
+            static_cast<std::uint64_t>(result.stats.rounds) * 2 *
+                g.num_edges());
+}
+
+TEST(Integration, SublogarithmicShatteringRoundsAreNIndependent) {
+  // The shattering phase's round count depends on Δ and α only — two
+  // graphs with similar Δ but 16x different n should give near-identical
+  // shattering rounds.
+  util::Rng rng(131);
+  const graph::Graph small = graph::gen::union_of_random_forests(1000, 2, rng);
+  const graph::Graph large =
+      graph::gen::union_of_random_forests(16000, 2, rng);
+  const core::Params params_small =
+      core::Params::practical(2, small.max_degree());
+  const core::Params params_large =
+      core::Params::practical(2, large.max_degree());
+  const auto rs =
+      core::BoundedArbIndependentSet::run(small, params_small, 1).stats.rounds;
+  const auto rl =
+      core::BoundedArbIndependentSet::run(large, params_large, 1).stats.rounds;
+  // Rounds are a function of (Δ, α); Δ differs a little between draws, so
+  // allow slack but demand far sub-linear growth.
+  EXPECT_LT(rl, 3 * rs + 50);
+}
+
+}  // namespace
+}  // namespace arbmis

@@ -1,0 +1,88 @@
+// Tests for graph serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace arbmis::graph {
+namespace {
+
+TEST(Io, RoundTripPreservesGraph) {
+  util::Rng rng(3);
+  for (const Graph& g :
+       {gen::random_apollonian(100, rng), gen::path(5), Graph(0),
+        Builder(4).build(), gen::hubbed_forest_union(200, 2, 4, rng)}) {
+    std::stringstream buffer;
+    write_edge_list(buffer, g);
+    const Graph loaded = read_edge_list(buffer);
+    EXPECT_EQ(loaded.num_nodes(), g.num_nodes());
+    EXPECT_EQ(loaded.num_edges(), g.num_edges());
+    EXPECT_EQ(loaded.edges(), g.edges());
+  }
+}
+
+TEST(Io, SkipsCommentsAndBlankLines) {
+  std::stringstream in(
+      "# header comment\n\n3 2\n# edge comment\n0 1\n\n1 2\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(Io, RejectsMalformedInput) {
+  {
+    std::stringstream in("");
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("abc\n");
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 2\n0 1\n");  // promised 2 edges, gave 1
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 1\n0 7\n");  // endpoint out of range
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 1\n1 1\n");  // self-loop
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("3 1\nx y\n");  // garbage edge
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+}
+
+TEST(Io, FileSaveLoad) {
+  util::Rng rng(5);
+  const Graph g = gen::union_of_random_forests(60, 2, rng);
+  const std::string path = "/tmp/arbmis_io_test.txt";
+  save_graph(path, g);
+  const Graph loaded = load_graph(path);
+  EXPECT_EQ(loaded.edges(), g.edges());
+  EXPECT_THROW(load_graph("/nonexistent/dir/graph.txt"), std::runtime_error);
+}
+
+TEST(Io, DotExport) {
+  const Graph g = gen::path(3);
+  std::ostringstream out;
+  const std::vector<std::uint8_t> highlight{1, 0, 1};
+  write_dot(out, g, highlight);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("graph arbmis {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2;"), std::string::npos);
+  EXPECT_NE(dot.find("0 [style=filled"), std::string::npos);
+  EXPECT_EQ(dot.find("1 [style=filled"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arbmis::graph

@@ -1,0 +1,102 @@
+// Tests for Israeli–Itai maximal matching.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "mis/matching.h"
+
+namespace arbmis::mis {
+namespace {
+
+class MatchingSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingSweep, MaximalOnBattery) {
+  util::Rng rng(GetParam());
+  const std::vector<graph::Graph> graphs{
+      graph::gen::path(30),
+      graph::gen::cycle(31),
+      graph::gen::star(40),
+      graph::gen::complete(9),
+      graph::gen::complete_bipartite(5, 8),
+      graph::gen::grid(6, 8),
+      graph::gen::random_tree(200, rng),
+      graph::gen::gnp(200, 0.04, rng),
+      graph::gen::random_apollonian(200, rng),
+      graph::gen::hubbed_forest_union(300, 2, 4, rng),
+  };
+  for (const auto& g : graphs) {
+    const MatchingResult result =
+        IsraeliItaiMatching::run(g, GetParam() + 17);
+    EXPECT_TRUE(verify_maximal_matching(g, result))
+        << "n=" << g.num_nodes() << " m=" << g.num_edges();
+    EXPECT_TRUE(result.stats.all_halted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingSweep,
+                         ::testing::Values(1, 7, 42, 512));
+
+TEST(Matching, EmptyAndTinyGraphs) {
+  for (graph::NodeId n : {0u, 1u, 2u}) {
+    const graph::Graph g = graph::gen::path(n);
+    const MatchingResult result = IsraeliItaiMatching::run(g, 1);
+    EXPECT_TRUE(verify_maximal_matching(g, result));
+  }
+  // Single edge: the two endpoints must match each other.
+  const graph::Graph edge = graph::gen::path(2);
+  const MatchingResult result = IsraeliItaiMatching::run(edge, 3);
+  EXPECT_EQ(result.partner[0], 1u);
+  EXPECT_EQ(result.partner[1], 0u);
+  EXPECT_EQ(result.num_matched_edges(), 1u);
+}
+
+TEST(Matching, IsolatedNodesStayUnmatched) {
+  const graph::Graph g = graph::Builder(5).build();
+  const MatchingResult result = IsraeliItaiMatching::run(g, 1);
+  for (graph::NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(result.partner[v], kUnmatched);
+  }
+  EXPECT_TRUE(verify_maximal_matching(g, result));
+}
+
+TEST(Matching, DeterministicGivenSeed) {
+  util::Rng rng(11);
+  const graph::Graph g = graph::gen::gnp(150, 0.05, rng);
+  const MatchingResult a = IsraeliItaiMatching::run(g, 5);
+  const MatchingResult b = IsraeliItaiMatching::run(g, 5);
+  EXPECT_EQ(a.partner, b.partner);
+}
+
+TEST(Matching, LogarithmicRounds) {
+  util::Rng rng(13);
+  const graph::Graph g = graph::gen::gnp(4000, 0.002, rng);
+  const MatchingResult result = IsraeliItaiMatching::run(g, 7);
+  EXPECT_TRUE(verify_maximal_matching(g, result));
+  EXPECT_LT(result.stats.rounds, 150u);
+}
+
+TEST(Matching, VerifierCatchesBadMatchings) {
+  const graph::Graph g = graph::gen::path(4);
+  MatchingResult result;
+  // Non-symmetric.
+  result.partner = {1, kUnmatched, kUnmatched, kUnmatched};
+  EXPECT_FALSE(verify_maximal_matching(g, result));
+  // Non-edge pair.
+  result.partner = {2, kUnmatched, 0, kUnmatched};
+  EXPECT_FALSE(verify_maximal_matching(g, result));
+  // Valid but not maximal (edge 2-3 unmatched on both sides).
+  result.partner = {1, 0, kUnmatched, kUnmatched};
+  EXPECT_FALSE(verify_maximal_matching(g, result));
+  // Proper maximal matching.
+  result.partner = {1, 0, 3, 2};
+  EXPECT_TRUE(verify_maximal_matching(g, result));
+}
+
+TEST(Matching, CongestCompliant) {
+  util::Rng rng(17);
+  const graph::Graph g = graph::gen::hubbed_forest_union(1000, 2, 4, rng);
+  const MatchingResult result = IsraeliItaiMatching::run(g, 9);
+  EXPECT_EQ(result.stats.max_edge_load, 1u);
+}
+
+}  // namespace
+}  // namespace arbmis::mis

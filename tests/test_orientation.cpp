@@ -1,0 +1,100 @@
+// Tests for orientations and forest partitions — the analysis-side
+// parent/child structure of the paper.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/orientation.h"
+#include "graph/properties.h"
+
+namespace arbmis::graph {
+namespace {
+
+TEST(Orientation, DegeneracyOrientationBoundsOutDegree) {
+  util::Rng rng(31);
+  for (NodeId k : {1u, 2u, 4u}) {
+    const Graph g = gen::union_of_random_forests(100, k, rng);
+    const Orientation o = degeneracy_orientation(g);
+    EXPECT_LE(o.max_out_degree(), degeneracy(g));
+    EXPECT_LE(o.max_out_degree(), 2 * k - 1);
+    EXPECT_TRUE(o.is_acyclic());
+  }
+}
+
+TEST(Orientation, ChildrenInverseOfParents) {
+  util::Rng rng(37);
+  const Graph g = gen::random_apollonian(60, rng);
+  const Orientation o = degeneracy_orientation(g);
+  std::uint64_t parent_pairs = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId p : o.parents(v)) {
+      const auto kids = o.children(p);
+      EXPECT_NE(std::find(kids.begin(), kids.end(), v), kids.end());
+      ++parent_pairs;
+    }
+  }
+  EXPECT_EQ(parent_pairs, g.num_edges());
+}
+
+TEST(Orientation, IdOrientationAcyclic) {
+  util::Rng rng(41);
+  const Graph g = gen::gnp(60, 0.1, rng);
+  const Orientation o = id_orientation(g);
+  EXPECT_TRUE(o.is_acyclic());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId p : o.parents(v)) EXPECT_GT(p, v);
+  }
+}
+
+TEST(Orientation, DetectsCycle) {
+  // Manually build a cyclic "orientation": 0 -> 1 -> 2 -> 0.
+  Builder b(3);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+  const Graph g = b.build();
+  std::vector<std::vector<NodeId>> parents{{1}, {2}, {0}};
+  const Orientation o(g, std::move(parents));
+  EXPECT_FALSE(o.is_acyclic());
+}
+
+TEST(ForestPartition, FromDegeneracyOrientationIsValid) {
+  util::Rng rng(43);
+  for (NodeId k : {1u, 2u, 3u}) {
+    const Graph g = gen::union_of_random_forests(80, k, rng);
+    const Orientation o = degeneracy_orientation(g);
+    const ForestPartition partition = forests_from_orientation(g, o);
+    EXPECT_EQ(partition.num_forests(), o.max_out_degree());
+    EXPECT_EQ(partition.num_edges(), g.num_edges());
+    EXPECT_TRUE(valid_forest_partition(g, partition));
+  }
+}
+
+TEST(ForestPartition, TreeGivesOneForest) {
+  util::Rng rng(47);
+  const Graph t = gen::random_tree(50, rng);
+  const Orientation o = degeneracy_orientation(t);
+  const ForestPartition partition = forests_from_orientation(t, o);
+  EXPECT_EQ(partition.num_forests(), 1u);
+  EXPECT_TRUE(valid_forest_partition(t, partition));
+}
+
+TEST(ForestPartition, ValidatorCatchesBadPartition) {
+  const Graph g = gen::path(4);
+  // Missing edge coverage.
+  ForestPartition partition;
+  partition.forest_parent = {{kNoParent, 0, kNoParent, kNoParent}};
+  EXPECT_FALSE(valid_forest_partition(g, partition));
+  // Non-edge parent pointer.
+  partition.forest_parent = {{2, 0, 1, 2}};
+  EXPECT_FALSE(valid_forest_partition(g, partition));
+}
+
+TEST(ForestPartition, ValidatorCatchesCycleInForest) {
+  Builder b(3);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+  const Graph g = b.build();
+  ForestPartition partition;
+  partition.forest_parent = {{1, 2, 0}};
+  EXPECT_FALSE(valid_forest_partition(g, partition));
+}
+
+}  // namespace
+}  // namespace arbmis::graph

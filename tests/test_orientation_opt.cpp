@@ -1,0 +1,115 @@
+// Tests for max-flow based optimal orientations and exact
+// pseudoarboricity (the tight sandwich around the paper's α).
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/orientation_opt.h"
+#include "graph/properties.h"
+
+namespace arbmis::graph {
+namespace {
+
+TEST(Pseudoarboricity, KnownValues) {
+  EXPECT_EQ(pseudoarboricity(Graph(5)), 0u);
+  EXPECT_EQ(pseudoarboricity(gen::path(10)), 1u);
+  EXPECT_EQ(pseudoarboricity(gen::cycle(10)), 1u);  // m/n = 1
+  EXPECT_EQ(pseudoarboricity(gen::star(20)), 1u);
+  // K4: max density 6/4 -> 2; K5: 10/5 -> 2; K6: 15/6 -> 3.
+  EXPECT_EQ(pseudoarboricity(gen::complete(4)), 2u);
+  EXPECT_EQ(pseudoarboricity(gen::complete(5)), 2u);
+  EXPECT_EQ(pseudoarboricity(gen::complete(6)), 3u);
+  // 4x4 torus is 4-regular: density 2.
+  EXPECT_EQ(pseudoarboricity(gen::torus(4, 4)), 2u);
+}
+
+TEST(Pseudoarboricity, FeasibilityMonotone) {
+  util::Rng rng(3);
+  const Graph g = gen::gnp(40, 0.2, rng);
+  const NodeId p = pseudoarboricity(g);
+  ASSERT_GE(p, 1u);
+  EXPECT_FALSE(has_orientation_with_outdegree(g, p - 1));
+  EXPECT_TRUE(has_orientation_with_outdegree(g, p));
+  EXPECT_TRUE(has_orientation_with_outdegree(g, p + 1));
+}
+
+TEST(MinOutdegreeOrientation, AchievesTheOptimum) {
+  util::Rng rng(5);
+  for (const Graph& g :
+       {gen::complete(6), gen::random_apollonian(60, rng),
+        gen::union_of_random_forests(60, 3, rng), gen::gnp(60, 0.15, rng),
+        gen::hubbed_forest_union(100, 2, 4, rng)}) {
+    const NodeId p = pseudoarboricity(g);
+    const Orientation orientation = min_outdegree_orientation(g);
+    EXPECT_EQ(orientation.max_out_degree(), p);
+    // Every edge oriented exactly once.
+    std::uint64_t oriented = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (NodeId parent : orientation.parents(v)) {
+        EXPECT_TRUE(g.has_edge(v, parent));
+        ++oriented;
+      }
+    }
+    EXPECT_EQ(oriented, g.num_edges());
+  }
+}
+
+TEST(MinOutdegreeOrientation, NeverWorseThanDegeneracy) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::gnp(50, 0.1 + 0.02 * trial, rng);
+    EXPECT_LE(min_outdegree_orientation(g).max_out_degree(),
+              degeneracy_orientation(g).max_out_degree());
+  }
+}
+
+TEST(TightBounds, SandwichValidAndOftenExact) {
+  util::Rng rng(9);
+  // Families with known arboricity.
+  struct Case {
+    Graph g;
+    NodeId alpha;
+  };
+  std::vector<Case> cases;
+  cases.push_back({gen::complete(6), 3});            // K6: ceil(15/5)
+  cases.push_back({gen::complete(4), 2});            // K4: ceil(6/3)
+  cases.push_back({gen::random_tree(100, rng), 1});  // forest
+  cases.push_back({gen::cycle(9), 2});               // cycle: 2 forests
+  for (const Case& c : cases) {
+    const TightArboricityBounds bounds = tight_arboricity_bounds(c.g);
+    EXPECT_LE(bounds.lower, c.alpha);
+    EXPECT_GE(bounds.upper, c.alpha);
+    EXPECT_LE(bounds.lower, bounds.upper);
+  }
+  // Exactness where the sandwich closes: forests give p = α = 1 with a
+  // matching density bound. Cliques keep the p vs p+1 ambiguity — K4 is
+  // [2, 3] and K6 is [3, 4]; their true arboricities (2 and 3) sit at the
+  // lower ends, which is exactly the sandwich's residual uncertainty.
+  EXPECT_TRUE(tight_arboricity_bounds(gen::random_tree(50, rng)).exact());
+  const TightArboricityBounds k4 = tight_arboricity_bounds(gen::complete(4));
+  EXPECT_EQ(k4.lower, 2u);
+  EXPECT_EQ(k4.upper, 3u);
+  const TightArboricityBounds k6 = tight_arboricity_bounds(gen::complete(6));
+  EXPECT_EQ(k6.lower, 3u);
+  EXPECT_EQ(k6.upper, 4u);
+}
+
+TEST(TightBounds, ForestUnionCertificates) {
+  util::Rng rng(11);
+  for (NodeId k : {1u, 2u, 3u}) {
+    const Graph g = gen::union_of_random_forests(80, k, rng);
+    const TightArboricityBounds bounds = tight_arboricity_bounds(g);
+    EXPECT_LE(bounds.upper, k + 1);  // alpha <= k, so upper <= p+1 <= k+1
+    EXPECT_GE(bounds.lower, 1u);
+  }
+}
+
+TEST(Pseudoarboricity, EdgelessAndTiny) {
+  EXPECT_EQ(pseudoarboricity(Graph(0)), 0u);
+  EXPECT_EQ(pseudoarboricity(gen::path(2)), 1u);
+  const TightArboricityBounds empty = tight_arboricity_bounds(Graph(3));
+  EXPECT_EQ(empty.lower, 0u);
+  EXPECT_EQ(empty.upper, 0u);
+}
+
+}  // namespace
+}  // namespace arbmis::graph

@@ -1,0 +1,119 @@
+// Tests pinning the paper's parameter formulas (Θ, Λ, ρ_k and the derived
+// thresholds) and the practical preset's shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/params.h"
+
+namespace arbmis::core {
+namespace {
+
+TEST(PaperParams, FormulasMatchPrintedText) {
+  const graph::NodeId alpha = 2;
+  const graph::NodeId delta = 1 << 16;
+  const Params params = Params::paper_faithful(alpha, delta, /*p=*/1);
+
+  const double ln_delta = std::log(static_cast<double>(delta));
+  const double ln2 = ln_delta * ln_delta;
+
+  // Θ = floor(log2(Δ / (1176·16·α^10·ln²Δ))), clamped at 0.
+  const double theta_arg =
+      static_cast<double>(delta) / (1176.0 * 16.0 * std::pow(2.0, 10) * ln2);
+  const double expected_theta = std::floor(std::log2(theta_arg));
+  EXPECT_EQ(params.num_scales,
+            expected_theta < 0 ? 0u
+                               : static_cast<std::uint32_t>(expected_theta));
+
+  // Λ = ceil(8·α²·(32·α^6+1)·ln(260·α^4·ln²Δ)).
+  const double lambda =
+      8.0 * 4.0 * (32.0 * 64.0 + 1.0) * std::log(260.0 * 16.0 * ln2);
+  EXPECT_EQ(params.iterations_per_scale,
+            static_cast<std::uint32_t>(std::ceil(lambda)));
+
+  // ρ_1 = 8·lnΔ·Δ/4.
+  EXPECT_EQ(params.rho(1),
+            static_cast<std::uint64_t>(
+                std::ceil(8.0 * ln_delta * delta / 4.0)));
+}
+
+TEST(PaperParams, ThetaDegeneratesToZeroForFeasibleGraphs) {
+  // The headline fact the practical preset exists for: with α >= 2 the
+  // printed constants give zero scales for any graph that fits in memory.
+  for (graph::NodeId delta : {1u << 10, 1u << 20, 1u << 30}) {
+    EXPECT_EQ(Params::paper_faithful(2, delta).num_scales, 0u);
+  }
+  // For α = 1 and astronomically large Δ the formula does go positive.
+  EXPECT_GT(Params::paper_faithful(1, ~graph::NodeId{0}).num_scales, 0u);
+}
+
+TEST(PaperParams, LambdaScalesAsAlphaToTheEighth) {
+  const auto l2 = Params::paper_faithful(2, 1 << 20).iterations_per_scale;
+  const auto l4 = Params::paper_faithful(4, 1 << 20).iterations_per_scale;
+  // α^8 scaling: doubling α multiplies Λ by ~2^8 (log factor drifts a bit).
+  const double ratio = static_cast<double>(l4) / static_cast<double>(l2);
+  EXPECT_GT(ratio, 150.0);
+  EXPECT_LT(ratio, 400.0);
+}
+
+TEST(Thresholds, HalveEachScale) {
+  Params params = Params::practical(2, 1 << 12);
+  ASSERT_GE(params.num_scales, 2u);
+  for (std::uint32_t k = 1; k < params.num_scales; ++k) {
+    // Δ/2^k halves; the +α offset is constant.
+    EXPECT_EQ(params.high_degree_threshold(k) - params.alpha,
+              2 * (params.high_degree_threshold(k + 1) - params.alpha));
+    EXPECT_EQ(params.bad_threshold(k), 2 * params.bad_threshold(k + 1));
+    EXPECT_GE(params.rho(k), params.rho(k + 1));
+  }
+}
+
+TEST(Thresholds, BadIsQuarterOfHigh) {
+  const Params params = Params::practical(1, 1 << 10);
+  for (std::uint32_t k = 1; k <= params.num_scales; ++k) {
+    // Δ/2^(k+2) = (Δ/2^k)/4.
+    EXPECT_EQ(params.bad_threshold(k),
+              (params.high_degree_threshold(k) - params.alpha) / 4);
+  }
+}
+
+TEST(PracticalParams, ScalesExecuteOnFeasibleGraphs) {
+  for (graph::NodeId alpha : {1u, 2u, 3u}) {
+    const Params params = Params::practical(alpha, 1 << 12);
+    EXPECT_GE(params.num_scales, 1u) << "alpha=" << alpha;
+    EXPECT_GE(params.iterations_per_scale, 1u);
+    EXPECT_LT(params.iterations_per_scale, 500u);
+  }
+}
+
+TEST(PracticalParams, ZeroScalesForTinyDegree) {
+  const Params params = Params::practical(2, 8);
+  EXPECT_EQ(params.num_scales, 0u);
+  EXPECT_EQ(params.total_rounds(), 1u);
+}
+
+TEST(PracticalParams, TuningKnobsWork) {
+  PracticalTuning aggressive;
+  aggressive.shatter_constant = 0.5;
+  const Params more = Params::practical(2, 1 << 12, aggressive);
+  const Params base = Params::practical(2, 1 << 12);
+  EXPECT_GT(more.num_scales, base.num_scales);
+}
+
+TEST(Params, TotalRoundsFormula) {
+  Params params;
+  params.num_scales = 3;
+  params.iterations_per_scale = 10;
+  EXPECT_EQ(params.total_rounds(), 1u + 3u * 32u);
+}
+
+TEST(Params, ResidualCutsDeriveFromFinalScale) {
+  const Params params = Params::practical(2, 1 << 12);
+  EXPECT_EQ(params.residual_degree_cut(),
+            params.high_degree_threshold(params.num_scales));
+  EXPECT_EQ(params.vhi_internal_degree_bound(),
+            params.bad_threshold(params.num_scales));
+}
+
+}  // namespace
+}  // namespace arbmis::core

@@ -1,0 +1,123 @@
+// Tests for connectivity, BFS, degeneracy cores, and arboricity bounds.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+
+namespace arbmis::graph {
+namespace {
+
+TEST(Components, CountsAndSizes) {
+  Builder b(7);
+  b.add_edge(0, 1).add_edge(1, 2);  // component of 3
+  b.add_edge(3, 4);                 // component of 2
+  // 5 and 6 isolated
+  const Components comps = connected_components(b.build());
+  EXPECT_EQ(comps.count, 4u);
+  EXPECT_EQ(comps.largest(), 3u);
+  EXPECT_EQ(comps.label[0], comps.label[2]);
+  EXPECT_NE(comps.label[0], comps.label[3]);
+}
+
+TEST(Components, InducedRespectsMask) {
+  const Graph g = gen::path(6);  // 0-1-2-3-4-5
+  std::vector<std::uint8_t> mask{1, 1, 0, 1, 1, 1};
+  const Components comps = induced_components(g, mask);
+  EXPECT_EQ(comps.count, 2u);
+  EXPECT_EQ(comps.label[2], kNoComponent);
+  EXPECT_EQ(comps.largest(), 3u);
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = gen::path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  Builder b(4);
+  b.add_edge(0, 1);
+  const auto dist = bfs_distances(b.build(), 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(Forest, DetectsCycles) {
+  EXPECT_TRUE(is_forest(gen::path(10)));
+  EXPECT_TRUE(is_forest(gen::star(10)));
+  EXPECT_FALSE(is_forest(gen::cycle(10)));
+  EXPECT_FALSE(is_forest(gen::complete(4)));
+  EXPECT_TRUE(is_forest(Builder(5).build()));  // isolated nodes
+}
+
+TEST(CoreDecomposition, TreeIsOneDegenerate) {
+  util::Rng rng(5);
+  const Graph t = gen::random_tree(200, rng);
+  const CoreDecomposition cores = core_decomposition(t);
+  EXPECT_EQ(cores.degeneracy, 1u);
+  for (NodeId v = 0; v < t.num_nodes(); ++v) EXPECT_LE(cores.core[v], 1u);
+}
+
+TEST(CoreDecomposition, CompleteGraph) {
+  const CoreDecomposition cores = core_decomposition(gen::complete(6));
+  EXPECT_EQ(cores.degeneracy, 5u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(cores.core[v], 5u);
+}
+
+TEST(CoreDecomposition, OrderIsDegenerate) {
+  util::Rng rng(17);
+  const Graph g = gen::gnp(120, 0.08, rng);
+  const CoreDecomposition cores = core_decomposition(g);
+  // Every node has at most `degeneracy` neighbors later in the order.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    NodeId later = 0;
+    for (NodeId w : g.neighbors(v)) {
+      later += (cores.position[w] > cores.position[v]);
+    }
+    EXPECT_LE(later, cores.degeneracy);
+  }
+}
+
+TEST(CoreDecomposition, CoreNumbersAreCorrectOnKnownGraph) {
+  // Triangle with a pendant: triangle nodes have core 2, pendant core 1.
+  Builder b(4);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0).add_edge(2, 3);
+  const CoreDecomposition cores = core_decomposition(b.build());
+  EXPECT_EQ(cores.core[3], 1u);
+  EXPECT_EQ(cores.core[0], 2u);
+  EXPECT_EQ(cores.core[1], 2u);
+  EXPECT_EQ(cores.core[2], 2u);
+  EXPECT_EQ(cores.degeneracy, 2u);
+}
+
+TEST(Arboricity, SandwichHolds) {
+  util::Rng rng(23);
+  for (NodeId k : {1u, 2u, 3u}) {
+    const Graph g = gen::union_of_random_forests(128, k, rng);
+    const ArboricityBounds bounds = arboricity_bounds(g);
+    EXPECT_LE(bounds.lower, k);          // true arboricity <= k
+    EXPECT_LE(bounds.lower, bounds.upper);
+    EXPECT_LE(bounds.upper, 2 * k - 1);  // degeneracy <= 2α-1
+  }
+}
+
+TEST(Arboricity, DensityOfCompleteGraph) {
+  // K_6: m = 15, n-1 = 5 -> density bound 3 (true arboricity 3).
+  EXPECT_EQ(density_lower_bound(gen::complete(6)), 3u);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(gen::path(10)).value(), 9u);
+  EXPECT_EQ(diameter(gen::cycle(10)).value(), 5u);
+  EXPECT_EQ(diameter(gen::complete(5)).value(), 1u);
+  EXPECT_FALSE(diameter(Graph(0)).has_value());
+}
+
+TEST(Eccentricity, CenterOfPath) {
+  const Graph g = gen::path(9);
+  EXPECT_EQ(eccentricity(g, 4), 4u);
+  EXPECT_EQ(eccentricity(g, 0), 8u);
+}
+
+}  // namespace
+}  // namespace arbmis::graph

@@ -1,0 +1,94 @@
+// Tests pinning the read-k closed-form bounds (paper Theorems 1.1, 1.2
+// and the Event bounds of §3.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "readk/bounds.h"
+
+namespace arbmis::readk {
+namespace {
+
+TEST(ConjunctionBound, MatchesFormula) {
+  EXPECT_NEAR(conjunction_bound(0.5, 10, 1), std::pow(0.5, 10), 1e-12);
+  EXPECT_NEAR(conjunction_bound(0.5, 10, 2), std::pow(0.5, 5), 1e-12);
+  EXPECT_NEAR(conjunction_bound(0.9, 100, 4), std::pow(0.9, 25), 1e-12);
+}
+
+TEST(ConjunctionBound, WeakensWithK) {
+  for (std::uint64_t k = 1; k < 16; ++k) {
+    EXPECT_LE(conjunction_bound(0.3, 64, k), conjunction_bound(0.3, 64, k + 1));
+  }
+}
+
+TEST(ConjunctionBound, IndependentCaseIsKEqualsOne) {
+  EXPECT_DOUBLE_EQ(conjunction_bound(0.7, 20, 1),
+                   independent_conjunction(0.7, 20));
+}
+
+TEST(ConjunctionBound, Extremes) {
+  EXPECT_DOUBLE_EQ(conjunction_bound(0.0, 5, 2), 0.0);
+  EXPECT_DOUBLE_EQ(conjunction_bound(1.0, 5, 2), 1.0);
+  EXPECT_DOUBLE_EQ(conjunction_bound(0.5, 8, 0), 1.0);  // degenerate k
+}
+
+TEST(LowerTailForm1, MatchesFormulaAndMonotonicity) {
+  EXPECT_NEAR(lower_tail_form1(0.1, 100, 1), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(lower_tail_form1(0.1, 100, 4), std::exp(-0.5), 1e-12);
+  // Larger deviations are less likely; larger k weakens the bound.
+  EXPECT_LT(lower_tail_form1(0.2, 100, 2), lower_tail_form1(0.1, 100, 2));
+  EXPECT_LT(lower_tail_form1(0.1, 100, 2), lower_tail_form1(0.1, 100, 8));
+}
+
+TEST(LowerTailForm2, MatchesFormula) {
+  EXPECT_NEAR(lower_tail_form2(0.5, 40.0, 2), std::exp(-0.25 * 40.0 / 4.0),
+              1e-12);
+}
+
+TEST(LowerTailForm2, ChernoffIsKEqualsOne) {
+  EXPECT_DOUBLE_EQ(lower_tail_form2(0.3, 50.0, 1),
+                   chernoff_lower_tail(0.3, 50.0));
+  // Read-k is exactly an exponential factor 1/k weaker.
+  const double k4 = lower_tail_form2(0.3, 50.0, 4);
+  const double chernoff = chernoff_lower_tail(0.3, 50.0);
+  EXPECT_NEAR(std::log(k4), std::log(chernoff) / 4.0, 1e-12);
+}
+
+TEST(UpperTail, MatchesLowerTailBySymmetry) {
+  EXPECT_DOUBLE_EQ(upper_tail_form1(0.1, 100, 4),
+                   lower_tail_form1(0.1, 100, 4));
+  EXPECT_LT(upper_tail_form1(0.2, 100, 2), upper_tail_form1(0.1, 100, 2));
+}
+
+TEST(Event1Bound, GrowsWithMAndShrinksWithAlpha) {
+  EXPECT_LT(event1_bound(10, 16, 1), event1_bound(100, 16, 1));
+  EXPECT_GT(event1_bound(100, 16, 1), event1_bound(100, 16, 2));
+  EXPECT_GE(event1_bound(100, 16, 1), 0.0);
+  EXPECT_LE(event1_bound(100, 16, 1), 1.0);
+}
+
+TEST(Event1Bound, MatchesFormula) {
+  // 1 - (1 - 1/16)^(64/(2·1)) for m=64, Δ=16, α=1.
+  EXPECT_NEAR(event1_bound(64, 16, 1), 1.0 - std::pow(15.0 / 16.0, 32.0),
+              1e-12);
+}
+
+TEST(Event2Bound, MatchesFormula) {
+  // exp(-2·(1/4)·m/ρ) for α = 1.
+  EXPECT_NEAR(event2_failure_bound(200, 10, 1),
+              std::exp(-2.0 * 0.25 * 200.0 / 10.0), 1e-12);
+  // Bigger M -> smaller failure probability.
+  EXPECT_LT(event2_failure_bound(400, 10, 1),
+            event2_failure_bound(200, 10, 1));
+}
+
+TEST(Event3Fraction, MatchesFormula) {
+  // α = 1: 1/(8·33) = 1/264.
+  EXPECT_NEAR(event3_elimination_fraction(1), 1.0 / 264.0, 1e-12);
+  // α = 2: 1/(8·4·(32·64+1)) = 1/(32·2049).
+  EXPECT_NEAR(event3_elimination_fraction(2), 1.0 / (32.0 * 2049.0), 1e-12);
+  EXPECT_GT(event3_elimination_fraction(1), event3_elimination_fraction(2));
+}
+
+}  // namespace
+}  // namespace arbmis::readk

@@ -1,0 +1,105 @@
+// Tests for the §3.1 event kernels (Events (1)–(3)) on real oriented
+// graphs: empirical probabilities respect the paper's bounds.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "readk/events.h"
+
+namespace arbmis::readk {
+namespace {
+
+constexpr std::uint64_t kTrials = 2000;
+
+struct Workload {
+  graph::Graph g{0};
+  std::uint64_t alpha = 1;
+};
+
+Workload make_setup(graph::NodeId n, graph::NodeId alpha, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Workload setup;
+  setup.g = graph::gen::union_of_random_forests(n, alpha, rng);
+  setup.alpha = graph::degeneracy(setup.g);  // orientation out-degree bound
+  return setup;
+}
+
+TEST(Event1, BoundHoldsOnForestUnions) {
+  for (std::uint64_t seed : {1ULL, 9ULL}) {
+    const Workload setup = make_setup(300, 2, seed);
+    const graph::Orientation orientation =
+        graph::degeneracy_orientation(setup.g);
+    const auto members = nodes_with_children(orientation);
+    ASSERT_GT(members.size(), 10u);
+    util::Rng rng(seed + 100);
+    const EventEstimate estimate = estimate_event1(
+        setup.g, orientation, members, setup.alpha, kTrials, rng);
+    // Theorem 3.1 is a lower bound on the success probability.
+    EXPECT_GE(estimate.ci.hi, estimate.paper_bound - 1e-9)
+        << "empirical " << estimate.probability << " vs bound "
+        << estimate.paper_bound;
+    EXPECT_GT(estimate.probability, 0.9);  // large M: near-certain event
+  }
+}
+
+TEST(Event1, MeanMetricPositive) {
+  const Workload setup = make_setup(200, 1, 3);
+  const graph::Orientation orientation =
+      graph::degeneracy_orientation(setup.g);
+  const auto members = nodes_with_children(orientation);
+  util::Rng rng(5);
+  const EventEstimate estimate = estimate_event1(
+      setup.g, orientation, members, setup.alpha, 500, rng);
+  EXPECT_GT(estimate.mean_metric, 0.0);
+}
+
+TEST(Event2, MostTrialsBeatTheHalfOverAlphaTarget) {
+  for (std::uint64_t seed : {2ULL, 11ULL}) {
+    const Workload setup = make_setup(400, 2, seed);
+    const graph::Orientation orientation =
+        graph::degeneracy_orientation(setup.g);
+    const auto members = nodes_with_parents(orientation);
+    ASSERT_GT(members.size(), 50u);
+    util::Rng rng(seed + 200);
+    const EventEstimate estimate = estimate_event2(
+        setup.g, orientation, members, setup.alpha, kTrials, rng);
+    // A node beats its <= α parents with probability >= 1/(α+1), so the
+    // |M|/(2α) target is comfortably exceeded with high probability.
+    EXPECT_GT(estimate.probability, 0.95);
+    // Mean fraction of members beating parents is at least 1/(2α).
+    EXPECT_GT(estimate.mean_metric,
+              1.0 / (2.0 * static_cast<double>(setup.alpha)));
+  }
+}
+
+TEST(Event3, EliminationFractionExceedsPaperTarget) {
+  // The paper's per-iteration elimination fraction 1/(8α²(32α⁶+1)) is
+  // tiny; actual Métivier iterations eliminate far more. Check both the
+  // success probability and the headroom.
+  const Workload setup = make_setup(400, 2, 7);
+  std::vector<graph::NodeId> members;
+  for (graph::NodeId v = 0; v < setup.g.num_nodes(); ++v) {
+    if (setup.g.degree(v) >= 2) members.push_back(v);
+  }
+  ASSERT_GT(members.size(), 50u);
+  util::Rng rng(13);
+  const EventEstimate estimate =
+      estimate_event3(setup.g, members, setup.alpha, kTrials, rng);
+  EXPECT_EQ(estimate.probability, 1.0);
+  EXPECT_GT(estimate.mean_metric, estimate.paper_bound);
+  EXPECT_GT(estimate.mean_metric, 0.1);  // competitions clear whole swaths
+}
+
+TEST(Events, HelpersSelectCorrectNodes) {
+  const graph::Graph g = graph::gen::star(5);
+  std::vector<std::vector<graph::NodeId>> parents(5);
+  for (graph::NodeId leaf = 1; leaf < 5; ++leaf) parents[leaf] = {0};
+  const graph::Orientation orientation(g, std::move(parents));
+  EXPECT_EQ(nodes_with_children(orientation),
+            (std::vector<graph::NodeId>{0}));
+  EXPECT_EQ(nodes_with_parents(orientation),
+            (std::vector<graph::NodeId>{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace arbmis::readk

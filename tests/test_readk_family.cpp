@@ -1,0 +1,106 @@
+// Tests for the read-k family constructions and read-value computation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "readk/family.h"
+
+namespace arbmis::readk {
+namespace {
+
+TEST(Family, IndependentFamilyIsReadOne) {
+  const ReadKFamily family = independent_family(32, 0.5);
+  EXPECT_EQ(family.read_k(), 1u);
+  EXPECT_EQ(family.num_indicators(), 32u);
+  EXPECT_EQ(family.num_base(), 32u);
+}
+
+TEST(Family, SharedBlockReadValue) {
+  for (std::uint32_t k : {1u, 2u, 4u, 8u}) {
+    const ReadKFamily family = shared_block_family(32, k, 0.5);
+    EXPECT_EQ(family.read_k(), k);
+    EXPECT_EQ(family.num_base(), (32 + k - 1) / k);
+  }
+}
+
+TEST(Family, SharedBlockPartialLastBlock) {
+  const ReadKFamily family = shared_block_family(10, 4, 0.5);
+  EXPECT_EQ(family.num_base(), 3u);
+  EXPECT_EQ(family.read_k(), 4u);
+}
+
+TEST(Family, SharedBlockEvaluationIsBlockwiseEqual) {
+  const ReadKFamily family = shared_block_family(8, 4, 0.5);
+  std::vector<double> base{0.3, 0.9};
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    EXPECT_TRUE(family.evaluate(j, base));
+  }
+  for (std::uint32_t j = 4; j < 8; ++j) {
+    EXPECT_FALSE(family.evaluate(j, base));
+  }
+}
+
+TEST(Family, RejectsOutOfRangeDeps) {
+  EXPECT_THROW(ReadKFamily(2, {{0, 5}}, [](std::uint32_t,
+                                           std::span<const double>) {
+                 return true;
+               }),
+               std::invalid_argument);
+}
+
+TEST(Family, ZeroKThrows) {
+  EXPECT_THROW(shared_block_family(8, 0, 0.5), std::invalid_argument);
+}
+
+TEST(Family, ChildMaxFamilyReadValueOnStar) {
+  // Star oriented leaves -> center: center is the only parent; for the
+  // member set = {leaves}, each leaf's indicator touches only itself and
+  // its children (none), so read is 1. For member set = {center}, the
+  // indicator touches all leaves once: read 1 as well.
+  const graph::Graph g = graph::gen::star(6);
+  std::vector<std::vector<graph::NodeId>> parents(6);
+  for (graph::NodeId leaf = 1; leaf < 6; ++leaf) parents[leaf] = {0};
+  const graph::Orientation orientation(g, std::move(parents));
+
+  const std::vector<graph::NodeId> center{0};
+  const ReadKFamily family = child_max_family(orientation, center);
+  EXPECT_EQ(family.read_k(), 1u);
+
+  std::vector<double> base{0.5, 0.1, 0.2, 0.9, 0.3, 0.4};
+  EXPECT_TRUE(family.evaluate(0, base));  // 0.9 > 0.5
+  base[3] = 0.2;
+  EXPECT_FALSE(family.evaluate(0, base));
+}
+
+TEST(Family, ChildMaxReadBoundedByAlphaPlusOne) {
+  // On an arboricity-α orientation, a priority feeds its own indicator
+  // plus one per parent: read <= max_out_degree + 1.
+  util::Rng rng(91);
+  const graph::Graph g = graph::gen::union_of_random_forests(100, 3, rng);
+  const graph::Orientation orientation = graph::degeneracy_orientation(g);
+  std::vector<graph::NodeId> all(g.num_nodes());
+  std::iota(all.begin(), all.end(), graph::NodeId{0});
+  const ReadKFamily family = child_max_family(orientation, all);
+  EXPECT_LE(family.read_k(), orientation.max_out_degree() + 1);
+}
+
+TEST(Family, ParentMaxSemantics) {
+  const graph::Graph g = graph::gen::path(3);
+  // Orient 0 -> 1 -> 2 (parents to the right).
+  std::vector<std::vector<graph::NodeId>> parents{{1}, {2}, {}};
+  const graph::Orientation orientation(g, std::move(parents));
+  const std::vector<graph::NodeId> members{0, 1, 2};
+  const ReadKFamily family = parent_max_family(orientation, members);
+
+  std::vector<double> base{0.9, 0.5, 0.1};
+  EXPECT_TRUE(family.evaluate(0, base));   // 0.9 > 0.5
+  EXPECT_TRUE(family.evaluate(1, base));   // 0.5 > 0.1
+  EXPECT_TRUE(family.evaluate(2, base));   // no parents
+  base[0] = 0.2;
+  EXPECT_FALSE(family.evaluate(0, base));
+}
+
+}  // namespace
+}  // namespace arbmis::readk

@@ -1,0 +1,121 @@
+// Monte-Carlo engine tests: estimates match closed forms on analyzable
+// families, and the paper's bounds hold empirically (Theorems 1.1, 1.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "readk/bounds.h"
+#include "readk/family.h"
+#include "readk/montecarlo.h"
+
+namespace arbmis::readk {
+namespace {
+
+constexpr std::uint64_t kTrials = 20000;
+
+TEST(Conjunction, IndependentFamilyMatchesClosedForm) {
+  util::Rng rng(1);
+  const ReadKFamily family = independent_family(8, 0.8);
+  const ConjunctionEstimate estimate =
+      estimate_conjunction(family, kTrials, rng);
+  const double truth = std::pow(0.8, 8);  // ~0.168
+  EXPECT_TRUE(estimate.ci.contains(truth))
+      << estimate.probability << " vs " << truth;
+  EXPECT_NEAR(estimate.mean_indicator, 0.8, 0.01);
+}
+
+TEST(Conjunction, SharedBlockIsExactlyTheTheorem11Bound) {
+  // For the block family P(all) = p^(n/k) exactly — the bound is tight.
+  util::Rng rng(2);
+  const std::uint32_t n = 12, k = 4;
+  const double p = 0.7;
+  const ReadKFamily family = shared_block_family(n, k, p);
+  const ConjunctionEstimate estimate =
+      estimate_conjunction(family, kTrials, rng);
+  const double bound = conjunction_bound(p, n, k);
+  EXPECT_TRUE(estimate.ci.contains(bound))
+      << estimate.probability << " vs " << bound;
+}
+
+TEST(Conjunction, Theorem11HoldsAcrossFamilies) {
+  util::Rng rng(3);
+  for (std::uint32_t k : {1u, 2u, 4u}) {
+    for (double p : {0.5, 0.8}) {
+      const ReadKFamily family = shared_block_family(16, k, p);
+      const ConjunctionEstimate estimate =
+          estimate_conjunction(family, kTrials, rng);
+      const double bound = conjunction_bound(p, 16, family.read_k());
+      // The bound must not be violated beyond CI noise.
+      EXPECT_LE(estimate.ci.lo, bound + 1e-9)
+          << "k=" << k << " p=" << p;
+    }
+  }
+}
+
+TEST(LowerTail, ExpectedSumMatches) {
+  util::Rng rng(4);
+  const ReadKFamily family = independent_family(64, 0.25);
+  const std::vector<double> deltas{0.5};
+  const TailEstimate estimate =
+      estimate_lower_tail(family, kTrials, deltas, rng);
+  EXPECT_NEAR(estimate.expected_sum, 16.0, 0.5);
+}
+
+TEST(LowerTail, Theorem12HoldsOnBlockFamily) {
+  util::Rng rng(5);
+  const std::uint32_t n = 64, k = 4;
+  const double p = 0.5;
+  const ReadKFamily family = shared_block_family(n, k, p);
+  const std::vector<double> deltas{0.25, 0.5, 0.75};
+  const TailEstimate estimate =
+      estimate_lower_tail(family, kTrials, deltas, rng);
+  for (const auto& point : estimate.points) {
+    const double bound =
+        lower_tail_form2(point.delta, estimate.expected_sum, k);
+    EXPECT_LE(point.ci.lo, bound + 1e-9) << "delta=" << point.delta;
+  }
+}
+
+TEST(LowerTail, BlockFamilyBeatsChernoffDemonstration) {
+  // The point of read-k bounds: with k-correlated blocks the lower tail
+  // is genuinely fatter than Chernoff allows for independent variables —
+  // the empirical tail must exceed the k=1 Chernoff bound somewhere.
+  util::Rng rng(6);
+  const std::uint32_t n = 60, k = 6;
+  const ReadKFamily family = shared_block_family(n, k, 0.5);
+  const std::vector<double> deltas{0.6};
+  const TailEstimate estimate =
+      estimate_lower_tail(family, 50000, deltas, rng);
+  const double chernoff =
+      chernoff_lower_tail(0.6, estimate.expected_sum);
+  EXPECT_GT(estimate.points[0].probability, chernoff)
+      << "correlated family should violate the independent-case bound";
+  // ...while the read-k bound still holds.
+  const double readk_bound =
+      lower_tail_form2(0.6, estimate.expected_sum, k);
+  EXPECT_LE(estimate.points[0].ci.lo, readk_bound + 1e-9);
+}
+
+TEST(LowerTail, IndependentFamilyWithinChernoff) {
+  util::Rng rng(7);
+  const ReadKFamily family = independent_family(80, 0.5);
+  const std::vector<double> deltas{0.3, 0.5};
+  const TailEstimate estimate =
+      estimate_lower_tail(family, kTrials, deltas, rng);
+  for (const auto& point : estimate.points) {
+    const double bound =
+        chernoff_lower_tail(point.delta, estimate.expected_sum);
+    EXPECT_LE(point.ci.lo, bound + 1e-9);
+  }
+}
+
+TEST(MonteCarlo, ZeroTrials) {
+  util::Rng rng(8);
+  const ReadKFamily family = independent_family(4, 0.5);
+  const ConjunctionEstimate estimate = estimate_conjunction(family, 0, rng);
+  EXPECT_EQ(estimate.probability, 0.0);
+  EXPECT_EQ(estimate.trials, 0u);
+}
+
+}  // namespace
+}  // namespace arbmis::readk

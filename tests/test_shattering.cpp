@@ -1,0 +1,51 @@
+// Tests for shattering statistics (Lemma 3.7 measurement machinery).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/shattering.h"
+#include "graph/generators.h"
+
+namespace arbmis::core {
+namespace {
+
+TEST(Shattering, EmptySet) {
+  const graph::Graph g = graph::gen::path(10);
+  const std::vector<std::uint8_t> mask(10, 0);
+  const ShatteringStats stats = shattering_stats(g, mask);
+  EXPECT_EQ(stats.set_size, 0u);
+  EXPECT_EQ(stats.num_components, 0u);
+  EXPECT_EQ(stats.largest_component, 0u);
+}
+
+TEST(Shattering, CountsInducedComponents) {
+  const graph::Graph g = graph::gen::path(10);
+  // Nodes {0,1}, {4}, {7,8,9} -> components of sizes 2, 1, 3.
+  std::vector<std::uint8_t> mask(10, 0);
+  for (graph::NodeId v : {0u, 1u, 4u, 7u, 8u, 9u}) mask[v] = 1;
+  const ShatteringStats stats = shattering_stats(g, mask);
+  EXPECT_EQ(stats.set_size, 6u);
+  EXPECT_EQ(stats.num_components, 3u);
+  EXPECT_EQ(stats.largest_component, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_component, 2.0);
+  EXPECT_EQ(stats.component_sizes,
+            (std::vector<graph::NodeId>{1, 2, 3}));
+}
+
+TEST(Shattering, FullSetIsOneComponentOnConnectedGraph) {
+  const graph::Graph g = graph::gen::cycle(12);
+  const std::vector<std::uint8_t> mask(12, 1);
+  const ShatteringStats stats = shattering_stats(g, mask);
+  EXPECT_EQ(stats.num_components, 1u);
+  EXPECT_EQ(stats.largest_component, 12u);
+}
+
+TEST(Shattering, LogDeltaNComputed) {
+  const graph::Graph g = graph::gen::star(17);  // Δ = 16, n = 17
+  const std::vector<std::uint8_t> mask(17, 1);
+  const ShatteringStats stats = shattering_stats(g, mask);
+  EXPECT_NEAR(stats.log_delta_n, std::log(17.0) / std::log(16.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace arbmis::core

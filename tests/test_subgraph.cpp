@@ -1,0 +1,65 @@
+// Tests for induced subgraph extraction and id mapping.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+
+namespace arbmis::graph {
+namespace {
+
+TEST(Subgraph, MaskExtraction) {
+  const Graph g = gen::cycle(6);
+  const std::vector<std::uint8_t> mask{1, 1, 1, 0, 0, 1};
+  const Subgraph sub = induced_subgraph(g, mask);
+  EXPECT_EQ(sub.graph.num_nodes(), 4u);
+  // Edges kept: 0-1, 1-2, 5-0.
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+  EXPECT_TRUE(sub.contains(0));
+  EXPECT_FALSE(sub.contains(3));
+}
+
+TEST(Subgraph, MappingRoundTrips) {
+  util::Rng rng(53);
+  const Graph g = gen::gnp(40, 0.15, rng);
+  std::vector<std::uint8_t> mask(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); v += 2) mask[v] = 1;
+  const Subgraph sub = induced_subgraph(g, mask);
+  for (NodeId local = 0; local < sub.graph.num_nodes(); ++local) {
+    const NodeId original = sub.original(local);
+    EXPECT_TRUE(mask[original]);
+    EXPECT_EQ(sub.to_local[original], local);
+  }
+}
+
+TEST(Subgraph, EdgesMatchOriginal) {
+  util::Rng rng(59);
+  const Graph g = gen::random_apollonian(30, rng);
+  std::vector<NodeId> nodes{0, 3, 5, 7, 11, 13, 20};
+  const Subgraph sub = induced_subgraph(g, nodes);
+  EXPECT_EQ(sub.graph.num_nodes(), nodes.size());
+  for (NodeId a = 0; a < sub.graph.num_nodes(); ++a) {
+    for (NodeId b = a + 1; b < sub.graph.num_nodes(); ++b) {
+      EXPECT_EQ(sub.graph.has_edge(a, b),
+                g.has_edge(sub.original(a), sub.original(b)));
+    }
+  }
+}
+
+TEST(Subgraph, EmptyMask) {
+  const Graph g = gen::path(5);
+  const std::vector<std::uint8_t> mask(5, 0);
+  const Subgraph sub = induced_subgraph(g, mask);
+  EXPECT_EQ(sub.graph.num_nodes(), 0u);
+  EXPECT_EQ(sub.graph.num_edges(), 0u);
+}
+
+TEST(Subgraph, FullMaskIsIsomorphic) {
+  const Graph g = gen::cycle(8);
+  const std::vector<std::uint8_t> mask(8, 1);
+  const Subgraph sub = induced_subgraph(g, mask);
+  EXPECT_EQ(sub.graph.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(sub.original(v), v);
+}
+
+}  // namespace
+}  // namespace arbmis::graph

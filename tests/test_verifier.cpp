@@ -1,0 +1,113 @@
+// Tests for the MIS verifier and the sequential greedy reference.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "mis/greedy.h"
+#include "mis/verifier.h"
+
+namespace arbmis::mis {
+namespace {
+
+TEST(Verifier, AcceptsValidMis) {
+  const graph::Graph g = graph::gen::path(5);
+  std::vector<std::uint8_t> mask{1, 0, 1, 0, 1};
+  const Verification v = verify_mask(g, mask);
+  EXPECT_TRUE(v.independent);
+  EXPECT_TRUE(v.maximal);
+}
+
+TEST(Verifier, RejectsDependentSet) {
+  const graph::Graph g = graph::gen::path(3);
+  std::vector<std::uint8_t> mask{1, 1, 0};
+  const Verification v = verify_mask(g, mask);
+  EXPECT_FALSE(v.independent);
+  EXPECT_FALSE(v.violations.empty());
+}
+
+TEST(Verifier, RejectsNonMaximalSet) {
+  const graph::Graph g = graph::gen::path(5);
+  std::vector<std::uint8_t> mask{1, 0, 0, 0, 1};
+  const Verification v = verify_mask(g, mask);
+  EXPECT_TRUE(v.independent);
+  EXPECT_FALSE(v.maximal);
+}
+
+TEST(Verifier, ChecksLabels) {
+  const graph::Graph g = graph::gen::path(3);
+  MisResult result;
+  result.state = {MisState::kInMis, MisState::kCovered, MisState::kInMis};
+  EXPECT_TRUE(verify(g, result).ok());
+
+  result.state[2] = MisState::kUndecided;
+  EXPECT_FALSE(verify(g, result).labels_consistent);
+
+  // A "covered" node with no MIS neighbor is a lie.
+  result.state = {MisState::kCovered, MisState::kInMis, MisState::kCovered};
+  EXPECT_TRUE(verify(g, result).ok());
+  result.state = {MisState::kInMis, MisState::kCovered, MisState::kCovered};
+  EXPECT_FALSE(verify(g, result).labels_consistent);
+}
+
+TEST(Verifier, DescribeMentionsViolations) {
+  const graph::Graph g = graph::gen::path(3);
+  std::vector<std::uint8_t> mask{1, 1, 1};
+  const Verification v = verify_mask(g, mask);
+  EXPECT_NE(v.describe().find("violations"), std::string::npos);
+}
+
+TEST(Greedy, ProducesValidMisOnBattery) {
+  util::Rng rng(61);
+  const std::vector<graph::Graph> graphs{
+      graph::gen::path(20),          graph::gen::cycle(21),
+      graph::gen::star(15),          graph::gen::complete(8),
+      graph::gen::grid(5, 7),        graph::gen::random_tree(64, rng),
+      graph::gen::gnp(64, 0.1, rng), graph::gen::random_apollonian(64, rng),
+  };
+  for (const auto& g : graphs) {
+    const MisResult result = greedy_mis(g);
+    EXPECT_TRUE(verify(g, result).ok());
+  }
+}
+
+TEST(Greedy, IdOrderPicksNodeZero) {
+  const graph::Graph g = graph::gen::star(10);
+  const MisResult result = greedy_mis(g);
+  EXPECT_TRUE(result.in_mis(0));
+  EXPECT_EQ(result.mis_size(), 1u);
+}
+
+TEST(Greedy, RandomOrderStillValid) {
+  util::Rng rng(67);
+  const graph::Graph g = graph::gen::random_apollonian(100, rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    const MisResult result = greedy_mis_random(g, rng);
+    EXPECT_TRUE(verify(g, result).ok());
+  }
+}
+
+TEST(Greedy, CustomOrderRespected) {
+  const graph::Graph g = graph::gen::path(3);
+  const std::vector<graph::NodeId> order{1, 0, 2};
+  const MisResult result = greedy_mis(g, order);
+  EXPECT_TRUE(result.in_mis(1));
+  EXPECT_EQ(result.mis_size(), 1u);
+}
+
+TEST(Coloring, ProperColoringCheck) {
+  const graph::Graph g = graph::gen::cycle(4);
+  EXPECT_TRUE(is_proper_coloring(g, std::vector<std::uint64_t>{0, 1, 0, 1}));
+  EXPECT_FALSE(is_proper_coloring(g, std::vector<std::uint64_t>{0, 0, 1, 1}));
+  EXPECT_FALSE(is_proper_coloring(g, std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST(MisResult, Accessors) {
+  MisResult result;
+  result.state = {MisState::kInMis, MisState::kCovered, MisState::kUndecided};
+  EXPECT_EQ(result.mis_size(), 1u);
+  EXPECT_EQ(result.undecided_count(), 1u);
+  EXPECT_EQ(result.mis_nodes(), (std::vector<graph::NodeId>{0}));
+  EXPECT_EQ(result.mis_mask(), (std::vector<std::uint8_t>{1, 0, 0}));
+}
+
+}  // namespace
+}  // namespace arbmis::mis
