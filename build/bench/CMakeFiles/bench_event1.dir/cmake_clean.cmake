@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event1.dir/bench_event1.cpp.o"
+  "CMakeFiles/bench_event1.dir/bench_event1.cpp.o.d"
+  "bench_event1"
+  "bench_event1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event2.dir/bench_event2.cpp.o"
+  "CMakeFiles/bench_event2.dir/bench_event2.cpp.o.d"
+  "bench_event2"
+  "bench_event2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_event3.cpp" "bench/CMakeFiles/bench_event3.dir/bench_event3.cpp.o" "gcc" "bench/CMakeFiles/bench_event3.dir/bench_event3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/arbmis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/readk/CMakeFiles/arbmis_readk.dir/DependInfo.cmake"
+  "/root/repo/build/src/mis/CMakeFiles/arbmis_mis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arbmis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/arbmis_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/arbmis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

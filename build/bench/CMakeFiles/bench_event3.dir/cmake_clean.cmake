@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event3.dir/bench_event3.cpp.o"
+  "CMakeFiles/bench_event3.dir/bench_event3.cpp.o.d"
+  "bench_event3"
+  "bench_event3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

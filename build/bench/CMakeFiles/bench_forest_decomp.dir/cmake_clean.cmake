@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forest_decomp.dir/bench_forest_decomp.cpp.o"
+  "CMakeFiles/bench_forest_decomp.dir/bench_forest_decomp.cpp.o.d"
+  "bench_forest_decomp"
+  "bench_forest_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forest_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

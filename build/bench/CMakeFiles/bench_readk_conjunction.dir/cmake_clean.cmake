@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_readk_conjunction.dir/bench_readk_conjunction.cpp.o"
+  "CMakeFiles/bench_readk_conjunction.dir/bench_readk_conjunction.cpp.o.d"
+  "bench_readk_conjunction"
+  "bench_readk_conjunction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_readk_conjunction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

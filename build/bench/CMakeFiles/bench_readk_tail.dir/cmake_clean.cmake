@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_readk_tail.dir/bench_readk_tail.cpp.o"
+  "CMakeFiles/bench_readk_tail.dir/bench_readk_tail.cpp.o.d"
+  "bench_readk_tail"
+  "bench_readk_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_readk_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

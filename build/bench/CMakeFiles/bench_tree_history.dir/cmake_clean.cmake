@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_history.dir/bench_tree_history.cpp.o"
+  "CMakeFiles/bench_tree_history.dir/bench_tree_history.cpp.o.d"
+  "bench_tree_history"
+  "bench_tree_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

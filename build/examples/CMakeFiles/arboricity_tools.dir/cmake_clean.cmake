@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arboricity_tools.dir/arboricity_tools.cpp.o"
+  "CMakeFiles/arboricity_tools.dir/arboricity_tools.cpp.o.d"
+  "arboricity_tools"
+  "arboricity_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arboricity_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for arboricity_tools.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planar_mis.dir/planar_mis.cpp.o"
+  "CMakeFiles/planar_mis.dir/planar_mis.cpp.o.d"
+  "planar_mis"
+  "planar_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planar_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readk_playground.dir/readk_playground.cpp.o"
+  "CMakeFiles/readk_playground.dir/readk_playground.cpp.o.d"
+  "readk_playground"
+  "readk_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readk_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

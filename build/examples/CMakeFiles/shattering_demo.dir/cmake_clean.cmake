@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shattering_demo.dir/shattering_demo.cpp.o"
+  "CMakeFiles/shattering_demo.dir/shattering_demo.cpp.o.d"
+  "shattering_demo"
+  "shattering_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shattering_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

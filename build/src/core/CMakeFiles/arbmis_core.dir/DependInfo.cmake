@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arb_mis.cpp" "src/core/CMakeFiles/arbmis_core.dir/arb_mis.cpp.o" "gcc" "src/core/CMakeFiles/arbmis_core.dir/arb_mis.cpp.o.d"
+  "/root/repo/src/core/bounded_arb.cpp" "src/core/CMakeFiles/arbmis_core.dir/bounded_arb.cpp.o" "gcc" "src/core/CMakeFiles/arbmis_core.dir/bounded_arb.cpp.o.d"
+  "/root/repo/src/core/ghaffari_arb.cpp" "src/core/CMakeFiles/arbmis_core.dir/ghaffari_arb.cpp.o" "gcc" "src/core/CMakeFiles/arbmis_core.dir/ghaffari_arb.cpp.o.d"
+  "/root/repo/src/core/invariant.cpp" "src/core/CMakeFiles/arbmis_core.dir/invariant.cpp.o" "gcc" "src/core/CMakeFiles/arbmis_core.dir/invariant.cpp.o.d"
+  "/root/repo/src/core/lw_tree_mis.cpp" "src/core/CMakeFiles/arbmis_core.dir/lw_tree_mis.cpp.o" "gcc" "src/core/CMakeFiles/arbmis_core.dir/lw_tree_mis.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/arbmis_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/arbmis_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/shattering.cpp" "src/core/CMakeFiles/arbmis_core.dir/shattering.cpp.o" "gcc" "src/core/CMakeFiles/arbmis_core.dir/shattering.cpp.o.d"
+  "/root/repo/src/core/tree_mis.cpp" "src/core/CMakeFiles/arbmis_core.dir/tree_mis.cpp.o" "gcc" "src/core/CMakeFiles/arbmis_core.dir/tree_mis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mis/CMakeFiles/arbmis_mis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arbmis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/arbmis_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/arbmis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

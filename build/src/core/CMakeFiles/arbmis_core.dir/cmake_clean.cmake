@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbmis_core.dir/arb_mis.cpp.o"
+  "CMakeFiles/arbmis_core.dir/arb_mis.cpp.o.d"
+  "CMakeFiles/arbmis_core.dir/bounded_arb.cpp.o"
+  "CMakeFiles/arbmis_core.dir/bounded_arb.cpp.o.d"
+  "CMakeFiles/arbmis_core.dir/ghaffari_arb.cpp.o"
+  "CMakeFiles/arbmis_core.dir/ghaffari_arb.cpp.o.d"
+  "CMakeFiles/arbmis_core.dir/invariant.cpp.o"
+  "CMakeFiles/arbmis_core.dir/invariant.cpp.o.d"
+  "CMakeFiles/arbmis_core.dir/lw_tree_mis.cpp.o"
+  "CMakeFiles/arbmis_core.dir/lw_tree_mis.cpp.o.d"
+  "CMakeFiles/arbmis_core.dir/params.cpp.o"
+  "CMakeFiles/arbmis_core.dir/params.cpp.o.d"
+  "CMakeFiles/arbmis_core.dir/shattering.cpp.o"
+  "CMakeFiles/arbmis_core.dir/shattering.cpp.o.d"
+  "CMakeFiles/arbmis_core.dir/tree_mis.cpp.o"
+  "CMakeFiles/arbmis_core.dir/tree_mis.cpp.o.d"
+  "libarbmis_core.a"
+  "libarbmis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbmis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/arboricity_exact.cpp" "src/graph/CMakeFiles/arbmis_graph.dir/arboricity_exact.cpp.o" "gcc" "src/graph/CMakeFiles/arbmis_graph.dir/arboricity_exact.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/arbmis_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/arbmis_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/arbmis_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/arbmis_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/arbmis_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/arbmis_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/orientation.cpp" "src/graph/CMakeFiles/arbmis_graph.dir/orientation.cpp.o" "gcc" "src/graph/CMakeFiles/arbmis_graph.dir/orientation.cpp.o.d"
+  "/root/repo/src/graph/orientation_opt.cpp" "src/graph/CMakeFiles/arbmis_graph.dir/orientation_opt.cpp.o" "gcc" "src/graph/CMakeFiles/arbmis_graph.dir/orientation_opt.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "src/graph/CMakeFiles/arbmis_graph.dir/properties.cpp.o" "gcc" "src/graph/CMakeFiles/arbmis_graph.dir/properties.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/graph/CMakeFiles/arbmis_graph.dir/subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/arbmis_graph.dir/subgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/arbmis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbmis_graph.dir/arboricity_exact.cpp.o"
+  "CMakeFiles/arbmis_graph.dir/arboricity_exact.cpp.o.d"
+  "CMakeFiles/arbmis_graph.dir/generators.cpp.o"
+  "CMakeFiles/arbmis_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/arbmis_graph.dir/graph.cpp.o"
+  "CMakeFiles/arbmis_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/arbmis_graph.dir/io.cpp.o"
+  "CMakeFiles/arbmis_graph.dir/io.cpp.o.d"
+  "CMakeFiles/arbmis_graph.dir/orientation.cpp.o"
+  "CMakeFiles/arbmis_graph.dir/orientation.cpp.o.d"
+  "CMakeFiles/arbmis_graph.dir/orientation_opt.cpp.o"
+  "CMakeFiles/arbmis_graph.dir/orientation_opt.cpp.o.d"
+  "CMakeFiles/arbmis_graph.dir/properties.cpp.o"
+  "CMakeFiles/arbmis_graph.dir/properties.cpp.o.d"
+  "CMakeFiles/arbmis_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/arbmis_graph.dir/subgraph.cpp.o.d"
+  "libarbmis_graph.a"
+  "libarbmis_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbmis_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mis/bit_metivier.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/bit_metivier.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/bit_metivier.cpp.o.d"
+  "/root/repo/src/mis/cole_vishkin.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/cole_vishkin.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/cole_vishkin.cpp.o.d"
+  "/root/repo/src/mis/color_sweep.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/color_sweep.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/color_sweep.cpp.o.d"
+  "/root/repo/src/mis/degree_reduction.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/degree_reduction.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/degree_reduction.cpp.o.d"
+  "/root/repo/src/mis/distributed_verify.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/distributed_verify.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/distributed_verify.cpp.o.d"
+  "/root/repo/src/mis/forest_decomposition.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/forest_decomposition.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/forest_decomposition.cpp.o.d"
+  "/root/repo/src/mis/gather_solve.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/gather_solve.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/gather_solve.cpp.o.d"
+  "/root/repo/src/mis/ghaffari.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/ghaffari.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/ghaffari.cpp.o.d"
+  "/root/repo/src/mis/greedy.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/greedy.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/greedy.cpp.o.d"
+  "/root/repo/src/mis/linial.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/linial.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/linial.cpp.o.d"
+  "/root/repo/src/mis/luby.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/luby.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/luby.cpp.o.d"
+  "/root/repo/src/mis/matching.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/matching.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/matching.cpp.o.d"
+  "/root/repo/src/mis/metivier.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/metivier.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/metivier.cpp.o.d"
+  "/root/repo/src/mis/slow_local.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/slow_local.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/slow_local.cpp.o.d"
+  "/root/repo/src/mis/sparse_mis.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/sparse_mis.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/sparse_mis.cpp.o.d"
+  "/root/repo/src/mis/verifier.cpp" "src/mis/CMakeFiles/arbmis_mis.dir/verifier.cpp.o" "gcc" "src/mis/CMakeFiles/arbmis_mis.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/arbmis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/arbmis_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/arbmis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/readk/bounds.cpp" "src/readk/CMakeFiles/arbmis_readk.dir/bounds.cpp.o" "gcc" "src/readk/CMakeFiles/arbmis_readk.dir/bounds.cpp.o.d"
+  "/root/repo/src/readk/events.cpp" "src/readk/CMakeFiles/arbmis_readk.dir/events.cpp.o" "gcc" "src/readk/CMakeFiles/arbmis_readk.dir/events.cpp.o.d"
+  "/root/repo/src/readk/family.cpp" "src/readk/CMakeFiles/arbmis_readk.dir/family.cpp.o" "gcc" "src/readk/CMakeFiles/arbmis_readk.dir/family.cpp.o.d"
+  "/root/repo/src/readk/montecarlo.cpp" "src/readk/CMakeFiles/arbmis_readk.dir/montecarlo.cpp.o" "gcc" "src/readk/CMakeFiles/arbmis_readk.dir/montecarlo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/arbmis_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/arbmis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

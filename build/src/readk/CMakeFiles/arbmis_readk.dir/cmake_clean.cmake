@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbmis_readk.dir/bounds.cpp.o"
+  "CMakeFiles/arbmis_readk.dir/bounds.cpp.o.d"
+  "CMakeFiles/arbmis_readk.dir/events.cpp.o"
+  "CMakeFiles/arbmis_readk.dir/events.cpp.o.d"
+  "CMakeFiles/arbmis_readk.dir/family.cpp.o"
+  "CMakeFiles/arbmis_readk.dir/family.cpp.o.d"
+  "CMakeFiles/arbmis_readk.dir/montecarlo.cpp.o"
+  "CMakeFiles/arbmis_readk.dir/montecarlo.cpp.o.d"
+  "libarbmis_readk.a"
+  "libarbmis_readk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbmis_readk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for arbmis_readk.
+# This may be replaced when dependencies are built.

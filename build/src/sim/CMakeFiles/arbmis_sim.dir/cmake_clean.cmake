@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbmis_sim.dir/aggregate.cpp.o"
+  "CMakeFiles/arbmis_sim.dir/aggregate.cpp.o.d"
+  "CMakeFiles/arbmis_sim.dir/bfs_rooting.cpp.o"
+  "CMakeFiles/arbmis_sim.dir/bfs_rooting.cpp.o.d"
+  "CMakeFiles/arbmis_sim.dir/network.cpp.o"
+  "CMakeFiles/arbmis_sim.dir/network.cpp.o.d"
+  "CMakeFiles/arbmis_sim.dir/trace.cpp.o"
+  "CMakeFiles/arbmis_sim.dir/trace.cpp.o.d"
+  "libarbmis_sim.a"
+  "libarbmis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbmis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

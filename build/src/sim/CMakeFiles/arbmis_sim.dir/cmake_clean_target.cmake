@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarbmis_sim.a"
+)

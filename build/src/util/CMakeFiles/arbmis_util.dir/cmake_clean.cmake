@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbmis_util.dir/histogram.cpp.o"
+  "CMakeFiles/arbmis_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/arbmis_util.dir/log.cpp.o"
+  "CMakeFiles/arbmis_util.dir/log.cpp.o.d"
+  "CMakeFiles/arbmis_util.dir/stats.cpp.o"
+  "CMakeFiles/arbmis_util.dir/stats.cpp.o.d"
+  "CMakeFiles/arbmis_util.dir/table.cpp.o"
+  "CMakeFiles/arbmis_util.dir/table.cpp.o.d"
+  "libarbmis_util.a"
+  "libarbmis_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbmis_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

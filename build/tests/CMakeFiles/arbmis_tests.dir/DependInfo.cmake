@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aggregate.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_aggregate.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_aggregate.cpp.o.d"
+  "/root/repo/tests/test_arb_mis.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_arb_mis.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_arb_mis.cpp.o.d"
+  "/root/repo/tests/test_arboricity_exact.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_arboricity_exact.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_arboricity_exact.cpp.o.d"
+  "/root/repo/tests/test_bfs_rooting.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_bfs_rooting.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_bfs_rooting.cpp.o.d"
+  "/root/repo/tests/test_bit_metivier.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_bit_metivier.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_bit_metivier.cpp.o.d"
+  "/root/repo/tests/test_bounded_arb.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_bounded_arb.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_bounded_arb.cpp.o.d"
+  "/root/repo/tests/test_cole_vishkin.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_cole_vishkin.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_cole_vishkin.cpp.o.d"
+  "/root/repo/tests/test_congest_compliance.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_congest_compliance.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_congest_compliance.cpp.o.d"
+  "/root/repo/tests/test_degree_reduction.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_degree_reduction.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_degree_reduction.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_distributed_verify.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_distributed_verify.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_distributed_verify.cpp.o.d"
+  "/root/repo/tests/test_exhaustive.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_exhaustive.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_exhaustive.cpp.o.d"
+  "/root/repo/tests/test_forest_decomposition.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_forest_decomposition.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_forest_decomposition.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gather_solve.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_gather_solve.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_gather_solve.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_ghaffari_arb.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_ghaffari_arb.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_ghaffari_arb.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_linial.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_linial.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_linial.cpp.o.d"
+  "/root/repo/tests/test_log.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_log.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_log.cpp.o.d"
+  "/root/repo/tests/test_lw_tree_mis.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_lw_tree_mis.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_lw_tree_mis.cpp.o.d"
+  "/root/repo/tests/test_matching.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_matching.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_matching.cpp.o.d"
+  "/root/repo/tests/test_mis_algorithms.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_mis_algorithms.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_mis_algorithms.cpp.o.d"
+  "/root/repo/tests/test_orientation.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_orientation.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_orientation.cpp.o.d"
+  "/root/repo/tests/test_orientation_opt.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_orientation_opt.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_orientation_opt.cpp.o.d"
+  "/root/repo/tests/test_params.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_params.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_params.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_readk_bounds.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_readk_bounds.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_readk_bounds.cpp.o.d"
+  "/root/repo/tests/test_readk_events.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_readk_events.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_readk_events.cpp.o.d"
+  "/root/repo/tests/test_readk_family.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_readk_family.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_readk_family.cpp.o.d"
+  "/root/repo/tests/test_readk_montecarlo.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_readk_montecarlo.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_readk_montecarlo.cpp.o.d"
+  "/root/repo/tests/test_shattering.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_shattering.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_shattering.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_sparse_mis.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_sparse_mis.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_sparse_mis.cpp.o.d"
+  "/root/repo/tests/test_subgraph.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_subgraph.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_subgraph.cpp.o.d"
+  "/root/repo/tests/test_tree_mis.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_tree_mis.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_tree_mis.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_verifier.cpp" "tests/CMakeFiles/arbmis_tests.dir/test_verifier.cpp.o" "gcc" "tests/CMakeFiles/arbmis_tests.dir/test_verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/arbmis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/readk/CMakeFiles/arbmis_readk.dir/DependInfo.cmake"
+  "/root/repo/build/src/mis/CMakeFiles/arbmis_mis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arbmis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/arbmis_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/arbmis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
