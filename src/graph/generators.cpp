@@ -3,10 +3,24 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <limits>
 #include <numeric>
+#include <stdexcept>
 #include <unordered_set>
 
 namespace arbmis::graph::gen {
+
+namespace {
+/// NodeId is 32-bit, so size expressions like rows*cols are evaluated in
+/// 64 bits and validated here: oversized requests fail loudly instead of
+/// silently wrapping into a small (and wrong) graph.
+NodeId checked_node_count(std::uint64_t n) {
+  if (n > std::numeric_limits<NodeId>::max()) {
+    throw std::length_error("graph generator: node count overflows NodeId");
+  }
+  return static_cast<NodeId>(n);
+}
+}  // namespace
 
 Graph path(NodeId n) {
   Builder b(n);
@@ -37,7 +51,7 @@ Graph complete(NodeId n) {
 }
 
 Graph complete_bipartite(NodeId a, NodeId b_size) {
-  Builder b(a + b_size);
+  Builder b(checked_node_count(std::uint64_t{a} + b_size));
   for (NodeId u = 0; u < a; ++u) {
     for (NodeId v = 0; v < b_size; ++v) b.add_edge(u, a + v);
   }
@@ -52,7 +66,8 @@ Graph balanced_tree(NodeId n, NodeId arity) {
 }
 
 Graph caterpillar(NodeId spine, NodeId legs) {
-  const NodeId n = spine + spine * legs;
+  const NodeId n =
+      checked_node_count(std::uint64_t{spine} + std::uint64_t{spine} * legs);
   Builder b(n);
   for (NodeId i = 0; i + 1 < spine; ++i) b.add_edge(i, i + 1);
   NodeId next = spine;
@@ -67,7 +82,7 @@ NodeId grid_id(NodeId r, NodeId c, NodeId cols) { return r * cols + c; }
 }  // namespace
 
 Graph grid(NodeId rows, NodeId cols) {
-  Builder b(rows * cols);
+  Builder b(checked_node_count(std::uint64_t{rows} * cols));
   for (NodeId r = 0; r < rows; ++r) {
     for (NodeId c = 0; c < cols; ++c) {
       if (c + 1 < cols) b.add_edge(grid_id(r, c, cols), grid_id(r, c + 1, cols));
@@ -79,7 +94,7 @@ Graph grid(NodeId rows, NodeId cols) {
 
 Graph torus(NodeId rows, NodeId cols) {
   if (rows < 3 || cols < 3) return grid(rows, cols);
-  Builder b(rows * cols);
+  Builder b(checked_node_count(std::uint64_t{rows} * cols));
   for (NodeId r = 0; r < rows; ++r) {
     for (NodeId c = 0; c < cols; ++c) {
       b.add_edge(grid_id(r, c, cols), grid_id(r, (c + 1) % cols, cols));
@@ -90,7 +105,7 @@ Graph torus(NodeId rows, NodeId cols) {
 }
 
 Graph triangular_grid(NodeId rows, NodeId cols) {
-  Builder b(rows * cols);
+  Builder b(checked_node_count(std::uint64_t{rows} * cols));
   for (NodeId r = 0; r < rows; ++r) {
     for (NodeId c = 0; c < cols; ++c) {
       if (c + 1 < cols) b.add_edge(grid_id(r, c, cols), grid_id(r, c + 1, cols));
@@ -104,6 +119,9 @@ Graph triangular_grid(NodeId rows, NodeId cols) {
 }
 
 Graph hypercube(NodeId dimensions) {
+  if (dimensions >= 32) {
+    throw std::length_error("hypercube: 2^dimensions overflows NodeId");
+  }
   const NodeId n = NodeId{1} << dimensions;
   Builder b(n);
   for (NodeId v = 0; v < n; ++v) {

@@ -25,6 +25,32 @@ namespace arbmis::sim {
 
 class Network;
 
+/// Draw-counted view of a node's private random stream. Every method is
+/// one logical draw in the model checker's randomness ledger (rejection
+/// retries inside a draw are not charged extra), so algorithms stay inside
+/// the per-round randomness budget the CONGEST checker enforces. Satisfies
+/// UniformRandomBitGenerator via operator().
+class NodeRandom {
+ public:
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return util::Rng::min(); }
+  static constexpr result_type max() noexcept { return util::Rng::max(); }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+  double uniform01();
+  std::uint64_t below(std::uint64_t bound);
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+  bool bernoulli(double p);
+
+ private:
+  friend class NodeContext;
+  NodeRandom(Network& net, graph::NodeId id) : net_(&net), id_(id) {}
+
+  Network* net_;
+  graph::NodeId id_;
+};
+
 /// Facade handed to algorithm callbacks; valid only for the duration of the
 /// callback.
 class NodeContext {
@@ -48,7 +74,9 @@ class NodeContext {
   void broadcast(std::uint32_t tag, std::uint64_t payload);
 
   /// This node's private random stream (deterministic in (seed, id)).
-  util::Rng& rng();
+  /// Draws are counted by the model checker; reading another node's stream
+  /// or exceeding the per-round draw budget is a reported violation.
+  NodeRandom rng() { return NodeRandom(*net_, id_); }
 
   /// Marks the node terminated; it receives no further callbacks. Messages
   /// already queued to it are silently dropped.

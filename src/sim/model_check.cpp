@@ -1,0 +1,204 @@
+#include "sim/model_check.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "util/log.h"
+
+namespace arbmis::sim {
+
+namespace {
+
+constexpr std::uint32_t kStaleEpoch = ~std::uint32_t{0};
+
+std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return static_cast<std::uint32_t>(std::bit_width(x - 1));
+}
+
+}  // namespace
+
+std::string ModelCheckReport::summary() const {
+  std::ostringstream out;
+  out << "model-check: rounds=" << rounds_observed
+      << " budget=" << edge_bit_budget << "b"
+      << " max_msg=" << max_message_bits << "b"
+      << " max_edge=" << max_edge_bits_per_round << "b"
+      << " max_rng_reads=" << max_rng_reads_per_round << " k=" << k
+      << " violations=" << violations;
+  return out.str();
+}
+
+ModelChecker::ModelChecker(const graph::Graph& g, ModelCheckOptions options,
+                           std::uint32_t allowed_messages_per_edge)
+    : options_(options), num_nodes_(g.num_nodes()) {
+  if (!options_.enabled) return;
+  const std::uint32_t per_message =
+      std::max(options_.min_edge_bits,
+               options_.log_n_factor *
+                   ceil_log2(static_cast<std::uint64_t>(num_nodes_) + 1));
+  edge_bit_budget_ =
+      per_message * std::max<std::uint32_t>(allowed_messages_per_edge, 1);
+  std::uint64_t slots = 0;
+  for (graph::NodeId v = 0; v < num_nodes_; ++v) slots += g.degree(v);
+  edge_bits_.assign(slots, 0);
+  edge_bits_epoch_.assign(slots, kStaleEpoch);
+  rng_reads_.assign(num_nodes_, 0);
+  rng_epoch_.assign(num_nodes_, kStaleEpoch);
+  for (int s = 0; s < 2; ++s) {
+    mult_[s].assign(num_nodes_, 0);
+    mult_epoch_[s].assign(num_nodes_, kStaleEpoch);
+  }
+  pending_origin_.resize(num_nodes_);
+  current_origin_.resize(num_nodes_);
+  report_.edge_bit_budget = edge_bit_budget_;
+}
+
+void ModelChecker::begin_run() {
+  if (!options_.enabled) return;
+  std::fill(edge_bits_epoch_.begin(), edge_bits_epoch_.end(), kStaleEpoch);
+  std::fill(rng_epoch_.begin(), rng_epoch_.end(), kStaleEpoch);
+  for (int s = 0; s < 2; ++s) {
+    std::fill(mult_epoch_[s].begin(), mult_epoch_[s].end(), kStaleEpoch);
+  }
+  for (auto& box : pending_origin_) box.clear();
+  for (auto& box : current_origin_) box.clear();
+  active_node_ = kNoNode;
+  report_ = ModelCheckReport{};
+  report_.edge_bit_budget = edge_bit_budget_;
+}
+
+void ModelChecker::begin_round(std::uint32_t round) {
+  if (!options_.enabled) return;
+  (void)round;
+  // Mirror the Network's inbox swap: what was sent last round is what gets
+  // consumed this round. Undelivered leftovers (halted recipients) die here.
+  std::swap(current_origin_, pending_origin_);
+  for (auto& box : pending_origin_) box.clear();
+}
+
+std::uint32_t& ModelChecker::stamped(std::vector<std::uint32_t>& counts,
+                                     std::vector<std::uint32_t>& epochs,
+                                     std::uint64_t i, std::uint32_t round) {
+  if (epochs[i] != round) {
+    epochs[i] = round;
+    counts[i] = 0;
+  }
+  return counts[i];
+}
+
+void ModelChecker::on_send(graph::NodeId from, graph::NodeId target,
+                           std::uint64_t slot, std::uint64_t payload,
+                           std::uint32_t round) {
+  if (!options_.enabled) return;
+  if (from != active_node_) {
+    violation("out-of-context send: node " + std::to_string(from) +
+              "'s port used while node " +
+              (active_node_ == kNoNode ? std::string("<none>")
+                                       : std::to_string(active_node_)) +
+              " was scheduled");
+  }
+  const auto width = static_cast<std::uint32_t>(
+      options_.tag_bits + std::bit_width(payload));
+  report_.max_message_bits = std::max(report_.max_message_bits, width);
+  if (report_.round_max_message_bits.size() <= round) {
+    report_.round_max_message_bits.resize(round + 1, 0);
+  }
+  report_.round_max_message_bits[round] =
+      std::max(report_.round_max_message_bits[round], width);
+
+  std::uint32_t& bits =
+      stamped(edge_bits_, edge_bits_epoch_, slot, round);
+  bits += width;
+  report_.max_edge_bits_per_round =
+      std::max(report_.max_edge_bits_per_round, bits);
+  if (bits > edge_bit_budget_) {
+    violation("message budget exceeded: " + std::to_string(bits) +
+              " bits on one edge in round " + std::to_string(round) +
+              " (budget " + std::to_string(edge_bit_budget_) + ")");
+  }
+
+  // A message sent after a draw in the same callback carries that round's
+  // randomness to `target`, which will read it on delivery.
+  if (rng_epoch_[from] == round && rng_reads_[from] > 0) {
+    pending_origin_[target].push_back(from);
+  }
+}
+
+void ModelChecker::on_consume(graph::NodeId v, std::uint32_t round) {
+  if (!options_.enabled) return;
+  if (round == 0) return;  // nothing in flight before round 1
+  const std::uint32_t draw_round = round - 1;
+  const int slot = draw_round & 1;
+  auto& origins = current_origin_[v];
+  for (graph::NodeId origin : origins) {
+    if (mult_epoch_[slot][origin] != draw_round) continue;
+    const std::uint32_t m = ++mult_[slot][origin];
+    report_.k = std::max(report_.k, m);
+    if (report_.round_k.size() <= draw_round) {
+      report_.round_k.resize(draw_round + 1, 0);
+    }
+    report_.round_k[draw_round] = std::max(report_.round_k[draw_round], m);
+  }
+  origins.clear();
+}
+
+void ModelChecker::on_rng_read(graph::NodeId v, std::uint32_t round) {
+  if (!options_.enabled) return;
+  if (v != active_node_) {
+    violation("RNG isolation breach: node " + std::to_string(v) +
+              "'s private stream read while node " +
+              (active_node_ == kNoNode ? std::string("<none>")
+                                       : std::to_string(active_node_)) +
+              " was scheduled");
+  }
+  const std::uint32_t reads = ++stamped(rng_reads_, rng_epoch_, v, round);
+  report_.max_rng_reads_per_round =
+      std::max(report_.max_rng_reads_per_round, reads);
+  if (reads > options_.max_rng_reads_per_round) {
+    violation("randomness budget exceeded: node " + std::to_string(v) +
+              " drew " + std::to_string(reads) + " times in round " +
+              std::to_string(round) + " (budget " +
+              std::to_string(options_.max_rng_reads_per_round) + ")");
+  }
+  if (reads == 1) {
+    // Fresh per-round randomness: the drawing node is its first reader.
+    const int slot = round & 1;
+    mult_epoch_[slot][v] = round;
+    mult_[slot][v] = 1;
+    report_.k = std::max(report_.k, 1u);
+    if (report_.round_k.size() <= round) {
+      report_.round_k.resize(round + 1, 0);
+    }
+    report_.round_k[round] = std::max(report_.round_k[round], 1u);
+  }
+}
+
+void ModelChecker::on_halt(graph::NodeId v) {
+  if (!options_.enabled) return;
+  if (v != active_node_) {
+    violation("out-of-context halt: node " + std::to_string(v) +
+              " halted while node " +
+              (active_node_ == kNoNode ? std::string("<none>")
+                                       : std::to_string(active_node_)) +
+              " was scheduled");
+  }
+}
+
+void ModelChecker::end_run(std::uint32_t rounds) {
+  if (!options_.enabled) return;
+  report_.rounds_observed = rounds;
+  ARBMIS_LOG(Debug) << report_.summary();
+}
+
+void ModelChecker::violation(const std::string& what) {
+  ++report_.violations;
+  ARBMIS_LOG(Error) << "CONGEST model violation: " << what;
+  if (options_.fail_fast) {
+    throw CongestViolation("CONGEST model violation: " + what);
+  }
+}
+
+}  // namespace arbmis::sim

@@ -1,0 +1,167 @@
+// Runtime CONGEST model checker.
+//
+// The simulator's message type (one tag + one 64-bit word) makes gross
+// bandwidth violations impossible by construction, but three subtler ways
+// of cheating the model remain expressible:
+//
+//   1. width  — packing more than O(log n) significant bits into the
+//      payload word, or smuggling extra words down one edge in a round
+//      when the per-edge message cap is relaxed;
+//   2. state  — reading or mutating another node's simulator state outside
+//      message delivery, e.g. by stashing a NodeContext in one callback and
+//      using it from another node's callback (global peeking);
+//   3. randomness — drawing more than a word of randomness per round, or
+//      sampling a *different* node's private stream.
+//
+// ModelChecker turns each of these into an enforced runtime invariant.
+// Network calls the hooks below on every send, delivery, RNG read, and
+// callback boundary; a violation is reported through util/log and (by
+// default) aborts the run with CongestViolation. The checker also keeps
+// the read-k ledger the paper's analysis is built on: when a node draws
+// fresh randomness in round r, the draw is "read" once by the node itself
+// and once per *delivered* message it sends that round (neighbors consume
+// the value next round — exactly how priorities propagate in Algorithm 1).
+// The maximum multiplicity observed is reported as `k`, mirroring
+// ReadKFamily::read_k() in src/readk/family.h: on a run of
+// BoundedArbIndependentSet the two quantities coincide (see
+// tests/test_model_check.cpp).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace arbmis::sim {
+
+/// Thrown (when ModelCheckOptions::fail_fast) on any model violation.
+class CongestViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+struct ModelCheckOptions {
+  /// Master switch. On by default: the whole test/bench battery runs under
+  /// enforcement, which is the point (ISSUE 1).
+  bool enabled = true;
+  /// Throw CongestViolation at the first violation (after logging). When
+  /// false, violations are only counted and logged.
+  bool fail_fast = true;
+  /// Bits charged for the message tag (O(1) distinct kinds per algorithm).
+  std::uint32_t tag_bits = 8;
+  /// Per-edge per-round budget = allowed_messages *
+  /// max(min_edge_bits, log_n_factor * ceil(log2(n + 1))).
+  std::uint32_t log_n_factor = 8;
+  /// Floor of the per-message budget: one CONGEST word (64 payload bits +
+  /// tag), so the budget never dips below what Message physically holds.
+  std::uint32_t min_edge_bits = 72;
+  /// Randomness budget: logical draws one node may make in one round. Two
+  /// covers every algorithm in the repository (Israeli–Itai needs a coin
+  /// plus a port pick); the paper's Algorithm 1 uses exactly one.
+  std::uint32_t max_rng_reads_per_round = 2;
+};
+
+/// What the checker saw over one Network::run.
+struct ModelCheckReport {
+  std::uint32_t rounds_observed = 0;
+  /// Enforced per-edge per-round budget in bits (for one allowed message).
+  std::uint32_t edge_bit_budget = 0;
+  /// Widest single message: tag_bits + significant payload bits.
+  std::uint32_t max_message_bits = 0;
+  /// Max cumulative bits one directed edge carried in one round.
+  std::uint32_t max_edge_bits_per_round = 0;
+  /// Max logical RNG draws by one node in one round.
+  std::uint32_t max_rng_reads_per_round = 0;
+  /// Read multiplicity: max number of consumers of one node's per-round
+  /// randomness (the node itself plus delivered recipients). This is the
+  /// simulator-side analog of ReadKFamily::read_k().
+  std::uint32_t k = 0;
+  std::uint64_t violations = 0;
+  /// Per-round series (index = round number; round 0 is on_start).
+  std::vector<std::uint32_t> round_max_message_bits;
+  std::vector<std::uint32_t> round_k;
+
+  /// One-line human summary for logs.
+  std::string summary() const;
+};
+
+/// Instrumentation attached to a Network. All hooks are O(1); with
+/// `enabled == false` every hook returns immediately.
+class ModelChecker {
+ public:
+  static constexpr graph::NodeId kNoNode = ~graph::NodeId{0};
+
+  ModelChecker() = default;
+  ModelChecker(const graph::Graph& g, ModelCheckOptions options,
+               std::uint32_t allowed_messages_per_edge);
+
+  bool enabled() const noexcept { return options_.enabled; }
+  const ModelCheckReport& report() const noexcept { return report_; }
+
+  /// Resets per-run state (Network::run calls this at the top of each run).
+  void begin_run();
+  /// Marks the delivery boundary of `round` (mirrors the inbox swap).
+  void begin_round(std::uint32_t round);
+  /// Pins the node whose callback is executing; kNoNode between callbacks.
+  void begin_callback(graph::NodeId v) noexcept { active_node_ = v; }
+  void end_callback() noexcept { active_node_ = kNoNode; }
+
+  /// Hook for every send: `slot` is the directed-edge slot (shared with
+  /// Network's per-edge counters). Enforces the bit budget and tags the
+  /// message as randomness-bearing if `from` drew earlier this round.
+  void on_send(graph::NodeId from, graph::NodeId target, std::uint64_t slot,
+               std::uint64_t payload, std::uint32_t round);
+
+  /// Hook for each node about to consume its inbox this round: counts the
+  /// read multiplicity of every randomness-bearing message delivered to it.
+  void on_consume(graph::NodeId v, std::uint32_t round);
+
+  /// Hook for one logical draw from node v's private stream.
+  void on_rng_read(graph::NodeId v, std::uint32_t round);
+
+  /// Hook for a halt request (cross-node halt is a state write).
+  void on_halt(graph::NodeId v);
+
+  /// Final bookkeeping; logs the summary at debug level.
+  void end_run(std::uint32_t rounds);
+
+ private:
+  void violation(const std::string& what);
+  /// Lazily epoch-stamped per-round counters.
+  std::uint32_t& stamped(std::vector<std::uint32_t>& counts,
+                         std::vector<std::uint32_t>& epochs, std::uint64_t i,
+                         std::uint32_t round);
+
+  ModelCheckOptions options_;
+  std::uint32_t num_nodes_ = 0;
+  std::uint32_t edge_bit_budget_ = 0;  ///< budget for all allowed messages
+  graph::NodeId active_node_ = kNoNode;
+
+  // Per-directed-edge cumulative bits this round, epoch-stamped.
+  std::vector<std::uint32_t> edge_bits_;
+  std::vector<std::uint32_t> edge_bits_epoch_;
+
+  // Per-node RNG draws this round, epoch-stamped. A node "drew this round"
+  // iff rng_epoch_[v] == round and rng_reads_[v] > 0.
+  std::vector<std::uint32_t> rng_reads_;
+  std::vector<std::uint32_t> rng_epoch_;
+
+  // Read multiplicity of v's per-round randomness. A draw made in round r
+  // is consumed by neighbors in round r + 1, when v may already be drawing
+  // again — so the ledger keeps two slots indexed by round parity.
+  // mult_[r & 1][v] counts consumers of v's round-r draw and is valid while
+  // mult_epoch_[r & 1][v] == r.
+  std::vector<std::uint32_t> mult_[2];
+  std::vector<std::uint32_t> mult_epoch_[2];
+
+  // Origins of randomness-bearing messages in flight / being delivered,
+  // mirroring Network's next_inbox_/inbox_ swap.
+  std::vector<std::vector<graph::NodeId>> pending_origin_;
+  std::vector<std::vector<graph::NodeId>> current_origin_;
+
+  ModelCheckReport report_;
+};
+
+}  // namespace arbmis::sim

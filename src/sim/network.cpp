@@ -15,7 +15,10 @@ void RunStats::absorb(const RunStats& other) noexcept {
 
 Network::Network(const graph::Graph& g, std::uint64_t seed,
                  NetworkOptions options)
-    : graph_(&g), options_(options) {
+    : graph_(&g),
+      options_(options),
+      checker_(g, options.model_check,
+               options.max_messages_per_edge_per_round) {
   const graph::NodeId n = g.num_nodes();
   rngs_.reserve(n);
   const util::Rng base(seed);
@@ -51,14 +54,21 @@ void Network::do_send(graph::NodeId from, graph::NodeId port,
   }
   stats_.max_edge_load = std::max(stats_.max_edge_load, load);
   const graph::NodeId target = nbrs[port];
+  checker_.on_send(from, target, slot, payload, round_);
   next_inbox_[target].push_back(Message{from, tag, payload});
 }
 
-void Network::do_halt(graph::NodeId v) noexcept {
+void Network::do_halt(graph::NodeId v) {
+  checker_.on_halt(v);
   if (!halted_[v]) {
     halted_[v] = true;
     ++num_halted_;
   }
+}
+
+util::Rng& Network::draw_rng(graph::NodeId v) {
+  checker_.on_rng_read(v, round_);
+  return rngs_[v];
 }
 
 RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
@@ -72,11 +82,14 @@ RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
   for (auto& box : inbox_) box.clear();
   for (auto& box : next_inbox_) box.clear();
   std::fill(edge_epoch_.begin(), edge_epoch_.end(), ~std::uint32_t{0});
+  checker_.begin_run();
 
   for (graph::NodeId v = 0; v < n; ++v) {
     if (halted_[v]) continue;
     NodeContext ctx(*this, v);
+    checker_.begin_callback(v);
     algorithm.on_start(ctx);
+    checker_.end_callback();
   }
 
   while (num_halted_ < n && round_ < max_rounds) {
@@ -96,10 +109,14 @@ RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
     std::swap(inbox_, next_inbox_);
     for (auto& box : next_inbox_) box.clear();
     ++round_;
+    checker_.begin_round(round_);
     for (graph::NodeId v = 0; v < n; ++v) {
       if (halted_[v]) continue;
       NodeContext ctx(*this, v);
+      checker_.begin_callback(v);
+      checker_.on_consume(v, round_);
       algorithm.on_round(ctx, inbox_[v]);
+      checker_.end_callback();
       stats_.messages += inbox_[v].size();
     }
     ++stats_.rounds;
@@ -107,6 +124,7 @@ RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
   }
   stats_.payload_bits = stats_.messages * kBitsPerMessage;
   stats_.all_halted = (num_halted_ == n);
+  checker_.end_run(stats_.rounds);
   return stats_;
 }
 
@@ -134,8 +152,20 @@ void NodeContext::broadcast(std::uint32_t tag, std::uint64_t payload) {
   for (graph::NodeId port = 0; port < deg; ++port) send(port, tag, payload);
 }
 
-util::Rng& NodeContext::rng() { return net_->rngs_[id_]; }
-
 void NodeContext::halt() { net_->do_halt(id_); }
+
+std::uint64_t NodeRandom::next() { return net_->draw_rng(id_).next(); }
+
+double NodeRandom::uniform01() { return net_->draw_rng(id_).uniform01(); }
+
+std::uint64_t NodeRandom::below(std::uint64_t bound) {
+  return net_->draw_rng(id_).below(bound);
+}
+
+std::int64_t NodeRandom::range(std::int64_t lo, std::int64_t hi) {
+  return net_->draw_rng(id_).range(lo, hi);
+}
+
+bool NodeRandom::bernoulli(double p) { return net_->draw_rng(id_).bernoulli(p); }
 
 }  // namespace arbmis::sim

@@ -11,7 +11,12 @@
 // `enforce_congest` (default on) a node sending more than
 // `max_messages_per_edge_per_round` on one port aborts the run with
 // std::logic_error — this is how the test suite proves the algorithms obey
-// the CONGEST normalization rather than merely claiming it.
+// the CONGEST normalization rather than merely claiming it. On top of the
+// message-count cap, a ModelChecker (sim/model_check.h, also default-on)
+// enforces the per-edge bit budget, RNG-stream isolation with a per-round
+// randomness budget, and callback pinning (no cross-node state access),
+// and keeps the read-k multiplicity ledger reported via
+// model_check_report().
 //
 // Determinism: node v draws from Rng(seed).child(v); callback order never
 // affects the streams, so a run is a pure function of (graph, seed,
@@ -25,6 +30,7 @@
 #include "graph/graph.h"
 #include "sim/algorithm.h"
 #include "sim/message.h"
+#include "sim/model_check.h"
 #include "util/rng.h"
 
 namespace arbmis::sim {
@@ -32,6 +38,9 @@ namespace arbmis::sim {
 struct NetworkOptions {
   bool enforce_congest = true;
   std::uint32_t max_messages_per_edge_per_round = 1;
+  /// Runtime CONGEST model checker (enabled by default; see
+  /// sim/model_check.h). Set `model_check.enabled = false` to opt out.
+  ModelCheckOptions model_check;
 };
 
 struct RunStats {
@@ -67,12 +76,22 @@ class Network {
   RunStats run(Algorithm& algorithm, std::uint32_t max_rounds,
                const RoundObserver& observer = {});
 
+  /// What the model checker observed during the latest run (width series,
+  /// read multiplicity k, violations). Budget fields are valid even before
+  /// the first run.
+  const ModelCheckReport& model_check_report() const noexcept {
+    return checker_.report();
+  }
+
  private:
   friend class NodeContext;
+  friend class NodeRandom;
 
   void do_send(graph::NodeId from, graph::NodeId port, std::uint32_t tag,
                std::uint64_t payload);
-  void do_halt(graph::NodeId v) noexcept;
+  void do_halt(graph::NodeId v);
+  /// Accounts one logical draw from v's stream, then exposes it.
+  util::Rng& draw_rng(graph::NodeId v);
 
   const graph::Graph* graph_;
   NetworkOptions options_;
@@ -91,6 +110,7 @@ class Network {
   std::vector<std::uint32_t> edge_sends_;
   std::vector<std::uint32_t> edge_epoch_;
 
+  ModelChecker checker_;
   RunStats stats_;
 };
 

@@ -3,7 +3,6 @@
 // least-squares fits for the round-complexity shape checks.
 #pragma once
 
-#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -15,7 +14,7 @@ class RunningStats {
  public:
   void add(double x) noexcept;
 
-  std::size_t count() const noexcept { return n_; }
+  std::uint64_t count() const noexcept { return n_; }
   double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
   double variance() const noexcept;
@@ -28,7 +27,9 @@ class RunningStats {
   void merge(const RunningStats& other) noexcept;
 
  private:
-  std::size_t n_ = 0;
+  // Fixed-width on purpose: std::size_t is 32 bits on some targets, and a
+  // long Monte-Carlo sweep can exceed 2^32 samples.
+  std::uint64_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double sum_ = 0.0;

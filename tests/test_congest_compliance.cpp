@@ -2,6 +2,13 @@
 // repository must stay within one message per directed edge per round
 // (the simulator aborts otherwise — this test proves nothing aborted and
 // the recorded max edge load is 1 across a workload battery).
+//
+// Beyond the per-edge message count checked here, every one of these runs
+// also passes through the full runtime model checker (sim/model_check.h,
+// on by default): per-edge bit budgets, cross-node state-read isolation,
+// and per-round randomness budgets are enforced on this whole battery,
+// with fail_fast=true — a violation anywhere would throw and fail the
+// test. Checker-specific behavior is covered in test_model_check.cpp.
 #include <gtest/gtest.h>
 
 #include "core/arb_mis.h"

@@ -38,8 +38,12 @@ TEST(DegreeReduction, PartialResultIsConsistent) {
   // Covered nodes have an MIS neighbor; undecided ones have none.
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     bool has_mis_neighbor = false;
-    for (graph::NodeId w : g.neighbors(v)) has_mis_neighbor |= (mask[w] != 0);
-    if (result.state[v] == MisState::kCovered) EXPECT_TRUE(has_mis_neighbor);
+    for (graph::NodeId w : g.neighbors(v)) {
+      has_mis_neighbor |= (mask[w] != 0);
+    }
+    if (result.state[v] == MisState::kCovered) {
+      EXPECT_TRUE(has_mis_neighbor);
+    }
     if (result.state[v] == MisState::kUndecided) {
       EXPECT_FALSE(has_mis_neighbor);
     }

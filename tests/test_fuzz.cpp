@@ -115,7 +115,8 @@ TEST_P(Fuzz, PipelineOnRandomStructures) {
   util::Rng rng(GetParam() + 300);
   // Random graph; alpha hint derived from its actual degeneracy.
   const graph::NodeId n = 100 + static_cast<graph::NodeId>(rng.below(400));
-  const double p = 2.0 / static_cast<double>(n) * (1 + rng.below(4));
+  const double p =
+      2.0 / static_cast<double>(n) * static_cast<double>(1 + rng.below(4));
   const graph::Graph g = graph::gen::gnp(n, p, rng);
   const graph::NodeId alpha = std::max<graph::NodeId>(
       graph::degeneracy(g), 1);

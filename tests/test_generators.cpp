@@ -214,5 +214,15 @@ TEST_P(RandomGenerators, SameSeedReproduces) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomGenerators,
                          ::testing::Values(1, 7, 1234, 99991));
 
+TEST(Deterministic, OversizedRequestsThrowInsteadOfWrapping) {
+  // NodeId is 32-bit; these size expressions exceed it and must fail
+  // loudly rather than wrap to a small graph.
+  EXPECT_THROW(gen::grid(NodeId{1} << 16, NodeId{1} << 16),
+               std::length_error);
+  EXPECT_THROW(gen::hypercube(32), std::length_error);
+  EXPECT_THROW(gen::caterpillar(NodeId{1} << 30, 8), std::length_error);
+  EXPECT_THROW(gen::complete_bipartite(~NodeId{0}, 1), std::length_error);
+}
+
 }  // namespace
 }  // namespace arbmis::graph

@@ -106,10 +106,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range<std::size_t>(0, 17),
                        ::testing::Range<std::size_t>(0, 5),
                        ::testing::Values(1, 42, 2026)),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
-      const std::size_t g = std::get<0>(info.param);
-      const std::size_t a = std::get<1>(info.param);
-      const std::uint64_t s = std::get<2>(info.param);
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+      const std::size_t g = std::get<0>(param_info.param);
+      const std::size_t a = std::get<1>(param_info.param);
+      const std::uint64_t s = std::get<2>(param_info.param);
       return graph_battery()[g].name + "_" + algorithm_battery()[a].name +
              "_s" + std::to_string(s);
     });

@@ -1,0 +1,246 @@
+// Tests for the runtime CONGEST model checker (sim/model_check.h):
+// negative tests prove each violation class is actually detected, and the
+// read-multiplicity ledger is cross-checked against the declared read_k of
+// the paper's event families on a BoundedArbIndependentSet run.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/bounded_arb.h"
+#include "core/params.h"
+#include "graph/generators.h"
+#include "graph/orientation.h"
+#include "mis/metivier.h"
+#include "readk/family.h"
+#include "sim/model_check.h"
+#include "sim/network.h"
+
+namespace arbmis::sim {
+namespace {
+
+/// Sends one message with an arbitrary payload from node 0, then halts.
+class WidePayloadSender : public Algorithm {
+ public:
+  explicit WidePayloadSender(std::uint64_t payload) : payload_(payload) {}
+  std::string_view name() const override { return "wide_payload"; }
+  void on_start(NodeContext& ctx) override {
+    if (ctx.id() == 0) ctx.send(0, 1, payload_);
+  }
+  void on_round(NodeContext& ctx, std::span<const Message>) override {
+    ctx.halt();
+  }
+
+ private:
+  std::uint64_t payload_;
+};
+
+TEST(ModelCheck, OverWideMessageIsCaught) {
+  const graph::Graph g = graph::gen::path(2);
+  NetworkOptions options;
+  options.model_check.min_edge_bits = 16;
+  options.model_check.log_n_factor = 1;
+  Network net(g, 1, options);
+  // 32 significant payload bits + 8 tag bits = 40 > 16.
+  WidePayloadSender algorithm(0xFFFFFFFFULL);
+  EXPECT_THROW(net.run(algorithm, 4), CongestViolation);
+}
+
+TEST(ModelCheck, OverWideMessageIsCountedWhenNotFailFast) {
+  const graph::Graph g = graph::gen::path(2);
+  NetworkOptions options;
+  options.model_check.min_edge_bits = 16;
+  options.model_check.log_n_factor = 1;
+  options.model_check.fail_fast = false;
+  Network net(g, 1, options);
+  WidePayloadSender algorithm(0xFFFFFFFFULL);
+  EXPECT_NO_THROW(net.run(algorithm, 4));
+  EXPECT_EQ(net.model_check_report().violations, 1u);
+  EXPECT_EQ(net.model_check_report().max_message_bits, 40u);
+}
+
+TEST(ModelCheck, NarrowMessageWithinBudgetPasses) {
+  const graph::Graph g = graph::gen::path(2);
+  NetworkOptions options;
+  options.model_check.min_edge_bits = 16;
+  options.model_check.log_n_factor = 1;
+  Network net(g, 1, options);
+  WidePayloadSender algorithm(0x3F);  // 6 + 8 = 14 bits <= 16
+  EXPECT_NO_THROW(net.run(algorithm, 4));
+  EXPECT_EQ(net.model_check_report().violations, 0u);
+}
+
+/// Stashes node 0's context in on_start and abuses it from node 1's
+/// callback: a cross-node state read outside message delivery.
+class ContextStasher : public Algorithm {
+ public:
+  std::string_view name() const override { return "context_stasher"; }
+  void on_start(NodeContext& ctx) override {
+    if (ctx.id() == 0) stashed_ = ctx;
+  }
+  void on_round(NodeContext& ctx, std::span<const Message>) override {
+    if (ctx.id() == 1 && stashed_) {
+      (void)stashed_->rng().next();  // node 1 reads node 0's stream
+    }
+    ctx.halt();
+  }
+
+ private:
+  std::optional<NodeContext> stashed_;
+};
+
+TEST(ModelCheck, CrossNodeStateReadIsCaught) {
+  const graph::Graph g = graph::gen::path(3);
+  Network net(g, 1);
+  ContextStasher algorithm;
+  EXPECT_THROW(net.run(algorithm, 4), CongestViolation);
+}
+
+TEST(ModelCheck, OutOfRoundStateReadIsCaught) {
+  // Using a stashed context after the run — outside any callback window —
+  // is a state access outside message delivery and must be flagged too.
+  class Stash : public Algorithm {
+   public:
+    std::string_view name() const override { return "stash"; }
+    void on_start(NodeContext& ctx) override { stashed = ctx; }
+    void on_round(NodeContext& ctx, std::span<const Message>) override {
+      ctx.halt();
+    }
+    std::optional<NodeContext> stashed;
+  };
+  const graph::Graph g = graph::gen::path(2);
+  Network net(g, 1);
+  Stash algorithm;
+  EXPECT_NO_THROW(net.run(algorithm, 4));
+  EXPECT_THROW((void)algorithm.stashed->rng().next(), CongestViolation);
+}
+
+TEST(ModelCheck, RandomnessBudgetIsEnforced) {
+  class GreedyDrawer : public Algorithm {
+   public:
+    std::string_view name() const override { return "greedy_drawer"; }
+    void on_start(NodeContext& ctx) override {
+      (void)ctx.rng().next();
+      (void)ctx.rng().next();
+      (void)ctx.rng().next();  // third draw busts the default budget of 2
+    }
+    void on_round(NodeContext& ctx, std::span<const Message>) override {
+      ctx.halt();
+    }
+  };
+  const graph::Graph g = graph::gen::path(2);
+  Network net(g, 1);
+  GreedyDrawer algorithm;
+  EXPECT_THROW(net.run(algorithm, 4), CongestViolation);
+}
+
+TEST(ModelCheck, DisabledCheckerEnforcesNothing) {
+  const graph::Graph g = graph::gen::path(2);
+  NetworkOptions options;
+  options.model_check.enabled = false;
+  options.model_check.min_edge_bits = 1;
+  Network net(g, 1, options);
+  WidePayloadSender algorithm(~std::uint64_t{0});
+  EXPECT_NO_THROW(net.run(algorithm, 4));
+  EXPECT_EQ(net.model_check_report().max_message_bits, 0u);
+}
+
+TEST(ModelCheck, DefaultBudgetFloorsAtOneCongestWord) {
+  // Small n: the word floor dominates; large n: 8 * ceil(log2(n+1)) does.
+  Network small(graph::gen::path(16), 1);
+  EXPECT_EQ(small.model_check_report().edge_bit_budget, 72u);
+  Network large(graph::gen::path(1000), 1);
+  EXPECT_EQ(large.model_check_report().edge_bit_budget, 80u);
+}
+
+/// One scale, one iteration, every node competitive: in the single kPrio
+/// round all nodes draw and broadcast their priorities, which every
+/// neighbor reads in the kResolve round.
+core::Params one_iteration_params(const graph::Graph& g) {
+  core::Params params;
+  params.alpha = 1;
+  params.max_degree = g.max_degree();
+  params.num_scales = 1;
+  params.iterations_per_scale = 1;
+  params.rho_factor = 100.0;  // rho_1 >> max degree: everyone competes
+  return params;
+}
+
+TEST(ModelCheck, ReportKMatchesDeclaredReadKOnCompleteGraph) {
+  // K_m with ids oriented small -> large: node m-1 has m-1 parents, so the
+  // paper's Event (2) family reads its priority m-1 times plus once by the
+  // node itself — read_k == m. On the simulator, the same priority is
+  // consumed by all m-1 neighbors plus the drawing node: k == m.
+  const graph::NodeId m = 8;
+  const graph::Graph g = graph::gen::complete(m);
+  std::vector<graph::NodeId> members(m);
+  for (graph::NodeId v = 0; v < m; ++v) members[v] = v;
+  const readk::ReadKFamily family =
+      readk::parent_max_family(graph::id_orientation(g), members);
+  ASSERT_EQ(family.read_k(), m);
+
+  const core::Params params = one_iteration_params(g);
+  core::BoundedArbIndependentSet algorithm(g, params);
+  Network net(g, 7);
+  const RunStats stats = net.run(algorithm, params.total_rounds());
+  EXPECT_TRUE(stats.all_halted);
+  const ModelCheckReport& report = net.model_check_report();
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_EQ(report.k, family.read_k());
+  // Algorithm 1 draws exactly one priority per round.
+  EXPECT_EQ(report.max_rng_reads_per_round, 1u);
+  // Priorities are one CONGEST word: 64 payload bits + 8 tag bits.
+  EXPECT_EQ(report.max_message_bits, 72u);
+  // The draws happen in the kPrio round (round 1).
+  ASSERT_GT(report.round_k.size(), 1u);
+  EXPECT_EQ(report.round_k[1], m);
+}
+
+TEST(ModelCheck, ReportKMatchesDeclaredReadKOnStar) {
+  // Star with the hub as the highest id: every leaf's out-edge points at
+  // the hub, whose priority feeds all d leaf indicators plus its own.
+  const graph::NodeId leaves = 6;
+  graph::Builder b(leaves + 1);
+  for (graph::NodeId v = 0; v < leaves; ++v) b.add_edge(v, leaves);
+  const graph::Graph g = b.build();
+  std::vector<graph::NodeId> members(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) members[v] = v;
+  const readk::ReadKFamily family =
+      readk::parent_max_family(graph::id_orientation(g), members);
+  ASSERT_EQ(family.read_k(), leaves + 1);
+
+  const core::Params params = one_iteration_params(g);
+  core::BoundedArbIndependentSet algorithm(g, params);
+  Network net(g, 3);
+  net.run(algorithm, params.total_rounds());
+  EXPECT_EQ(net.model_check_report().k, family.read_k());
+  EXPECT_EQ(net.model_check_report().violations, 0u);
+}
+
+TEST(ModelCheck, MetivierStaysWithinAllBudgets) {
+  // The competition engine under full enforcement on a non-trivial graph:
+  // no violations, and the read multiplicity never exceeds Delta + 1 (a
+  // priority is read by its drawer and at most all its neighbors).
+  util::Rng rng(11);
+  const graph::Graph g = graph::gen::gnp(200, 0.05, rng);
+  mis::MetivierMis algorithm(g);
+  Network net(g, 5);
+  const RunStats stats = net.run(algorithm, 1 << 12);
+  EXPECT_TRUE(stats.all_halted);
+  const ModelCheckReport& report = net.model_check_report();
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_GE(report.k, 1u);
+  EXPECT_LE(report.k, g.max_degree() + 1);
+  EXPECT_LE(report.max_edge_bits_per_round, report.edge_bit_budget);
+}
+
+TEST(ModelCheckReport, SummaryMentionsKeyFields) {
+  ModelCheckReport report;
+  report.k = 7;
+  report.violations = 2;
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("k=7"), std::string::npos);
+  EXPECT_NE(s.find("violations=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arbmis::sim
