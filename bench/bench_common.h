@@ -20,6 +20,7 @@ struct BenchOptions {
   bool quick = false;        ///< shrink sweeps for smoke runs
   bool csv = false;          ///< also emit each table as CSV
   std::uint64_t seed = 12345;
+  std::uint32_t threads = 0;  ///< simulator workers; 0 = serial
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions options;
@@ -33,6 +34,9 @@ struct BenchOptions {
         options.trials = std::strtoull(argv[++i], nullptr, 10);
       } else if (arg == "--seed" && i + 1 < argc) {
         options.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (arg == "--threads" && i + 1 < argc) {
+        options.threads =
+            static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
       }
     }
     return options;

@@ -1,0 +1,200 @@
+// Experiment P1: serial-vs-parallel wall-clock for the round executor and
+// the Monte-Carlo samplers, with the equivalence contract checked inline —
+// the simulator cases must be bit-identical to serial, and the sampler
+// cases thread-count-invariant (parallel at T == parallel at 1). Prints a
+// table and writes machine-readable results to BENCH_sim_parallel.json
+// (path via --json).
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <thread>
+
+#include "bench_common.h"
+#include "core/arb_mis.h"
+#include "mis/metivier.h"
+#include "readk/family.h"
+#include "readk/montecarlo.h"
+#include "sim/network.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace arbmis;
+
+double time_best_ms(std::uint64_t reps, const std::function<void()>& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint64_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+/// Order-sensitive fold of a run's observable output, so "identical"
+/// below means identical byte-for-byte, not merely same-MIS.
+std::uint64_t fold(std::uint64_t h, std::uint64_t x) {
+  return util::mix64(h, x);
+}
+
+struct CaseResult {
+  std::string name;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool identical = false;
+  double speedup() const {
+    return parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  }
+};
+
+std::uint64_t hash_mis(const mis::MisResult& r) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const mis::MisState s : r.state) {
+    h = fold(h, static_cast<std::uint64_t>(s));
+  }
+  h = fold(h, r.stats.rounds);
+  h = fold(h, r.stats.messages);
+  h = fold(h, r.stats.payload_bits);
+  h = fold(h, r.stats.max_edge_load);
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::BenchOptions::parse(argc, argv);
+  const std::uint32_t hardware = std::thread::hardware_concurrency();
+  const std::uint32_t threads =
+      options.threads != 0 ? options.threads
+                           : std::max<std::uint32_t>(hardware, 2);
+  const std::uint64_t reps = options.quick ? 2 : 3;
+  std::string json_path = "results/BENCH_sim_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+  }
+
+  bench::print_header(
+      "P1", "parallel round executor — speedup with bit-identical output");
+  std::cout << "threads: " << threads
+            << "  (hardware_concurrency: " << hardware << ")\n"
+            << "best of " << reps << " reps per cell\n\n";
+
+  std::vector<CaseResult> cases;
+
+  // --- Simulator cases: parallel must be bit-identical to serial. ---
+  {
+    const graph::NodeId n = options.quick ? 5000 : 20000;
+    util::Rng rng(options.seed);
+    const graph::Graph g = graph::gen::union_of_random_forests(n, 2, rng);
+
+    CaseResult c;
+    c.name = "metivier_mis_arb2_n" + std::to_string(n);
+    std::uint64_t serial_hash = 0;
+    std::uint64_t parallel_hash = 0;
+    c.serial_ms = time_best_ms(reps, [&] {
+      serial_hash = hash_mis(mis::MetivierMis::run(g, options.seed));
+    });
+    c.parallel_ms = time_best_ms(reps, [&] {
+      const sim::ScopedNumThreads scoped(threads);
+      parallel_hash = hash_mis(mis::MetivierMis::run(g, options.seed));
+    });
+    c.identical = serial_hash == parallel_hash;
+    cases.push_back(c);
+  }
+  {
+    const graph::NodeId n = options.quick ? 4000 : 16000;
+    util::Rng rng(options.seed + 1);
+    const graph::Graph g =
+        graph::gen::hubbed_forest_union(n, 2, n / 512, rng);
+
+    CaseResult c;
+    c.name = "arb_mis_pipeline_n" + std::to_string(n);
+    std::uint64_t serial_hash = 0;
+    std::uint64_t parallel_hash = 0;
+    c.serial_ms = time_best_ms(reps, [&] {
+      serial_hash =
+          hash_mis(core::arb_mis(g, {.alpha = 2}, options.seed).mis);
+    });
+    c.parallel_ms = time_best_ms(reps, [&] {
+      const sim::ScopedNumThreads scoped(threads);
+      parallel_hash =
+          hash_mis(core::arb_mis(g, {.alpha = 2}, options.seed).mis);
+    });
+    c.identical = serial_hash == parallel_hash;
+    cases.push_back(c);
+  }
+
+  // --- Sampler case: block-parallel is a different (documented) stream
+  // decomposition than the legacy serial sampler, so the contract here is
+  // thread-count-invariance: T workers == 1 worker, draw for draw. ---
+  {
+    const std::uint64_t trials =
+        options.trials ? options.trials : (options.quick ? 20000 : 200000);
+    const readk::ReadKFamily family =
+        readk::shared_block_family(2000, 8, 0.999);
+
+    CaseResult c;
+    c.name = "mc_conjunction_" + std::to_string(trials) + "trials";
+    readk::ConjunctionEstimate one, many;
+    c.serial_ms = time_best_ms(reps, [&] {
+      util::Rng local(options.seed + 3);
+      one = readk::estimate_conjunction(family, trials, local,
+                                        {.num_threads = 1});
+    });
+    c.parallel_ms = time_best_ms(reps, [&] {
+      util::Rng local(options.seed + 3);
+      many = readk::estimate_conjunction(family, trials, local,
+                                         {.num_threads = threads});
+    });
+    c.identical = one.all_ones == many.all_ones &&
+                  one.mean_indicator == many.mean_indicator;
+    cases.push_back(c);
+  }
+
+  util::Table table(
+      {"case", "serial_ms", "parallel_ms", "speedup", "identical"});
+  table.set_double_precision(3);
+  for (const CaseResult& c : cases) {
+    table.row()
+        .cell(c.name)
+        .cell(c.serial_ms)
+        .cell(c.parallel_ms)
+        .cell(c.speedup())
+        .cell(c.identical ? "yes" : "NO");
+  }
+  bench::emit(table, options);
+
+  bool all_identical = true;
+  for (const CaseResult& c : cases) all_identical = all_identical && c.identical;
+  std::cout << "\nequivalence: "
+            << (all_identical ? "all cases identical" : "MISMATCH") << "\n";
+
+  std::ofstream json(json_path);
+  if (json) {
+    json << "{\n"
+         << "  \"bench\": \"sim_parallel\",\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"hardware_concurrency\": " << hardware << ",\n"
+         << "  \"reps\": " << reps << ",\n"
+         << "  \"seed\": " << options.seed << ",\n"
+         << "  \"cases\": [\n";
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const CaseResult& c = cases[i];
+      json << "    {\"name\": \"" << c.name << "\", \"serial_ms\": "
+           << c.serial_ms << ", \"parallel_ms\": " << c.parallel_ms
+           << ", \"speedup\": " << c.speedup() << ", \"identical\": "
+           << (c.identical ? "true" : "false") << "}"
+           << (i + 1 < cases.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  } else {
+    std::cout << "could not open " << json_path << " for writing\n";
+  }
+  return all_identical ? 0 : 1;
+}

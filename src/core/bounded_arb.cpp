@@ -1,5 +1,7 @@
 #include "core/bounded_arb.h"
 
+#include <algorithm>
+
 namespace arbmis::core {
 
 BoundedArbIndependentSet::BoundedArbIndependentSet(const graph::Graph& g,
@@ -8,7 +10,9 @@ BoundedArbIndependentSet::BoundedArbIndependentSet(const graph::Graph& g,
       rounds_per_scale_(3 * params.iterations_per_scale + 2),
       outcome_(g.num_nodes(), ArbOutcome::kActive),
       my_priority_(g.num_nodes(), 0),
-      deg_ib_(g.num_nodes(), 0) {}
+      deg_ib_(g.num_nodes(), 0),
+      decided_scale_(g.num_nodes(), 0),
+      last_pass_scale_(g.num_nodes(), 0) {}
 
 SchedulePoint BoundedArbIndependentSet::schedule_point(
     std::uint32_t round) const noexcept {
@@ -40,17 +44,39 @@ bool BoundedArbIndependentSet::is_scale_end(
          point.phase == SchedulePoint::Phase::kBadCheck;
 }
 
-BoundedArbIndependentSet::ScaleStats&
-BoundedArbIndependentSet::stats_for_scale(std::uint32_t scale) {
-  while (scale_stats_.size() < scale) {
-    scale_stats_.push_back(ScaleStats{
-        .scale = static_cast<std::uint32_t>(scale_stats_.size()) + 1,
-        .joined = 0,
-        .covered = 0,
-        .bad = 0,
-        .active_after = 0});
+std::vector<BoundedArbIndependentSet::ScaleStats>
+BoundedArbIndependentSet::scale_stats() const {
+  // Every event the old in-callback counters recorded is recoverable from
+  // (outcome, decided scale, last bad-check passed): a join/cover/bad
+  // counts at its decision scale, and a node contributes to active_after
+  // of every scale whose bad-check it survived.
+  const std::size_t n = outcome_.size();
+  std::uint32_t max_scale = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    max_scale = std::max(max_scale, last_pass_scale_[v]);
+    if (outcome_[v] == ArbOutcome::kInMis ||
+        outcome_[v] == ArbOutcome::kCovered ||
+        outcome_[v] == ArbOutcome::kBad) {
+      max_scale = std::max(max_scale, decided_scale_[v]);
+    }
   }
-  return scale_stats_[scale - 1];
+  std::vector<ScaleStats> stats(max_scale);
+  for (std::uint32_t s = 0; s < max_scale; ++s) stats[s].scale = s + 1;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint32_t d = decided_scale_[v];
+    if (d >= 1 && d <= max_scale) {
+      switch (outcome_[v]) {
+        case ArbOutcome::kInMis: ++stats[d - 1].joined; break;
+        case ArbOutcome::kCovered: ++stats[d - 1].covered; break;
+        case ArbOutcome::kBad: ++stats[d - 1].bad; break;
+        default: break;
+      }
+    }
+    for (std::uint32_t s = 1; s <= last_pass_scale_[v]; ++s) {
+      ++stats[s - 1].active_after;
+    }
+  }
+  return stats;
 }
 
 void BoundedArbIndependentSet::on_start(sim::NodeContext& ctx) {
@@ -70,6 +96,7 @@ void BoundedArbIndependentSet::on_round(sim::NodeContext& ctx,
   if (point.scale > params_.num_scales) {
     // Past the final scale (only reachable on degenerate schedules).
     outcome_[v] = ArbOutcome::kRemaining;
+    decided_scale_[v] = point.scale;
     ctx.halt();
     return;
   }
@@ -80,7 +107,7 @@ void BoundedArbIndependentSet::on_round(sim::NodeContext& ctx,
   for (const sim::Message& m : inbox) {
     if (m.tag == kJoined) {
       outcome_[v] = ArbOutcome::kCovered;
-      ++stats_for_scale(point.scale).covered;
+      decided_scale_[v] = point.scale;
       ctx.halt();
       return;
     }
@@ -118,7 +145,7 @@ void BoundedArbIndependentSet::on_round(sim::NodeContext& ctx,
       // was competitive anyway.
       if (winner && (my_priority_[v] > 0 || !any_active_neighbor)) {
         outcome_[v] = ArbOutcome::kInMis;
-        ++stats_for_scale(point.scale).joined;
+        decided_scale_[v] = point.scale;
         if (any_active_neighbor) ctx.broadcast(kJoined, 0);
         ctx.halt();
       }
@@ -147,13 +174,14 @@ void BoundedArbIndependentSet::on_round(sim::NodeContext& ctx,
       }
       if (high_neighbors > params_.bad_threshold(point.scale)) {
         outcome_[v] = ArbOutcome::kBad;
-        ++stats_for_scale(point.scale).bad;
+        decided_scale_[v] = point.scale;
         ctx.halt();
         return;
       }
-      ++stats_for_scale(point.scale).active_after;
+      last_pass_scale_[v] = point.scale;
       if (point.scale == params_.num_scales) {
         outcome_[v] = ArbOutcome::kRemaining;
+        decided_scale_[v] = point.scale;
         ctx.halt();
         return;
       }
@@ -203,7 +231,7 @@ BoundedArbIndependentSet::Result BoundedArbIndependentSet::run(
   result.stats = net.run(algorithm, params.total_rounds(), observer);
   result.outcome = algorithm.outcome_;
   result.params = params;
-  result.scale_stats = algorithm.scale_stats_;
+  result.scale_stats = algorithm.scale_stats();
   return result;
 }
 

@@ -79,7 +79,10 @@ class BoundedArbIndependentSet : public sim::Algorithm {
   /// the paper's Invariant is supposed to hold; audits hook here.
   bool is_scale_end(std::uint32_t round) const noexcept;
 
-  /// Per-scale aggregate progress, filled as the run executes.
+  /// Per-scale aggregate progress. Recomputed on demand from per-node
+  /// decision records (callbacks write only their own node's slots — the
+  /// thread-safety contract in sim/algorithm.h — so whole-run aggregates
+  /// are derived after the fact rather than incremented mid-callback).
   struct ScaleStats {
     std::uint32_t scale = 0;
     std::uint64_t joined = 0;
@@ -87,9 +90,7 @@ class BoundedArbIndependentSet : public sim::Algorithm {
     std::uint64_t bad = 0;
     std::uint64_t active_after = 0;
   };
-  const std::vector<ScaleStats>& scale_stats() const noexcept {
-    return scale_stats_;
-  }
+  std::vector<ScaleStats> scale_stats() const;
 
   struct Result {
     std::vector<ArbOutcome> outcome;
@@ -118,14 +119,15 @@ class BoundedArbIndependentSet : public sim::Algorithm {
     kDegree = 4,
   };
 
-  ScaleStats& stats_for_scale(std::uint32_t scale);
-
   Params params_;
   std::uint32_t rounds_per_scale_;
   std::vector<ArbOutcome> outcome_;
   std::vector<std::uint64_t> my_priority_;
   std::vector<std::uint64_t> deg_ib_;
-  std::vector<ScaleStats> scale_stats_;
+  /// Scale at which the node's outcome was decided (0 = at start / never).
+  std::vector<std::uint32_t> decided_scale_;
+  /// Last scale whose bad-check the node survived (0 = none yet).
+  std::vector<std::uint32_t> last_pass_scale_;
 };
 
 }  // namespace arbmis::core

@@ -7,7 +7,8 @@ BitMetivierMis::BitMetivierMis(const graph::Graph& g)
       phase_parity_(g.num_nodes(), 0),
       ports_(g.num_nodes()),
       my_bits_(g.num_nodes()),
-      settled_sent_(g.num_nodes(), false) {
+      settled_sent_(g.num_nodes(), false),
+      semantic_bits_(g.num_nodes(), 0) {
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     ports_[v].resize(g.degree(v));
   }
@@ -28,7 +29,7 @@ void BitMetivierMis::send_bit(sim::NodeContext& ctx, graph::NodeId port) {
   const std::uint64_t payload =
       (static_cast<std::uint64_t>(phase_parity_[ctx.id()]) << 1) | bit;
   ctx.send(port, kBit, payload);
-  semantic_bits_ += 2;
+  semantic_bits_[ctx.id()] += 2;
   ++p.sent;
 }
 
@@ -59,7 +60,7 @@ void BitMetivierMis::maybe_conclude_phase(sim::NodeContext& ctx) {
   if (all_won) {
     state_[v] = MisState::kInMis;
     ctx.broadcast(kJoined, 0);
-    semantic_bits_ += 2 * ctx.degree();
+    semantic_bits_[v] += 2 * ctx.degree();
     ctx.halt();
     return;
   }
@@ -67,7 +68,7 @@ void BitMetivierMis::maybe_conclude_phase(sim::NodeContext& ctx) {
   for (graph::NodeId port = 0; port < ports_[v].size(); ++port) {
     if (ports_[v][port].duel != Duel::kGone) {
       ctx.send(port, kSettled, phase_parity_[v]);
-      semantic_bits_ += 2;
+      semantic_bits_[v] += 2;
     }
   }
   settled_sent_[v] = true;
@@ -132,7 +133,7 @@ void BitMetivierMis::on_round(sim::NodeContext& ctx,
     if (m.tag == kJoined) {
       state_[v] = MisState::kCovered;
       ctx.broadcast(kCovered, 0);
-      semantic_bits_ += 2 * ctx.degree();
+      semantic_bits_[v] += 2 * ctx.degree();
       ctx.halt();
       return;
     }
@@ -208,9 +209,9 @@ BitMetivierMis::Result BitMetivierMis::run(const graph::Graph& g,
   Result result;
   result.mis.stats = net.run(algorithm, max_rounds);
   result.mis.state = algorithm.state_;
-  result.semantic_bits = algorithm.semantic_bits_;
+  result.semantic_bits = algorithm.semantic_bits();
   result.bits_per_channel =
-      g.num_edges() > 0 ? static_cast<double>(algorithm.semantic_bits_) /
+      g.num_edges() > 0 ? static_cast<double>(result.semantic_bits) /
                               static_cast<double>(g.num_edges())
                         : 0.0;
   return result;

@@ -27,6 +27,7 @@
 // can report bits-per-channel next to the word-based baselines.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "mis/mis_types.h"
@@ -48,7 +49,11 @@ class BitMetivierMis : public sim::Algorithm {
 
   /// Total semantic payload bits sent (2 per duel bit — value + parity —
   /// and 2 per control message).
-  std::uint64_t semantic_bits() const noexcept { return semantic_bits_; }
+  std::uint64_t semantic_bits() const noexcept {
+    std::uint64_t total = 0;
+    for (const std::uint64_t bits : semantic_bits_) total += bits;
+    return total;
+  }
 
   struct Result {
     MisResult mis;
@@ -89,8 +94,10 @@ class BitMetivierMis : public sim::Algorithm {
   std::vector<std::uint8_t> phase_parity_;
   std::vector<std::vector<PortState>> ports_;
   std::vector<std::vector<std::uint8_t>> my_bits_;  ///< this phase's stream
-  std::vector<bool> settled_sent_;
-  std::uint64_t semantic_bits_ = 0;
+  std::vector<std::uint8_t> settled_sent_;  // byte-wide: written concurrently per node
+  // Per-node slots, summed post-run: callbacks must not increment a
+  // shared aggregate (see the thread-safety contract in sim/algorithm.h).
+  std::vector<std::uint64_t> semantic_bits_;
 };
 
 }  // namespace arbmis::mis

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <span>
+#include <cstdint>
 #include <vector>
 
 #include "graph/orientation.h"
@@ -81,7 +82,7 @@ class ColeVishkin : public sim::Algorithm {
   std::vector<std::uint64_t> pre_shift_color_;  // children's color post shift
   std::vector<std::uint8_t> color3_;
   std::vector<MisState> state_;
-  std::vector<bool> covered_;
+  std::vector<std::uint8_t> covered_;  // byte-wide: written concurrently per node
 };
 
 }  // namespace arbmis::mis

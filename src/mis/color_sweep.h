@@ -4,6 +4,7 @@
 // step of every coloring-based MIS in this repository.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "mis/mis_types.h"
@@ -37,7 +38,7 @@ class ColorSweepMis : public sim::Algorithm {
   std::vector<std::uint64_t> colors_;
   std::uint64_t num_classes_;
   std::vector<MisState> state_;
-  std::vector<bool> covered_;
+  std::vector<std::uint8_t> covered_;  // byte-wide: written concurrently per node
 };
 
 }  // namespace arbmis::mis

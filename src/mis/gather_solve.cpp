@@ -181,6 +181,10 @@ MisResult GatherSolveMis::run(const graph::Graph& g, std::uint64_t seed,
   sim::Network net(g, seed + 1);
   MisResult result;
   result.stats = rooting.stats;
+  // Rooting terminates by quiescence, not by halting; the stabilized check
+  // above is its completion criterion, so it counts as a finished stage in
+  // the conjunctive all_halted of the composition.
+  result.stats.all_halted = true;
   const sim::RunStats gather_stats = net.run(algorithm, max_rounds);
   result.stats.absorb(gather_stats);
   result.state = algorithm.state_;

@@ -22,6 +22,7 @@
 // pass the component-size bound they believe in; n always works).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "mis/mis_types.h"
@@ -74,12 +75,12 @@ class GatherSolveMis : public sim::Algorithm {
   // Upload machinery.
   std::vector<std::vector<std::uint64_t>> up_queue_;   // edges to forward up
   std::vector<graph::NodeId> children_pending_;        // kUpDone not yet seen
-  std::vector<bool> up_done_sent_;
+  std::vector<std::uint8_t> up_done_sent_;  // byte-wide: written concurrently per node
   std::vector<std::vector<std::uint64_t>> gathered_;   // leader only
 
   // Download machinery.
   std::vector<std::vector<std::uint64_t>> down_queue_;  // per node, decisions
-  std::vector<bool> decided_;
+  std::vector<std::uint8_t> decided_;  // byte-wide: written concurrently per node
 };
 
 }  // namespace arbmis::mis

@@ -15,6 +15,7 @@
 // resolution folded into the next kDesire round.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "mis/mis_types.h"
@@ -47,7 +48,7 @@ class GhaffariMis : public sim::Algorithm {
   std::vector<Phase> phase_;
   /// Desire-level exponent e; p = 2^-e, e >= 1.
   std::vector<std::uint32_t> desire_exponent_;
-  std::vector<bool> marked_;
+  std::vector<std::uint8_t> marked_;  // byte-wide: written concurrently per node
 };
 
 }  // namespace arbmis::mis

@@ -84,7 +84,7 @@ class LinialMis : public sim::Algorithm {
   std::uint32_t final_round_;
   std::vector<std::uint64_t> color_;
   std::vector<MisState> state_;
-  std::vector<bool> covered_;
+  std::vector<std::uint8_t> covered_;  // byte-wide: written concurrently per node
 };
 
 }  // namespace arbmis::mis

@@ -16,6 +16,7 @@
 //      next iteration's kAlive round.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "mis/mis_types.h"
@@ -47,7 +48,7 @@ class LubyBMis : public sim::Algorithm {
   std::vector<MisState> state_;
   std::vector<Phase> phase_;
   std::vector<std::uint32_t> residual_degree_;
-  std::vector<bool> marked_;
+  std::vector<std::uint8_t> marked_;  // byte-wide: written concurrently per node
 };
 
 }  // namespace arbmis::mis

@@ -21,6 +21,7 @@
 // iteration in expectation, as in the original paper).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.h"
@@ -65,7 +66,7 @@ class IsraeliItaiMatching : public sim::Algorithm {
 
   const graph::Graph* graph_;
   std::vector<graph::NodeId> partner_;
-  std::vector<bool> is_sender_;
+  std::vector<std::uint8_t> is_sender_;  // byte-wide: written concurrently per node
 };
 
 }  // namespace arbmis::mis

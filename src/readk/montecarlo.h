@@ -14,6 +14,20 @@
 
 namespace arbmis::readk {
 
+/// Execution options for the Monte-Carlo estimators.
+struct McOptions {
+  /// 0 (default) = the legacy sequential sampler, bit-identical to the
+  /// pre-parallelism behavior draw-for-draw. >= 1 = the block-parallel
+  /// sampler: trials are partitioned into fixed-size blocks, each block
+  /// draws from its own child stream of a single salt taken from the
+  /// caller's rng, and block results are reduced in block order — so the
+  /// estimate depends only on the seed, never on the worker count.
+  std::uint32_t num_threads = 0;
+  /// Trials per block in the parallel sampler. Part of the deterministic
+  /// decomposition, deliberately independent of num_threads.
+  std::uint64_t block_size = 4096;
+};
+
 struct ConjunctionEstimate {
   std::uint64_t trials = 0;
   std::uint64_t all_ones = 0;
@@ -25,7 +39,8 @@ struct ConjunctionEstimate {
 /// Estimates P(all indicators are 1) over `trials` fresh base draws.
 ConjunctionEstimate estimate_conjunction(const ReadKFamily& family,
                                          std::uint64_t trials,
-                                         util::Rng& rng);
+                                         util::Rng& rng,
+                                         McOptions options = {});
 
 struct TailEstimate {
   std::uint64_t trials = 0;
@@ -46,6 +61,7 @@ struct TailEstimate {
 TailEstimate estimate_lower_tail(const ReadKFamily& family,
                                  std::uint64_t trials,
                                  std::span<const double> deltas,
-                                 util::Rng& rng);
+                                 util::Rng& rng,
+                                 McOptions options = {});
 
 }  // namespace arbmis::readk

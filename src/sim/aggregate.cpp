@@ -110,6 +110,10 @@ GlobalAggregate::Result GlobalAggregate::run(const graph::Graph& g,
   Network net(g, seed + 1);
   Result result;
   result.stats = rooting.stats;
+  // Rooting terminates by quiescence, not by halting; the stabilized check
+  // above is its completion criterion, so it counts as a finished stage in
+  // the conjunctive all_halted of the composition.
+  result.stats.all_halted = true;
   const RunStats aggregate_stats = net.run(algorithm, 1 << 22);
   result.stats.absorb(aggregate_stats);
   result.value = algorithm.result_;

@@ -60,7 +60,7 @@ class GlobalAggregate : public Algorithm {
   std::vector<graph::NodeId> children_pending_;
   std::vector<std::uint64_t> accumulator_;
   std::vector<std::uint64_t> result_;
-  std::vector<bool> sent_up_;
+  std::vector<std::uint8_t> sent_up_;  // byte-wide: written concurrently per node
 };
 
 }  // namespace arbmis::sim

@@ -12,6 +12,17 @@
 // state plus the inbox — the simulator cannot mechanically prevent global
 // peeking, but the audit hooks (core/invariant.h) are the only sanctioned
 // cross-node readers, and they run between rounds.
+//
+// Thread-safety contract: with NetworkOptions::num_threads >= 1 the
+// network invokes callbacks for *distinct* nodes concurrently within a
+// round. The locality rule above is therefore also the data-race rule: a
+// callback may write only its own node's slots of the per-node state
+// vectors, those slots must be at least one byte wide (std::vector<bool>
+// bit-packs and is forbidden for per-node state — use
+// std::vector<std::uint8_t>), and any whole-run aggregate must be derived
+// from per-node state after the run rather than incremented inside
+// callbacks. tests/test_parallel_equivalence.cpp is the enforcement
+// vehicle: it proves runs are bit-identical across thread counts.
 #pragma once
 
 #include <span>
@@ -24,6 +35,7 @@
 namespace arbmis::sim {
 
 class Network;
+struct ExecLane;
 
 /// Draw-counted view of a node's private random stream. Every method is
 /// one logical draw in the model checker's randomness ledger (rejection
@@ -45,17 +57,22 @@ class NodeRandom {
 
  private:
   friend class NodeContext;
-  NodeRandom(Network& net, graph::NodeId id) : net_(&net), id_(id) {}
+  NodeRandom(Network& net, graph::NodeId id, ExecLane* lane)
+      : net_(&net), id_(id), lane_(lane) {}
 
   Network* net_;
   graph::NodeId id_;
+  ExecLane* lane_;  ///< staging lane under the parallel executor, or null
 };
 
 /// Facade handed to algorithm callbacks; valid only for the duration of the
 /// callback.
 class NodeContext {
  public:
-  NodeContext(Network& net, graph::NodeId id) : net_(&net), id_(id) {}
+  /// `lane` is the worker's staging area when the parallel round executor
+  /// is active (sim/network.h); null selects the direct serial path.
+  NodeContext(Network& net, graph::NodeId id, ExecLane* lane = nullptr)
+      : net_(&net), id_(id), lane_(lane) {}
 
   graph::NodeId id() const noexcept { return id_; }
   graph::NodeId degree() const noexcept;
@@ -76,7 +93,7 @@ class NodeContext {
   /// This node's private random stream (deterministic in (seed, id)).
   /// Draws are counted by the model checker; reading another node's stream
   /// or exceeding the per-round draw budget is a reported violation.
-  NodeRandom rng() { return NodeRandom(*net_, id_); }
+  NodeRandom rng() { return NodeRandom(*net_, id_, lane_); }
 
   /// Marks the node terminated; it receives no further callbacks. Messages
   /// already queued to it are silently dropped.
@@ -85,6 +102,7 @@ class NodeContext {
  private:
   Network* net_;
   graph::NodeId id_;
+  ExecLane* lane_;  ///< staging lane under the parallel executor, or null
 };
 
 class Algorithm {

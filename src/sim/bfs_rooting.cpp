@@ -8,6 +8,7 @@ namespace arbmis::sim {
 
 BfsRooting::BfsRooting(const graph::Graph& g)
     : graph_(&g),
+      last_improvement_round_(g.num_nodes(), 0),
       best_(g.num_nodes()),
       distance_(g.num_nodes(), 0),
       parent_(g.num_nodes(), graph::kNoParent) {
@@ -41,7 +42,7 @@ void BfsRooting::on_round(NodeContext& ctx,
     }
   }
   if (improved) {
-    last_improvement_round_ = std::max(last_improvement_round_, ctx.round());
+    last_improvement_round_[v] = ctx.round();
     ctx.broadcast(kOffer, encode(best_[v], distance_[v]));
   }
   // Never halts voluntarily: quiescence (no node improves, so no one
@@ -83,7 +84,11 @@ BfsRooting::Result BfsRooting::run(const graph::Graph& g, std::uint64_t seed,
   result.distance = algorithm.distance_;
   result.stabilized = bfs_forest_consistent(g, result.parent, result.root,
                                             result.distance);
-  result.quiescence_round = algorithm.last_improvement_round_;
+  result.quiescence_round =
+      g.num_nodes() > 0 ? *std::max_element(
+                              algorithm.last_improvement_round_.begin(),
+                              algorithm.last_improvement_round_.end())
+                        : 0;
   return result;
 }
 

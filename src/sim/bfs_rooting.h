@@ -73,7 +73,9 @@ class BfsRooting : public Algorithm {
   }
 
   const graph::Graph* graph_;
-  std::uint32_t last_improvement_round_ = 0;
+  // Per-node slots, maxed post-run: callbacks must not update a shared
+  // aggregate (see the thread-safety contract in sim/algorithm.h).
+  std::vector<std::uint32_t> last_improvement_round_;
   std::vector<graph::NodeId> best_;
   std::vector<graph::NodeId> distance_;
   std::vector<graph::NodeId> parent_;

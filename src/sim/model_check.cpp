@@ -20,6 +20,20 @@ std::uint32_t ceil_log2(std::uint64_t x) noexcept {
 
 }  // namespace
 
+ModelCheckerLane::ModelCheckerLane()
+    : active_node(ModelChecker::kNoNode) {}
+
+void ModelCheckerLane::reset() {
+  active_node = ModelChecker::kNoNode;
+  max_message_bits = 0;
+  round_max_message_bits = 0;
+  max_edge_bits = 0;
+  max_rng_reads = 0;
+  any_first_draw = false;
+  consumed_origins.clear();
+  violations = 0;
+}
+
 std::string ModelCheckReport::summary() const {
   std::ostringstream out;
   out << "model-check: rounds=" << rounds_observed
@@ -89,102 +103,188 @@ std::uint32_t& ModelChecker::stamped(std::vector<std::uint32_t>& counts,
   return counts[i];
 }
 
-void ModelChecker::on_send(graph::NodeId from, graph::NodeId target,
-                           std::uint64_t slot, std::uint64_t payload,
-                           std::uint32_t round) {
-  if (!options_.enabled) return;
-  if (from != active_node_) {
-    violation("out-of-context send: node " + std::to_string(from) +
-              "'s port used while node " +
-              (active_node_ == kNoNode ? std::string("<none>")
-                                       : std::to_string(active_node_)) +
-              " was scheduled");
+namespace {
+
+std::string node_name(graph::NodeId v) {
+  return v == ModelChecker::kNoNode ? std::string("<none>")
+                                    : std::to_string(v);
+}
+
+}  // namespace
+
+bool ModelChecker::on_send(ModelCheckerLane* lane, graph::NodeId from,
+                           graph::NodeId target, std::uint64_t slot,
+                           std::uint64_t payload, std::uint32_t round) {
+  if (!options_.enabled) return false;
+  const graph::NodeId active = lane ? lane->active_node : active_node_;
+  if (from != active) {
+    violation(lane, "out-of-context send: node " + std::to_string(from) +
+                        "'s port used while node " + node_name(active) +
+                        " was scheduled");
   }
   const auto width = static_cast<std::uint32_t>(
       options_.tag_bits + std::bit_width(payload));
-  report_.max_message_bits = std::max(report_.max_message_bits, width);
-  if (report_.round_max_message_bits.size() <= round) {
-    report_.round_max_message_bits.resize(round + 1, 0);
+  if (lane) {
+    lane->max_message_bits = std::max(lane->max_message_bits, width);
+    lane->round_max_message_bits =
+        std::max(lane->round_max_message_bits, width);
+  } else {
+    report_.max_message_bits = std::max(report_.max_message_bits, width);
+    if (report_.round_max_message_bits.size() <= round) {
+      report_.round_max_message_bits.resize(round + 1, 0);
+    }
+    report_.round_max_message_bits[round] =
+        std::max(report_.round_max_message_bits[round], width);
   }
-  report_.round_max_message_bits[round] =
-      std::max(report_.round_max_message_bits[round], width);
 
+  // Per-edge bits live in the sender's slots, which belong to exactly one
+  // worker during a parallel phase — safe to update in place either way.
   std::uint32_t& bits =
       stamped(edge_bits_, edge_bits_epoch_, slot, round);
   bits += width;
-  report_.max_edge_bits_per_round =
-      std::max(report_.max_edge_bits_per_round, bits);
+  if (lane) {
+    lane->max_edge_bits = std::max(lane->max_edge_bits, bits);
+  } else {
+    report_.max_edge_bits_per_round =
+        std::max(report_.max_edge_bits_per_round, bits);
+  }
   if (bits > edge_bit_budget_) {
-    violation("message budget exceeded: " + std::to_string(bits) +
-              " bits on one edge in round " + std::to_string(round) +
-              " (budget " + std::to_string(edge_bit_budget_) + ")");
+    violation(lane, "message budget exceeded: " + std::to_string(bits) +
+                        " bits on one edge in round " +
+                        std::to_string(round) + " (budget " +
+                        std::to_string(edge_bit_budget_) + ")");
   }
 
   // A message sent after a draw in the same callback carries that round's
   // randomness to `target`, which will read it on delivery.
-  if (rng_epoch_[from] == round && rng_reads_[from] > 0) {
-    pending_origin_[target].push_back(from);
-  }
+  const bool rng_bearing =
+      rng_epoch_[from] == round && rng_reads_[from] > 0;
+  if (rng_bearing && !lane) pending_origin_[target].push_back(from);
+  return rng_bearing && lane != nullptr;
 }
 
-void ModelChecker::on_consume(graph::NodeId v, std::uint32_t round) {
+void ModelChecker::count_consumption(graph::NodeId origin,
+                                     std::uint32_t draw_round) {
+  const int slot = draw_round & 1;
+  if (mult_epoch_[slot][origin] != draw_round) return;
+  const std::uint32_t m = ++mult_[slot][origin];
+  report_.k = std::max(report_.k, m);
+  if (report_.round_k.size() <= draw_round) {
+    report_.round_k.resize(draw_round + 1, 0);
+  }
+  report_.round_k[draw_round] = std::max(report_.round_k[draw_round], m);
+}
+
+void ModelChecker::on_consume(ModelCheckerLane* lane, graph::NodeId v,
+                              std::uint32_t round) {
   if (!options_.enabled) return;
   if (round == 0) return;  // nothing in flight before round 1
-  const std::uint32_t draw_round = round - 1;
-  const int slot = draw_round & 1;
   auto& origins = current_origin_[v];
+  if (lane) {
+    // Multiplicity counters are indexed by origin — a neighbor possibly
+    // owned by another worker — so the counting is deferred to merge_lane.
+    lane->consumed_origins.insert(lane->consumed_origins.end(),
+                                  origins.begin(), origins.end());
+    origins.clear();
+    return;
+  }
   for (graph::NodeId origin : origins) {
-    if (mult_epoch_[slot][origin] != draw_round) continue;
-    const std::uint32_t m = ++mult_[slot][origin];
-    report_.k = std::max(report_.k, m);
-    if (report_.round_k.size() <= draw_round) {
-      report_.round_k.resize(draw_round + 1, 0);
-    }
-    report_.round_k[draw_round] = std::max(report_.round_k[draw_round], m);
+    count_consumption(origin, round - 1);
   }
   origins.clear();
 }
 
-void ModelChecker::on_rng_read(graph::NodeId v, std::uint32_t round) {
+void ModelChecker::on_rng_read(ModelCheckerLane* lane, graph::NodeId v,
+                               std::uint32_t round) {
   if (!options_.enabled) return;
-  if (v != active_node_) {
-    violation("RNG isolation breach: node " + std::to_string(v) +
-              "'s private stream read while node " +
-              (active_node_ == kNoNode ? std::string("<none>")
-                                       : std::to_string(active_node_)) +
-              " was scheduled");
+  const graph::NodeId active = lane ? lane->active_node : active_node_;
+  if (v != active) {
+    violation(lane, "RNG isolation breach: node " + std::to_string(v) +
+                        "'s private stream read while node " +
+                        node_name(active) + " was scheduled");
   }
   const std::uint32_t reads = ++stamped(rng_reads_, rng_epoch_, v, round);
-  report_.max_rng_reads_per_round =
-      std::max(report_.max_rng_reads_per_round, reads);
+  if (lane) {
+    lane->max_rng_reads = std::max(lane->max_rng_reads, reads);
+  } else {
+    report_.max_rng_reads_per_round =
+        std::max(report_.max_rng_reads_per_round, reads);
+  }
   if (reads > options_.max_rng_reads_per_round) {
-    violation("randomness budget exceeded: node " + std::to_string(v) +
-              " drew " + std::to_string(reads) + " times in round " +
-              std::to_string(round) + " (budget " +
-              std::to_string(options_.max_rng_reads_per_round) + ")");
+    violation(lane, "randomness budget exceeded: node " +
+                        std::to_string(v) + " drew " +
+                        std::to_string(reads) + " times in round " +
+                        std::to_string(round) + " (budget " +
+                        std::to_string(options_.max_rng_reads_per_round) +
+                        ")");
   }
   if (reads == 1) {
     // Fresh per-round randomness: the drawing node is its first reader.
+    // The parity ledger slot belongs to v (this worker); only the shared
+    // report update is staged in the lane.
     const int slot = round & 1;
     mult_epoch_[slot][v] = round;
     mult_[slot][v] = 1;
+    if (lane) {
+      lane->any_first_draw = true;
+    } else {
+      report_.k = std::max(report_.k, 1u);
+      if (report_.round_k.size() <= round) {
+        report_.round_k.resize(round + 1, 0);
+      }
+      report_.round_k[round] = std::max(report_.round_k[round], 1u);
+    }
+  }
+}
+
+void ModelChecker::on_halt(ModelCheckerLane* lane, graph::NodeId v) {
+  if (!options_.enabled) return;
+  const graph::NodeId active = lane ? lane->active_node : active_node_;
+  if (v != active) {
+    violation(lane, "out-of-context halt: node " + std::to_string(v) +
+                        " halted while node " + node_name(active) +
+                        " was scheduled");
+  }
+}
+
+void ModelChecker::on_delivered_origin(graph::NodeId target,
+                                       graph::NodeId origin) {
+  if (!options_.enabled) return;
+  pending_origin_[target].push_back(origin);
+}
+
+void ModelChecker::merge_lane(ModelCheckerLane& lane, std::uint32_t round) {
+  if (!options_.enabled) {
+    lane.reset();
+    return;
+  }
+  report_.max_message_bits =
+      std::max(report_.max_message_bits, lane.max_message_bits);
+  if (lane.round_max_message_bits > 0) {
+    if (report_.round_max_message_bits.size() <= round) {
+      report_.round_max_message_bits.resize(round + 1, 0);
+    }
+    report_.round_max_message_bits[round] = std::max(
+        report_.round_max_message_bits[round], lane.round_max_message_bits);
+  }
+  report_.max_edge_bits_per_round =
+      std::max(report_.max_edge_bits_per_round, lane.max_edge_bits);
+  report_.max_rng_reads_per_round =
+      std::max(report_.max_rng_reads_per_round, lane.max_rng_reads);
+  if (lane.any_first_draw) {
     report_.k = std::max(report_.k, 1u);
     if (report_.round_k.size() <= round) {
       report_.round_k.resize(round + 1, 0);
     }
     report_.round_k[round] = std::max(report_.round_k[round], 1u);
   }
-}
-
-void ModelChecker::on_halt(graph::NodeId v) {
-  if (!options_.enabled) return;
-  if (v != active_node_) {
-    violation("out-of-context halt: node " + std::to_string(v) +
-              " halted while node " +
-              (active_node_ == kNoNode ? std::string("<none>")
-                                       : std::to_string(active_node_)) +
-              " was scheduled");
+  if (round > 0) {
+    for (graph::NodeId origin : lane.consumed_origins) {
+      count_consumption(origin, round - 1);
+    }
   }
+  report_.violations += lane.violations;
+  lane.reset();
 }
 
 void ModelChecker::end_run(std::uint32_t rounds) {
@@ -193,8 +293,15 @@ void ModelChecker::end_run(std::uint32_t rounds) {
   ARBMIS_LOG(Debug) << report_.summary();
 }
 
-void ModelChecker::violation(const std::string& what) {
-  ++report_.violations;
+void ModelChecker::violation(ModelCheckerLane* lane,
+                             const std::string& what) {
+  // Fail-fast aborts before the lane merge, so the count goes to whichever
+  // ledger survives: the lane when staged, the shared report when serial.
+  if (lane) {
+    ++lane->violations;
+  } else {
+    ++report_.violations;
+  }
   ARBMIS_LOG(Error) << "CONGEST model violation: " << what;
   if (options_.fail_fast) {
     throw CongestViolation("CONGEST model violation: " + what);

@@ -87,8 +87,46 @@ struct ModelCheckReport {
   std::string summary() const;
 };
 
+/// Per-worker staging area for the checker under the parallel round
+/// executor (see sim/network.h). During a parallel phase each worker
+/// funnels the *shared* parts of the checker's accounting — report maxima,
+/// violation counts, and the consumed-origin list of the read-k ledger —
+/// into its own lane; ModelChecker::merge_lane folds the lanes back in
+/// shard (= node-id) order at the round barrier, so the merged report is
+/// byte-identical to a serial run. Per-node/per-edge counters stay in the
+/// checker's shared arrays even during a parallel phase: every slot there
+/// is owned by exactly one node and therefore by exactly one worker.
+struct ModelCheckerLane {
+  /// Node whose callback this worker is executing (the pinning check).
+  graph::NodeId active_node;
+  /// Max message width observed by this worker, run-wide and this round.
+  std::uint32_t max_message_bits = 0;
+  std::uint32_t round_max_message_bits = 0;
+  /// Max cumulative per-edge bits observed by this worker (edges are
+  /// sender-owned, so the counters are exact; only the max is staged).
+  std::uint32_t max_edge_bits = 0;
+  /// Max per-node draws in one round observed by this worker.
+  std::uint32_t max_rng_reads = 0;
+  /// True if any node made its first draw of the round on this worker.
+  bool any_first_draw = false;
+  /// Origins of randomness-bearing messages consumed by this worker's
+  /// nodes, in node order; multiplicity counting is replayed at the merge.
+  std::vector<graph::NodeId> consumed_origins;
+  std::uint64_t violations = 0;
+
+  ModelCheckerLane();
+
+  /// Clears the per-phase fields (merge_lane calls this after folding).
+  void reset();
+};
+
 /// Instrumentation attached to a Network. All hooks are O(1); with
 /// `enabled == false` every hook returns immediately.
+///
+/// Every hook takes a ModelCheckerLane pointer: nullptr selects the serial
+/// path (accounting goes straight into the shared report, exactly the
+/// pre-parallelism behavior); a non-null lane selects the staged path used
+/// by the parallel executor.
 class ModelChecker {
  public:
   static constexpr graph::NodeId kNoNode = ~graph::NodeId{0};
@@ -105,30 +143,53 @@ class ModelChecker {
   /// Marks the delivery boundary of `round` (mirrors the inbox swap).
   void begin_round(std::uint32_t round);
   /// Pins the node whose callback is executing; kNoNode between callbacks.
-  void begin_callback(graph::NodeId v) noexcept { active_node_ = v; }
-  void end_callback() noexcept { active_node_ = kNoNode; }
+  void begin_callback(ModelCheckerLane* lane, graph::NodeId v) noexcept {
+    (lane ? lane->active_node : active_node_) = v;
+  }
+  void end_callback(ModelCheckerLane* lane) noexcept {
+    (lane ? lane->active_node : active_node_) = kNoNode;
+  }
 
   /// Hook for every send: `slot` is the directed-edge slot (shared with
   /// Network's per-edge counters). Enforces the bit budget and tags the
   /// message as randomness-bearing if `from` drew earlier this round.
-  void on_send(graph::NodeId from, graph::NodeId target, std::uint64_t slot,
+  /// Returns true iff the message is randomness-bearing AND the lane path
+  /// is active — the caller must then report the delivery via
+  /// on_delivered_origin during its merge (the serial path records the
+  /// origin internally and always returns false).
+  bool on_send(ModelCheckerLane* lane, graph::NodeId from,
+               graph::NodeId target, std::uint64_t slot,
                std::uint64_t payload, std::uint32_t round);
 
   /// Hook for each node about to consume its inbox this round: counts the
-  /// read multiplicity of every randomness-bearing message delivered to it.
-  void on_consume(graph::NodeId v, std::uint32_t round);
+  /// read multiplicity of every randomness-bearing message delivered to it
+  /// (lane path: defers the counting to merge_lane).
+  void on_consume(ModelCheckerLane* lane, graph::NodeId v,
+                  std::uint32_t round);
 
   /// Hook for one logical draw from node v's private stream.
-  void on_rng_read(graph::NodeId v, std::uint32_t round);
+  void on_rng_read(ModelCheckerLane* lane, graph::NodeId v,
+                   std::uint32_t round);
 
   /// Hook for a halt request (cross-node halt is a state write).
-  void on_halt(graph::NodeId v);
+  void on_halt(ModelCheckerLane* lane, graph::NodeId v);
+
+  /// Records a staged randomness-bearing delivery (parallel merge path;
+  /// mirrors what the serial on_send does internally).
+  void on_delivered_origin(graph::NodeId target, graph::NodeId origin);
+
+  /// Folds one worker's staged accounting into the shared report. Called
+  /// at the round barrier in shard order; `round` is the round the lane's
+  /// callbacks executed in (0 for the on_start phase). Resets the lane.
+  void merge_lane(ModelCheckerLane& lane, std::uint32_t round);
 
   /// Final bookkeeping; logs the summary at debug level.
   void end_run(std::uint32_t rounds);
 
  private:
-  void violation(const std::string& what);
+  void violation(ModelCheckerLane* lane, const std::string& what);
+  /// Bumps the read multiplicity of `origin`'s round-`draw_round` draw.
+  void count_consumption(graph::NodeId origin, std::uint32_t draw_round);
   /// Lazily epoch-stamped per-round counters.
   std::uint32_t& stamped(std::vector<std::uint32_t>& counts,
                          std::vector<std::uint32_t>& epochs, std::uint64_t i,

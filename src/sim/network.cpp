@@ -5,25 +5,47 @@
 
 namespace arbmis::sim {
 
+namespace {
+
+// Process-wide default applied when NetworkOptions::num_threads == 0; see
+// ScopedNumThreads. Plain (non-atomic) on purpose: overrides are scoped to
+// single-threaded setup code, never to a running phase.
+std::uint32_t g_default_num_threads = 0;
+
+}  // namespace
+
+std::uint32_t default_num_threads() noexcept { return g_default_num_threads; }
+
+ScopedNumThreads::ScopedNumThreads(std::uint32_t num_threads) noexcept
+    : previous_(g_default_num_threads) {
+  g_default_num_threads = num_threads;
+}
+
+ScopedNumThreads::~ScopedNumThreads() {
+  g_default_num_threads = previous_;
+}
+
 void RunStats::absorb(const RunStats& other) noexcept {
   rounds += other.rounds;
   messages += other.messages;
   payload_bits += other.payload_bits;
   max_edge_load = std::max(max_edge_load, other.max_edge_load);
-  all_halted = other.all_halted;
+  all_halted = all_halted && other.all_halted;
 }
 
 Network::Network(const graph::Graph& g, std::uint64_t seed,
                  NetworkOptions options)
     : graph_(&g),
       options_(options),
+      num_threads_(options.num_threads != 0 ? options.num_threads
+                                            : default_num_threads()),
       checker_(g, options.model_check,
                options.max_messages_per_edge_per_round) {
   const graph::NodeId n = g.num_nodes();
   rngs_.reserve(n);
   const util::Rng base(seed);
   for (graph::NodeId v = 0; v < n; ++v) rngs_.push_back(base.child(v));
-  halted_.assign(n, false);
+  halted_.assign(n, 0);
   inbox_.resize(n);
   next_inbox_.resize(n);
   edge_offset_.resize(n + 1, 0);
@@ -32,14 +54,21 @@ Network::Network(const graph::Graph& g, std::uint64_t seed,
   }
   edge_sends_.assign(edge_offset_[n], 0);
   edge_epoch_.assign(edge_offset_[n], ~std::uint32_t{0});
+  if (num_threads_ > 0) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+    lanes_.resize(num_threads_);
+    shard_bounds_.resize(static_cast<std::size_t>(num_threads_) + 1, 0);
+  }
 }
 
-void Network::do_send(graph::NodeId from, graph::NodeId port,
+void Network::do_send(ExecLane* lane, graph::NodeId from, graph::NodeId port,
                       std::uint32_t tag, std::uint64_t payload) {
   const auto nbrs = graph_->neighbors(from);
   if (port >= nbrs.size()) {
     throw std::logic_error("send: port out of range");
   }
+  // The (from, port) counter slot is owned by the sender, hence by exactly
+  // one worker — updated in place under both executors.
   const std::uint64_t slot = edge_offset_[from] + port;
   if (edge_epoch_[slot] != round_) {
     edge_epoch_[slot] = round_;
@@ -52,30 +81,120 @@ void Network::do_send(graph::NodeId from, graph::NodeId port,
         "CONGEST violation: more than the per-edge message budget sent on "
         "one edge in one round");
   }
-  stats_.max_edge_load = std::max(stats_.max_edge_load, load);
   const graph::NodeId target = nbrs[port];
-  checker_.on_send(from, target, slot, payload, round_);
-  next_inbox_[target].push_back(Message{from, tag, payload});
-}
-
-void Network::do_halt(graph::NodeId v) {
-  checker_.on_halt(v);
-  if (!halted_[v]) {
-    halted_[v] = true;
-    ++num_halted_;
+  const bool rng_bearing = checker_.on_send(
+      lane ? &lane->check : nullptr, from, target, slot, payload, round_);
+  if (lane) {
+    lane->max_edge_load = std::max(lane->max_edge_load, load);
+    lane->sends.push_back(
+        ExecLane::StagedSend{target, Message{from, tag, payload},
+                             rng_bearing});
+  } else {
+    stats_.max_edge_load = std::max(stats_.max_edge_load, load);
+    next_inbox_[target].push_back(Message{from, tag, payload});
   }
 }
 
-util::Rng& Network::draw_rng(graph::NodeId v) {
-  checker_.on_rng_read(v, round_);
+void Network::do_halt(ExecLane* lane, graph::NodeId v) {
+  checker_.on_halt(lane ? &lane->check : nullptr, v);
+  if (halted_[v] == 0) {
+    halted_[v] = 1;  // own-node write; num_halted_ is shared, so defer it
+    if (lane) {
+      ++lane->halts;
+    } else {
+      ++num_halted_;
+    }
+  }
+}
+
+util::Rng& Network::draw_rng(ExecLane* lane, graph::NodeId v) {
+  checker_.on_rng_read(lane ? &lane->check : nullptr, v, round_);
   return rngs_[v];
+}
+
+void Network::step_node(Algorithm& algorithm, graph::NodeId v,
+                        ExecLane* lane) {
+  NodeContext ctx(*this, v, lane);
+  ModelCheckerLane* const check = lane ? &lane->check : nullptr;
+  checker_.begin_callback(check, v);
+  if (round_ == 0) {
+    algorithm.on_start(ctx);
+  } else {
+    checker_.on_consume(check, v, round_);
+    algorithm.on_round(ctx, inbox_[v]);
+    if (lane) {
+      lane->messages += inbox_[v].size();
+    } else {
+      stats_.messages += inbox_[v].size();
+    }
+  }
+  checker_.end_callback(check);
+}
+
+void Network::run_phase(Algorithm& algorithm) {
+  if (num_threads_ == 0) {
+    const graph::NodeId n = graph_->num_nodes();
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (halted_[v] != 0) continue;
+      step_node(algorithm, v, nullptr);
+    }
+    return;
+  }
+  run_phase_parallel(algorithm);
+}
+
+void Network::run_phase_parallel(Algorithm& algorithm) {
+  const graph::NodeId n = graph_->num_nodes();
+  const std::uint32_t t = num_threads_;
+  // Shard non-halted nodes into contiguous ranges of near-equal alive
+  // count: shard s owns alive indices [alive*s/t, alive*(s+1)/t).
+  const std::uint64_t alive = n - num_halted_;
+  std::fill(shard_bounds_.begin(), shard_bounds_.end(), n);
+  shard_bounds_[0] = 0;
+  std::uint64_t alive_seen = 0;
+  std::uint32_t s = 1;
+  for (graph::NodeId v = 0; v < n && s < t; ++v) {
+    while (s < t && alive_seen == alive * s / t) {
+      shard_bounds_[s] = v;
+      ++s;
+    }
+    if (halted_[v] == 0) ++alive_seen;
+  }
+  // Any bounds not reached stay at n (pre-filled): trailing empty shards.
+
+  pool_->run([&](std::uint32_t w) {
+    ExecLane& lane = lanes_[w];
+    const graph::NodeId begin = shard_bounds_[w];
+    const graph::NodeId end = shard_bounds_[w + 1];
+    for (graph::NodeId v = begin; v < end; ++v) {
+      if (halted_[v] != 0) continue;
+      step_node(algorithm, v, &lane);
+    }
+  });
+
+  // Barrier merge, in shard (= ascending node-id) order: replaying the
+  // lane buffers in this order reproduces the serial executor's inbox
+  // ordering, stats, and checker ledger byte-for-byte.
+  for (ExecLane& lane : lanes_) {
+    for (const ExecLane::StagedSend& staged : lane.sends) {
+      next_inbox_[staged.target].push_back(staged.msg);
+      if (staged.rng_bearing) {
+        checker_.on_delivered_origin(staged.target, staged.msg.src);
+      }
+    }
+    stats_.messages += lane.messages;
+    stats_.max_edge_load = std::max(stats_.max_edge_load, lane.max_edge_load);
+    num_halted_ += lane.halts;
+    checker_.merge_lane(lane.check, round_);
+    lane.reset();
+  }
 }
 
 RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
                       const RoundObserver& observer) {
   const graph::NodeId n = graph_->num_nodes();
   // Reset per-run state; RNG streams intentionally persist across runs.
-  std::fill(halted_.begin(), halted_.end(), false);
+  std::fill(halted_.begin(), halted_.end(), 0);
   num_halted_ = 0;
   round_ = 0;
   stats_ = RunStats{};
@@ -84,13 +203,7 @@ RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
   std::fill(edge_epoch_.begin(), edge_epoch_.end(), ~std::uint32_t{0});
   checker_.begin_run();
 
-  for (graph::NodeId v = 0; v < n; ++v) {
-    if (halted_[v]) continue;
-    NodeContext ctx(*this, v);
-    checker_.begin_callback(v);
-    algorithm.on_start(ctx);
-    checker_.end_callback();
-  }
+  run_phase(algorithm);  // round 0: on_start
 
   while (num_halted_ < n && round_ < max_rounds) {
     if (algorithm.is_reactive()) {
@@ -110,15 +223,7 @@ RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
     for (auto& box : next_inbox_) box.clear();
     ++round_;
     checker_.begin_round(round_);
-    for (graph::NodeId v = 0; v < n; ++v) {
-      if (halted_[v]) continue;
-      NodeContext ctx(*this, v);
-      checker_.begin_callback(v);
-      checker_.on_consume(v, round_);
-      algorithm.on_round(ctx, inbox_[v]);
-      checker_.end_callback();
-      stats_.messages += inbox_[v].size();
-    }
+    run_phase(algorithm);
     ++stats_.rounds;
     if (observer) observer(*this, round_);
   }
@@ -144,7 +249,7 @@ graph::NodeId NodeContext::network_size() const noexcept {
 
 void NodeContext::send(graph::NodeId port, std::uint32_t tag,
                        std::uint64_t payload) {
-  net_->do_send(id_, port, tag, payload);
+  net_->do_send(lane_, id_, port, tag, payload);
 }
 
 void NodeContext::broadcast(std::uint32_t tag, std::uint64_t payload) {
@@ -152,20 +257,26 @@ void NodeContext::broadcast(std::uint32_t tag, std::uint64_t payload) {
   for (graph::NodeId port = 0; port < deg; ++port) send(port, tag, payload);
 }
 
-void NodeContext::halt() { net_->do_halt(id_); }
+void NodeContext::halt() { net_->do_halt(lane_, id_); }
 
-std::uint64_t NodeRandom::next() { return net_->draw_rng(id_).next(); }
+std::uint64_t NodeRandom::next() {
+  return net_->draw_rng(lane_, id_).next();
+}
 
-double NodeRandom::uniform01() { return net_->draw_rng(id_).uniform01(); }
+double NodeRandom::uniform01() {
+  return net_->draw_rng(lane_, id_).uniform01();
+}
 
 std::uint64_t NodeRandom::below(std::uint64_t bound) {
-  return net_->draw_rng(id_).below(bound);
+  return net_->draw_rng(lane_, id_).below(bound);
 }
 
 std::int64_t NodeRandom::range(std::int64_t lo, std::int64_t hi) {
-  return net_->draw_rng(id_).range(lo, hi);
+  return net_->draw_rng(lane_, id_).range(lo, hi);
 }
 
-bool NodeRandom::bernoulli(double p) { return net_->draw_rng(id_).bernoulli(p); }
+bool NodeRandom::bernoulli(double p) {
+  return net_->draw_rng(lane_, id_).bernoulli(p);
+}
 
 }  // namespace arbmis::sim

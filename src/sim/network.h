@@ -6,6 +6,22 @@
 // round counter. Nodes halt individually via NodeContext::halt(); the run
 // ends when every node has halted or the round budget is exhausted.
 //
+// Parallel execution: with NetworkOptions::num_threads >= 1 step (2) runs
+// on a persistent worker pool (sim/thread_pool.h). Each round the
+// non-halted nodes are sharded into contiguous node-id ranges of
+// near-equal size, one shard per worker; every worker buffers its sends,
+// halt count, and checker accounting into a private ExecLane, and the
+// lanes are merged at the round barrier in shard (= node-id) order.
+//
+// Determinism-merge rule: the serial executor emits sends in ascending
+// sender id (it scans v = 0..n-1) and each node's RNG stream is private,
+// so replaying the lane buffers in shard order reproduces the serial
+// inbox order, stats, and ModelChecker ledger *byte-identically* for every
+// thread count — tests/test_parallel_equivalence.cpp is the proof.
+// num_threads == 0 selects the legacy serial path (and is the default);
+// a process-wide override for code that constructs its own Networks deep
+// inside pipelines is available via ScopedNumThreads.
+//
 // Accounting: rounds, total messages, total payload bits, and the maximum
 // number of messages any single directed edge carried in one round. With
 // `enforce_congest` (default on) a node sending more than
@@ -20,17 +36,19 @@
 //
 // Determinism: node v draws from Rng(seed).child(v); callback order never
 // affects the streams, so a run is a pure function of (graph, seed,
-// algorithm).
+// algorithm) — and, by the merge rule above, independent of num_threads.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
 #include "sim/algorithm.h"
 #include "sim/message.h"
 #include "sim/model_check.h"
+#include "sim/thread_pool.h"
 #include "util/rng.h"
 
 namespace arbmis::sim {
@@ -38,9 +56,35 @@ namespace arbmis::sim {
 struct NetworkOptions {
   bool enforce_congest = true;
   std::uint32_t max_messages_per_edge_per_round = 1;
+  /// Worker threads for round execution. 0 (default) = the process-wide
+  /// default, which is the serial executor unless a ScopedNumThreads
+  /// override is active; >= 1 = the staged parallel executor with exactly
+  /// that many workers (1 still exercises the staging + merge machinery).
+  /// Results are bit-identical across all values.
+  std::uint32_t num_threads = 0;
   /// Runtime CONGEST model checker (enabled by default; see
   /// sim/model_check.h). Set `model_check.enabled = false` to opt out.
   ModelCheckOptions model_check;
+};
+
+/// Process-wide worker count applied when NetworkOptions::num_threads == 0.
+/// Defaults to 0 (serial). Not thread-safe to mutate while Networks are
+/// being constructed concurrently.
+std::uint32_t default_num_threads() noexcept;
+
+/// RAII override of default_num_threads(): routes every Network constructed
+/// in scope (including those buried inside pipeline drivers such as
+/// core::arb_mis) through the parallel executor. Restores the previous
+/// value on destruction.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(std::uint32_t num_threads) noexcept;
+  ~ScopedNumThreads();
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  std::uint32_t previous_;
 };
 
 struct RunStats {
@@ -51,8 +95,37 @@ struct RunStats {
   bool all_halted = false;            ///< every node halted within budget
 
   /// Accumulates another stage's stats (pipeline composition): rounds add,
-  /// loads max.
+  /// loads max, all_halted ANDs (a pipeline halted iff every stage did).
   void absorb(const RunStats& other) noexcept;
+};
+
+/// Per-worker staging area of the parallel round executor. Everything a
+/// callback would have written to shared simulator state is buffered here
+/// and merged at the round barrier in shard order (see the determinism-
+/// merge rule in the header comment).
+struct ExecLane {
+  struct StagedSend {
+    graph::NodeId target;
+    Message msg;
+    /// Carries the sender's this-round randomness (read-k ledger entry).
+    bool rng_bearing;
+  };
+
+  /// Sends in call order; senders within a shard ascend, so concatenating
+  /// lanes in shard order reproduces the serial send order.
+  std::vector<StagedSend> sends;
+  std::uint64_t messages = 0;      ///< delivered messages consumed
+  std::uint32_t max_edge_load = 0;
+  graph::NodeId halts = 0;         ///< nodes newly halted in this shard
+  ModelCheckerLane check;
+
+  void reset() noexcept {
+    sends.clear();
+    messages = 0;
+    max_edge_load = 0;
+    halts = 0;
+    check.reset();
+  }
 };
 
 class Network {
@@ -62,11 +135,15 @@ class Network {
 
   const graph::Graph& graph() const noexcept { return *graph_; }
   std::uint32_t round() const noexcept { return round_; }
-  bool halted(graph::NodeId v) const noexcept { return halted_[v]; }
+  bool halted(graph::NodeId v) const noexcept { return halted_[v] != 0; }
   graph::NodeId num_halted() const noexcept { return num_halted_; }
+  /// Resolved worker count (0 = serial executor).
+  std::uint32_t num_threads() const noexcept { return num_threads_; }
 
   /// Called after every completed round with the round number just
   /// finished; used by audits and traces. May inspect but not mutate.
+  /// Under the parallel executor it fires at the round barrier, after the
+  /// lane merge, so it always observes a consistent global state.
   using RoundObserver = std::function<void(const Network&, std::uint32_t)>;
 
   /// Runs `algorithm` until all nodes halt or `max_rounds` rounds complete.
@@ -87,16 +164,26 @@ class Network {
   friend class NodeContext;
   friend class NodeRandom;
 
-  void do_send(graph::NodeId from, graph::NodeId port, std::uint32_t tag,
-               std::uint64_t payload);
-  void do_halt(graph::NodeId v);
+  void do_send(ExecLane* lane, graph::NodeId from, graph::NodeId port,
+               std::uint32_t tag, std::uint64_t payload);
+  void do_halt(ExecLane* lane, graph::NodeId v);
   /// Accounts one logical draw from v's stream, then exposes it.
-  util::Rng& draw_rng(graph::NodeId v);
+  util::Rng& draw_rng(ExecLane* lane, graph::NodeId v);
+
+  /// Runs one callback phase (on_start when round_ == 0, else on_round)
+  /// over all non-halted nodes, serially or on the worker pool.
+  void run_phase(Algorithm& algorithm);
+  void run_phase_parallel(Algorithm& algorithm);
+  /// Invokes the callback of one node (shared by both executors).
+  void step_node(Algorithm& algorithm, graph::NodeId v, ExecLane* lane);
 
   const graph::Graph* graph_;
   NetworkOptions options_;
+  std::uint32_t num_threads_ = 0;  ///< resolved at construction; 0 = serial
   std::vector<util::Rng> rngs_;
-  std::vector<bool> halted_;
+  // One byte per node (not vector<bool>): under the parallel executor a
+  // node's own halt flag is written while neighbors' flags are read.
+  std::vector<std::uint8_t> halted_;
   graph::NodeId num_halted_ = 0;
   std::uint32_t round_ = 0;
 
@@ -109,6 +196,11 @@ class Network {
   std::vector<std::uint64_t> edge_offset_;
   std::vector<std::uint32_t> edge_sends_;
   std::vector<std::uint32_t> edge_epoch_;
+
+  // Parallel executor state (empty in serial mode).
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<ExecLane> lanes_;
+  std::vector<graph::NodeId> shard_bounds_;
 
   ModelChecker checker_;
   RunStats stats_;

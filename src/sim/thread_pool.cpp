@@ -1,0 +1,74 @@
+#include "sim/thread_pool.h"
+
+#include <stdexcept>
+
+namespace arbmis::sim {
+
+ThreadPool::ThreadPool(std::uint32_t num_workers) {
+  if (num_workers == 0) {
+    throw std::invalid_argument("ThreadPool: num_workers must be >= 1");
+  }
+  errors_.resize(num_workers);
+  workers_.reserve(num_workers);
+  for (std::uint32_t w = 0; w < num_workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  dispatch_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run(const std::function<void(std::uint32_t)>& task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    outstanding_ = num_workers();
+    for (std::exception_ptr& e : errors_) e = nullptr;
+    ++epoch_;
+  }
+  dispatch_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  task_ = nullptr;
+  for (std::exception_ptr& error : errors_) {
+    if (error) {
+      const std::exception_ptr first = error;
+      error = nullptr;
+      lock.unlock();
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+void ThreadPool::worker_loop(std::uint32_t index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::uint32_t)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      dispatch_cv_.wait(
+          lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      task = task_;
+    }
+    try {
+      (*task)(index);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      errors_[index] = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace arbmis::sim

@@ -1,0 +1,58 @@
+// Persistent worker pool for the parallel round executor (sim/network.h).
+//
+// The pool owns `num_workers` long-lived threads that sleep between
+// dispatches, so a simulation paying one pool construction amortizes the
+// thread-start cost over every round of every run. `run(task)` invokes
+// task(w) once per worker index w in [0, num_workers) and blocks until
+// every invocation returns.
+//
+// Exception contract: a task may throw. The pool captures one exception
+// per worker, finishes the dispatch barrier (no worker is left running),
+// and rethrows the exception of the *lowest* worker index from run() —
+// a deterministic choice, so a run that violates the CONGEST budget
+// aborts with the same exception no matter how the OS scheduled the
+// workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace arbmis::sim {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` (>= 1) threads; they idle until run() is called.
+  explicit ThreadPool(std::uint32_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::uint32_t num_workers() const noexcept {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+
+  /// Runs task(w) on worker w for every w, blocking until all complete.
+  /// Rethrows the lowest-index worker's exception, if any.
+  void run(const std::function<void(std::uint32_t)>& task);
+
+ private:
+  void worker_loop(std::uint32_t index);
+
+  std::mutex mutex_;
+  std::condition_variable dispatch_cv_;  ///< wakes workers on a new epoch
+  std::condition_variable done_cv_;      ///< wakes run() when all finish
+  const std::function<void(std::uint32_t)>* task_ = nullptr;
+  std::uint64_t epoch_ = 0;       ///< incremented per dispatch
+  std::uint32_t outstanding_ = 0; ///< workers still inside the current epoch
+  bool shutdown_ = false;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace arbmis::sim

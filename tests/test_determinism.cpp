@@ -15,6 +15,7 @@
 #include "mis/luby.h"
 #include "mis/matching.h"
 #include "mis/metivier.h"
+#include "sim/network.h"
 
 namespace arbmis {
 namespace {
@@ -69,6 +70,40 @@ TEST(Determinism, GoldenPerSeedMisOutputs) {
   // schedule, tie-breaking — changes behavior, these catch it.
   util::Rng rng(2024);
   const graph::Graph g = graph::gen::hubbed_forest_union(400, 2, 4, rng);
+
+  const auto met1 = mis::MetivierMis::run(g, 1);
+  EXPECT_EQ(state_hash(met1.state), 0x87b54202a38a4860ULL);
+  EXPECT_EQ(met1.stats.rounds, 5u);
+  EXPECT_EQ(state_hash(mis::MetivierMis::run(g, 2).state),
+            0x36af02129ce25543ULL);
+  EXPECT_EQ(state_hash(mis::MetivierMis::run(g, 3).state),
+            0xe1e2f725bdbeab0dULL);
+
+  EXPECT_EQ(state_hash(mis::LubyBMis::run(g, 1).state),
+            0xa70b8bcaaed6cc82ULL);
+  EXPECT_EQ(state_hash(mis::LubyBMis::run(g, 2).state),
+            0x83842878ad8031d8ULL);
+
+  EXPECT_EQ(state_hash(core::arb_mis(g, {.alpha = 2}, 1).mis.state),
+            0xe1e2f725bdbeab0dULL);
+  EXPECT_EQ(state_hash(core::arb_mis(g, {.alpha = 2}, 2).mis.state),
+            0x2ad32695e98905c0ULL);
+
+  EXPECT_EQ(state_hash(mis::BitMetivierMis::run(g, 1).mis.state),
+            0xe8f3f3171e775bd3ULL);
+  EXPECT_EQ(state_hash(mis::BitMetivierMis::run(g, 2).mis.state),
+            0xa05a05940c3562fdULL);
+}
+
+TEST(Determinism, GoldenPinsHoldUnderTheParallelExecutor) {
+  // The same golden constants as GoldenPerSeedMisOutputs, re-checked with
+  // every internally constructed Network routed through the 4-worker
+  // parallel executor. No separate parallel goldens exist on purpose: the
+  // executor's determinism-merge rule (sim/network.h) promises the serial
+  // bytes, so the serial pins are the parallel pins.
+  util::Rng rng(2024);
+  const graph::Graph g = graph::gen::hubbed_forest_union(400, 2, 4, rng);
+  const sim::ScopedNumThreads scoped(4);
 
   const auto met1 = mis::MetivierMis::run(g, 1);
   EXPECT_EQ(state_hash(met1.state), 0x87b54202a38a4860ULL);

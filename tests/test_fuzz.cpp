@@ -12,6 +12,7 @@
 #include "mis/matching.h"
 #include "mis/metivier.h"
 #include "mis/verifier.h"
+#include "sim/network.h"
 #include "util/rng.h"
 
 namespace arbmis {
@@ -124,6 +125,37 @@ TEST_P(Fuzz, PipelineOnRandomStructures) {
       core::arb_mis(g, {.alpha = alpha}, GetParam());
   EXPECT_TRUE(mis::verify(g, result.mis).ok());
   EXPECT_FALSE(result.cleanup_used);
+}
+
+TEST_P(Fuzz, PipelineUnderRandomThreadCount) {
+  // Randomized-schedule fuzz for the parallel round executor: a random
+  // graph run with a random worker count must still produce a verified
+  // MIS with the Invariant holding at every scale end — and must agree
+  // exactly with the serial run, whatever the OS made of the schedule.
+  util::Rng rng(GetParam() + 500);
+  const graph::NodeId n = 80 + static_cast<graph::NodeId>(rng.below(300));
+  const double p =
+      2.0 / static_cast<double>(n) * static_cast<double>(1 + rng.below(3));
+  const graph::Graph g = graph::gen::gnp(n, p, rng);
+  const graph::NodeId alpha =
+      std::max<graph::NodeId>(graph::degeneracy(g), 1);
+  const std::uint32_t threads = 1 + static_cast<std::uint32_t>(rng.below(8));
+
+  const core::ArbMisResult serial =
+      core::arb_mis(g, {.alpha = alpha, .audit_invariant = true}, GetParam());
+  core::ArbMisResult parallel;
+  {
+    const sim::ScopedNumThreads scoped(threads);
+    parallel = core::arb_mis(g, {.alpha = alpha, .audit_invariant = true},
+                             GetParam());
+  }
+  EXPECT_TRUE(mis::verify(g, parallel.mis).ok()) << "threads=" << threads;
+  EXPECT_TRUE(parallel.invariant_held) << "threads=" << threads;
+  EXPECT_EQ(serial.mis.state, parallel.mis.state) << "threads=" << threads;
+  EXPECT_EQ(serial.mis.stats.rounds, parallel.mis.stats.rounds)
+      << "threads=" << threads;
+  EXPECT_EQ(serial.mis.stats.messages, parallel.mis.stats.messages)
+      << "threads=" << threads;
 }
 
 TEST_P(Fuzz, MisAndMatchingCoexistOnSameGraph) {

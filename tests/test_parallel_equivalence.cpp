@@ -1,0 +1,280 @@
+// Differential proof of the parallel round executor (sim/network.h): for a
+// matrix of {graph generator} x {algorithm} x {seed} x {thread count}, a
+// run under the staged parallel executor must be *byte-identical* to the
+// serial executor — same RunStats, same per-node outputs, same per-node
+// halt rounds, and the same ModelChecker report including the per-round
+// series. This is the enforcement vehicle for the determinism-merge rule
+// documented in sim/network.h and the thread-safety contract in
+// sim/algorithm.h.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/arb_mis.h"
+#include "core/bounded_arb.h"
+#include "core/params.h"
+#include "graph/generators.h"
+#include "mis/bit_metivier.h"
+#include "mis/luby.h"
+#include "mis/metivier.h"
+#include "sim/bfs_rooting.h"
+#include "sim/network.h"
+
+namespace arbmis {
+namespace {
+
+constexpr std::uint32_t kNeverHalted =
+    std::numeric_limits<std::uint32_t>::max();
+
+// Thread counts to prove equivalent against the serial baseline (0).
+constexpr std::uint32_t kThreadCounts[] = {1, 2, 4, 8};
+
+/// Everything observable about one run, flattened for comparison.
+struct RunRecord {
+  sim::RunStats stats;
+  std::vector<std::uint32_t> output;      ///< per-node final states/outcomes
+  std::vector<std::uint32_t> halt_round;  ///< first round seen halted
+  sim::ModelCheckReport report;
+};
+
+void expect_identical(const RunRecord& serial, const RunRecord& parallel,
+                      const std::string& label) {
+  EXPECT_EQ(serial.stats.rounds, parallel.stats.rounds) << label;
+  EXPECT_EQ(serial.stats.messages, parallel.stats.messages) << label;
+  EXPECT_EQ(serial.stats.payload_bits, parallel.stats.payload_bits) << label;
+  EXPECT_EQ(serial.stats.max_edge_load, parallel.stats.max_edge_load)
+      << label;
+  EXPECT_EQ(serial.stats.all_halted, parallel.stats.all_halted) << label;
+  EXPECT_EQ(serial.output, parallel.output) << label;
+  EXPECT_EQ(serial.halt_round, parallel.halt_round) << label;
+
+  const sim::ModelCheckReport& a = serial.report;
+  const sim::ModelCheckReport& b = parallel.report;
+  EXPECT_EQ(a.rounds_observed, b.rounds_observed) << label;
+  EXPECT_EQ(a.edge_bit_budget, b.edge_bit_budget) << label;
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits) << label;
+  EXPECT_EQ(a.max_edge_bits_per_round, b.max_edge_bits_per_round) << label;
+  EXPECT_EQ(a.max_rng_reads_per_round, b.max_rng_reads_per_round) << label;
+  EXPECT_EQ(a.k, b.k) << label;
+  EXPECT_EQ(a.violations, b.violations) << label;
+  EXPECT_EQ(a.round_max_message_bits, b.round_max_message_bits) << label;
+  EXPECT_EQ(a.round_k, b.round_k) << label;
+}
+
+/// Runs `algorithm` on a fresh network with the given worker count and
+/// records stats, outputs, halt rounds, and the checker report.
+template <typename Algo, typename Extract>
+RunRecord run_case(const graph::Graph& g, std::uint64_t seed,
+                   std::uint32_t threads, Algo& algorithm,
+                   std::uint32_t max_rounds, Extract&& extract) {
+  sim::NetworkOptions options;
+  options.num_threads = threads;
+  sim::Network net(g, seed, options);
+  RunRecord record;
+  record.halt_round.assign(g.num_nodes(), kNeverHalted);
+  const auto observer = [&](const sim::Network& n, std::uint32_t round) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (n.halted(v) && record.halt_round[v] == kNeverHalted) {
+        record.halt_round[v] = round;
+      }
+    }
+  };
+  record.stats = net.run(algorithm, max_rounds, observer);
+  record.report = net.model_check_report();
+  for (auto value : extract(algorithm)) {
+    record.output.push_back(static_cast<std::uint32_t>(value));
+  }
+  return record;
+}
+
+struct GraphCase {
+  std::string name;
+  graph::Graph g;
+};
+
+std::vector<GraphCase> test_graphs(std::uint64_t seed) {
+  std::vector<GraphCase> graphs;
+  graphs.push_back({"path", graph::gen::path(64)});
+  {
+    util::Rng rng(seed);
+    graphs.push_back({"random_tree", graph::gen::random_tree(200, rng)});
+  }
+  {
+    util::Rng rng(seed + 1);
+    graphs.push_back({"gnp", graph::gen::gnp(150, 0.05, rng)});
+  }
+  {
+    util::Rng rng(seed + 2);
+    graphs.push_back(
+        {"forest_union", graph::gen::union_of_random_forests(200, 2, rng)});
+  }
+  return graphs;
+}
+
+class ParallelEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelEquivalence, LubyMatchesSerialOnAllGraphs) {
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : test_graphs(seed)) {
+    const auto run_with = [&](std::uint32_t threads) {
+      mis::LubyBMis algorithm(gc.g);
+      return run_case(gc.g, seed, threads, algorithm, 1 << 20,
+                      [](const mis::LubyBMis& a) { return a.states(); });
+    };
+    const RunRecord serial = run_with(0);
+    EXPECT_TRUE(serial.stats.all_halted) << gc.name;
+    for (const std::uint32_t threads : kThreadCounts) {
+      expect_identical(serial, run_with(threads),
+                       "luby/" + gc.name + "/t" + std::to_string(threads));
+    }
+  }
+}
+
+TEST_P(ParallelEquivalence, MetivierMatchesSerialOnAllGraphs) {
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : test_graphs(seed)) {
+    const auto run_with = [&](std::uint32_t threads) {
+      mis::MetivierMis algorithm(gc.g);
+      return run_case(gc.g, seed, threads, algorithm, 1 << 20,
+                      [](const mis::MetivierMis& a) { return a.states(); });
+    };
+    const RunRecord serial = run_with(0);
+    EXPECT_TRUE(serial.stats.all_halted) << gc.name;
+    for (const std::uint32_t threads : kThreadCounts) {
+      expect_identical(serial, run_with(threads),
+                       "metivier/" + gc.name + "/t" + std::to_string(threads));
+    }
+  }
+}
+
+TEST_P(ParallelEquivalence, BoundedArbMatchesSerialOnAllGraphs) {
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : test_graphs(seed)) {
+    const core::Params params = core::Params::practical(2, gc.g.max_degree());
+    const auto run_with = [&](std::uint32_t threads) {
+      core::BoundedArbIndependentSet algorithm(gc.g, params);
+      RunRecord record =
+          run_case(gc.g, seed, threads, algorithm, params.total_rounds(),
+                   [](const core::BoundedArbIndependentSet& a) {
+                     return a.outcomes();
+                   });
+      // Fold the recomputed per-scale aggregates into the comparison too.
+      for (const auto& scale : algorithm.scale_stats()) {
+        record.output.push_back(scale.scale);
+        record.output.push_back(static_cast<std::uint32_t>(scale.joined));
+        record.output.push_back(static_cast<std::uint32_t>(scale.covered));
+        record.output.push_back(static_cast<std::uint32_t>(scale.bad));
+        record.output.push_back(
+            static_cast<std::uint32_t>(scale.active_after));
+      }
+      return record;
+    };
+    const RunRecord serial = run_with(0);
+    EXPECT_TRUE(serial.stats.all_halted) << gc.name;
+    for (const std::uint32_t threads : kThreadCounts) {
+      expect_identical(
+          serial, run_with(threads),
+          "bounded_arb/" + gc.name + "/t" + std::to_string(threads));
+    }
+  }
+}
+
+TEST_P(ParallelEquivalence, BfsRootingMatchesSerialOnAllGraphs) {
+  // Reactive algorithm: terminates via the quiescence cut, never halts,
+  // and aggregates its quiescence round from per-node slots — the class
+  // of algorithm where a shared-aggregate write in a callback would race
+  // (regression for exactly such a bug found by TSan in BfsRooting).
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : test_graphs(seed)) {
+    const auto run_with = [&](std::uint32_t threads) -> sim::BfsRooting::Result {
+      sim::ScopedNumThreads scoped(threads);
+      return sim::BfsRooting::run(gc.g, seed, gc.g.num_nodes());
+    };
+    const sim::BfsRooting::Result serial = run_with(0);
+    EXPECT_TRUE(serial.stabilized) << gc.name;
+    for (const std::uint32_t threads : kThreadCounts) {
+      const sim::BfsRooting::Result parallel = run_with(threads);
+      const std::string label =
+          "bfs_rooting/" + gc.name + "/t" + std::to_string(threads);
+      EXPECT_EQ(serial.parent, parallel.parent) << label;
+      EXPECT_EQ(serial.root, parallel.root) << label;
+      EXPECT_EQ(serial.distance, parallel.distance) << label;
+      EXPECT_EQ(serial.quiescence_round, parallel.quiescence_round) << label;
+      EXPECT_EQ(serial.stats.rounds, parallel.stats.rounds) << label;
+      EXPECT_EQ(serial.stats.messages, parallel.stats.messages) << label;
+    }
+  }
+}
+
+TEST_P(ParallelEquivalence, BitMetivierMatchesSerialOnAllGraphs) {
+  // Self-paced per-edge duels with buffered cross-phase messages — the
+  // most delivery-order-sensitive algorithm in the tree, plus the
+  // semantic-bits accounting that must sum per-node slots (regression
+  // for a TSan-found shared-counter race).
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : test_graphs(seed)) {
+    const auto run_with =
+        [&](std::uint32_t threads) -> mis::BitMetivierMis::Result {
+      sim::ScopedNumThreads scoped(threads);
+      return mis::BitMetivierMis::run(gc.g, seed);
+    };
+    const mis::BitMetivierMis::Result serial = run_with(0);
+    EXPECT_TRUE(serial.mis.stats.all_halted) << gc.name;
+    for (const std::uint32_t threads : kThreadCounts) {
+      const mis::BitMetivierMis::Result parallel = run_with(threads);
+      const std::string label =
+          "bit_metivier/" + gc.name + "/t" + std::to_string(threads);
+      EXPECT_EQ(serial.mis.state, parallel.mis.state) << label;
+      EXPECT_EQ(serial.semantic_bits, parallel.semantic_bits) << label;
+      EXPECT_EQ(serial.mis.stats.rounds, parallel.mis.stats.rounds) << label;
+      EXPECT_EQ(serial.mis.stats.messages, parallel.mis.stats.messages)
+          << label;
+      EXPECT_EQ(serial.mis.stats.payload_bits, parallel.mis.stats.payload_bits)
+          << label;
+    }
+  }
+}
+
+TEST_P(ParallelEquivalence, ArbMisPipelineMatchesSerialOnAllGraphs) {
+  // The full pipeline constructs its own Networks internally, so the
+  // worker count is injected via the process-wide ScopedNumThreads
+  // override instead of NetworkOptions plumbing.
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : test_graphs(seed)) {
+    const auto run_with =
+        [&](std::uint32_t threads) -> core::ArbMisResult {
+      sim::ScopedNumThreads scoped(threads);
+      return core::arb_mis(gc.g, {.alpha = 2}, seed);
+    };
+    const core::ArbMisResult serial = run_with(0);
+    EXPECT_TRUE(serial.mis.stats.all_halted) << gc.name;
+    for (const std::uint32_t threads : kThreadCounts) {
+      const core::ArbMisResult parallel = run_with(threads);
+      const std::string label =
+          "arb_mis/" + gc.name + "/t" + std::to_string(threads);
+      EXPECT_EQ(serial.mis.state, parallel.mis.state) << label;
+      EXPECT_EQ(serial.mis.stats.rounds, parallel.mis.stats.rounds) << label;
+      EXPECT_EQ(serial.mis.stats.messages, parallel.mis.stats.messages)
+          << label;
+      EXPECT_EQ(serial.mis.stats.payload_bits,
+                parallel.mis.stats.payload_bits)
+          << label;
+      EXPECT_EQ(serial.mis.stats.max_edge_load,
+                parallel.mis.stats.max_edge_load)
+          << label;
+      EXPECT_EQ(serial.mis.stats.all_halted, parallel.mis.stats.all_halted)
+          << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEquivalence,
+                         ::testing::Values(1, 7, 2024));
+
+}  // namespace
+}  // namespace arbmis

@@ -109,6 +109,66 @@ TEST(LowerTail, IndependentFamilyWithinChernoff) {
   }
 }
 
+TEST(MonteCarlo, ParallelSamplerIsThreadCountInvariant) {
+  // The block-parallel sampler partitions trials into fixed-size blocks
+  // with per-block child streams, so the estimate is a pure function of
+  // the seed: any worker count must reproduce the 1-worker result draw
+  // for draw, including a ragged final block.
+  const ReadKFamily family = shared_block_family(16, 4, 0.8);
+  const std::uint64_t trials = 10000;  // not a block_size multiple
+  const McOptions one{.num_threads = 1, .block_size = 1024};
+
+  util::Rng base_rng(42);
+  const ConjunctionEstimate base =
+      estimate_conjunction(family, trials, base_rng, one);
+  for (const std::uint32_t workers : {2u, 3u, 8u}) {
+    util::Rng rng(42);
+    const ConjunctionEstimate estimate = estimate_conjunction(
+        family, trials, rng, {.num_threads = workers, .block_size = 1024});
+    EXPECT_EQ(estimate.all_ones, base.all_ones) << "workers=" << workers;
+    EXPECT_EQ(estimate.mean_indicator, base.mean_indicator)
+        << "workers=" << workers;
+  }
+
+  const std::vector<double> deltas{0.25, 0.5};
+  util::Rng tail_base_rng(43);
+  const TailEstimate tail_base =
+      estimate_lower_tail(family, trials, deltas, tail_base_rng, one);
+  for (const std::uint32_t workers : {2u, 5u}) {
+    util::Rng rng(43);
+    const TailEstimate tail = estimate_lower_tail(
+        family, trials, deltas, rng,
+        {.num_threads = workers, .block_size = 1024});
+    EXPECT_EQ(tail.expected_sum, tail_base.expected_sum)
+        << "workers=" << workers;
+    ASSERT_EQ(tail.points.size(), tail_base.points.size());
+    for (std::size_t i = 0; i < tail.points.size(); ++i) {
+      EXPECT_EQ(tail.points[i].probability, tail_base.points[i].probability)
+          << "workers=" << workers << " delta=" << tail.points[i].delta;
+    }
+    EXPECT_EQ(tail.sum_stats.mean(), tail_base.sum_stats.mean())
+        << "workers=" << workers;
+  }
+}
+
+TEST(MonteCarlo, ParallelSamplerAgreesStatisticallyWithLegacy) {
+  // The parallel stream decomposition is deliberately different from the
+  // legacy sequential draw order, so results are not bit-identical — but
+  // both sample the same distribution, so the closed form must sit inside
+  // both confidence intervals.
+  const ReadKFamily family = shared_block_family(12, 4, 0.7);
+  const double truth = std::pow(0.7, 3);
+  util::Rng serial_rng(9);
+  const ConjunctionEstimate serial =
+      estimate_conjunction(family, kTrials, serial_rng);
+  util::Rng parallel_rng(9);
+  const ConjunctionEstimate parallel = estimate_conjunction(
+      family, kTrials, parallel_rng, {.num_threads = 4});
+  EXPECT_TRUE(serial.ci.contains(truth));
+  EXPECT_TRUE(parallel.ci.contains(truth))
+      << parallel.probability << " vs " << truth;
+}
+
 TEST(MonteCarlo, ZeroTrials) {
   util::Rng rng(8);
   const ReadKFamily family = independent_family(4, 0.5);

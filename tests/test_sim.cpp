@@ -216,6 +216,29 @@ TEST(RunStats, AbsorbAddsRoundsAndMessages) {
   EXPECT_EQ(a.rounds, 5u);
   EXPECT_EQ(a.messages, 15u);
   EXPECT_EQ(a.max_edge_load, 2u);
+  EXPECT_TRUE(a.all_halted);
+}
+
+TEST(RunStats, AbsorbAccumulatesAllHaltedConjunctively) {
+  // A pipeline halted iff every stage halted: one incomplete stage must
+  // poison the composition no matter where it sits, and in particular a
+  // complete *last* stage must not launder an earlier timeout (the old
+  // behavior was last-stage-wins).
+  const RunStats complete{.rounds = 1, .messages = 0, .payload_bits = 0,
+                          .max_edge_load = 0, .all_halted = true};
+  const RunStats timed_out{.rounds = 1, .messages = 0, .payload_bits = 0,
+                           .max_edge_load = 0, .all_halted = false};
+
+  RunStats pipeline = complete;
+  pipeline.absorb(timed_out);
+  EXPECT_FALSE(pipeline.all_halted);
+  pipeline.absorb(complete);
+  EXPECT_FALSE(pipeline.all_halted) << "a later complete stage must not "
+                                       "clear an earlier stage's timeout";
+
+  RunStats ok = complete;
+  ok.absorb(complete);
+  EXPECT_TRUE(ok.all_halted);
 }
 
 }  // namespace
