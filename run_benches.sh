@@ -1,9 +1,47 @@
 #!/bin/bash
+# Runs every experiment binary in bench/ and captures its report under
+# results/. The list below mirrors the arbmis_bench() targets in
+# bench/CMakeLists.txt (plus bench_micro) — regenerate it when adding a
+# bench target. Fails on the first bench that exits nonzero, so a broken
+# experiment (e.g. a fault-tolerance cell that misses certification)
+# fails the whole sweep instead of scrolling by.
+set -euo pipefail
 cd /root/repo
-for b in build/bench/bench_*; do
-  name=$(basename "$b")
+
+BENCHES=(
+  bench_readk_conjunction   # T1
+  bench_readk_tail          # T2
+  bench_event1              # F1
+  bench_event2              # F2
+  bench_event3              # F3
+  bench_bad_probability     # T3
+  bench_shattering          # F4
+  bench_rounds_vs_n         # F5
+  bench_rounds_vs_alpha     # F6
+  bench_comparison          # T4
+  bench_forest_decomp       # T5
+  bench_ablation            # A1-A4
+  bench_tree_history        # T6
+  bench_bit_complexity      # T7
+  bench_sim_parallel        # P1
+  bench_fault_tolerance     # R1
+  bench_micro               # M1
+)
+
+mkdir -p results
+for name in "${BENCHES[@]}"; do
+  bin="build/bench/${name}"
+  if [[ ! -x "$bin" ]]; then
+    echo "=== MISSING $name (build bench targets first) ===" >&2
+    exit 1
+  fi
   echo "=== running $name ==="
-  timeout 3000 "$b" > "results/${name}.txt" 2>&1
-  echo "=== $name done rc=$? ==="
+  if [[ "$name" == "bench_micro" ]]; then
+    # google-benchmark binary: rejects the bench_common.h flags.
+    timeout 3000 "$bin" > "results/${name}.txt" 2>&1
+  else
+    timeout 3000 "$bin" "$@" > "results/${name}.txt" 2>&1
+  fi
+  echo "=== $name done ==="
 done
 echo ALL_BENCHES_DONE

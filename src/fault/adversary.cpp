@@ -1,0 +1,108 @@
+#include "fault/adversary.h"
+
+#include <algorithm>
+
+namespace arbmis::fault {
+
+namespace {
+
+/// Appends every still-running node that flips the crash coin. Draws one
+/// coin per eligible node in ascending id order, so the event stream's
+/// consumption is a deterministic function of the barrier snapshot.
+void iid_crashes(double rate, const AdversaryView& view, util::Rng& rng,
+                 std::vector<graph::NodeId>& out) {
+  if (rate <= 0.0) return;
+  const graph::NodeId n = view.graph->num_nodes();
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (view.halted[v] != 0 || view.down[v] != 0) continue;
+    if (rng.bernoulli(rate)) out.push_back(v);
+  }
+}
+
+}  // namespace
+
+MessageOdds IidAdversary::message_odds(graph::NodeId /*from*/,
+                                       graph::NodeId /*to*/,
+                                       std::uint32_t /*round*/) const {
+  return {options_.drop_rate, options_.duplicate_rate};
+}
+
+void IidAdversary::pick_crashes(std::uint32_t /*round*/,
+                                const AdversaryView& view, util::Rng& rng,
+                                std::vector<graph::NodeId>& out) {
+  iid_crashes(options_.crash_rate, view, rng, out);
+}
+
+bool BurstyAdversary::in_burst(std::uint32_t round) const noexcept {
+  const std::uint32_t period = std::max(options_.period, 1u);
+  return (round % period) < options_.burst_rounds;
+}
+
+MessageOdds BurstyAdversary::message_odds(graph::NodeId /*from*/,
+                                          graph::NodeId /*to*/,
+                                          std::uint32_t round) const {
+  return {in_burst(round) ? options_.burst_drop_rate
+                          : options_.base_drop_rate,
+          options_.duplicate_rate};
+}
+
+void BurstyAdversary::pick_crashes(std::uint32_t round,
+                                   const AdversaryView& view, util::Rng& rng,
+                                   std::vector<graph::NodeId>& out) {
+  if (!in_burst(round)) return;
+  iid_crashes(options_.crash_rate, view, rng, out);
+}
+
+void AdaptiveAdversary::bind(const graph::Graph& g) {
+  const graph::NodeId n = g.num_nodes();
+  targeted_.assign(n, 0);
+  if (n == 0) return;
+  // Target the top `degree_fraction` of nodes by degree (at least one).
+  std::vector<graph::NodeId> degrees(n);
+  for (graph::NodeId v = 0; v < n; ++v) degrees[v] = g.degree(v);
+  std::vector<graph::NodeId> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const double want =
+      std::clamp(options_.degree_fraction, 0.0, 1.0) * static_cast<double>(n);
+  const auto count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(want));
+  const graph::NodeId threshold = sorted[std::min<std::size_t>(count, n) - 1];
+  for (graph::NodeId v = 0; v < n; ++v) {
+    targeted_[v] = (degrees[v] >= threshold) ? 1 : 0;
+  }
+}
+
+MessageOdds AdaptiveAdversary::message_odds(graph::NodeId /*from*/,
+                                            graph::NodeId to,
+                                            std::uint32_t /*round*/) const {
+  return {targeted(to) ? options_.drop_rate : options_.background_drop_rate,
+          options_.duplicate_rate};
+}
+
+void AdaptiveAdversary::pick_crashes(std::uint32_t round,
+                                     const AdversaryView& view,
+                                     util::Rng& /*rng*/,
+                                     std::vector<graph::NodeId>& out) {
+  if (options_.crash_period == 0 || crashes_spent_ >= options_.max_crashes) {
+    return;
+  }
+  if (round % options_.crash_period != 0) return;
+  // Highest-degree node that is still running; ties break to the lowest
+  // id. Pure function of the barrier snapshot — no coin needed.
+  const graph::NodeId n = view.graph->num_nodes();
+  graph::NodeId best = n;
+  graph::NodeId best_degree = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (view.halted[v] != 0 || view.down[v] != 0) continue;
+    const graph::NodeId d = view.graph->degree(v);
+    if (best == n || d > best_degree) {
+      best = v;
+      best_degree = d;
+    }
+  }
+  if (best == n) return;
+  out.push_back(best);
+  ++crashes_spent_;
+}
+
+}  // namespace arbmis::fault

@@ -1,0 +1,179 @@
+// Pluggable fault adversaries for the deterministic fault-injection
+// subsystem (src/fault/).
+//
+// An Adversary is a pure strategy: it decides the *odds* a message is
+// dropped or duplicated and which nodes crash at a round barrier. The
+// mechanics — hash coins, the down set, recovery schedules, the ledger —
+// live in FaultPlan (fault/fault_plan.h), so adversaries stay small and a
+// plan remains a pure function of (graph, seed, adversary).
+//
+// Three strategies ship with the subsystem:
+//   * IidAdversary      — oblivious i.i.d. rates per message / per node;
+//   * BurstyAdversary   — periodic bursts of elevated loss (and crashes);
+//   * AdaptiveAdversary — targets high-degree, still-active nodes: drops
+//     preferentially on edges into the top-degree set and spends a crash
+//     budget on the highest-degree node that is still running. It reacts
+//     only to the barrier snapshot (halted/down masks), which is itself
+//     deterministic, so adaptivity never breaks reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace arbmis::fault {
+
+/// Per-message fault odds, probabilities in [0, 1]. A message is first
+/// tested for dropping; a surviving message is tested for duplication
+/// (delivered twice).
+struct MessageOdds {
+  double drop = 0.0;
+  double duplicate = 0.0;
+};
+
+/// Read-only barrier snapshot an adversary may react to. Everything here
+/// is deterministic, so reacting to it preserves run determinism.
+struct AdversaryView {
+  const graph::Graph* graph = nullptr;
+  std::span<const std::uint8_t> halted;  ///< 1 = halted
+  std::span<const std::uint8_t> down;    ///< 1 = currently crashed
+};
+
+/// Strategy interface consumed by FaultPlan. Implementations must be
+/// deterministic: all randomness comes from the hash coins FaultPlan
+/// derives (message fates) or from the serial event stream passed to
+/// pick_crashes.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Message-fate odds for one send. Must be pure (const, thread-safe):
+  /// workers of the parallel executor evaluate it concurrently, and
+  /// determinism across thread counts requires value semantics.
+  virtual MessageOdds message_odds(graph::NodeId from, graph::NodeId to,
+                                   std::uint32_t round) const = 0;
+
+  /// Appends nodes to crash at this barrier. FaultPlan filters out halted
+  /// and already-down picks; `rng` is the plan's serial event stream
+  /// (consumed at barriers only, so draws are executor-independent).
+  virtual void pick_crashes(std::uint32_t round, const AdversaryView& view,
+                            util::Rng& rng,
+                            std::vector<graph::NodeId>& out) = 0;
+
+  /// Rounds until a crashed node recovers (0 = crashes are permanent).
+  virtual std::uint32_t recovery_delay() const { return 0; }
+
+  /// Called once by FaultPlan's constructor; degree-aware adversaries
+  /// precompute their target sets here.
+  virtual void bind(const graph::Graph& g) { (void)g; }
+
+  /// Called by FaultPlan::begin_run; stateful adversaries (crash budgets)
+  /// reset here so a plan replays identically run after run.
+  virtual void begin_run() {}
+};
+
+/// Oblivious i.i.d. adversary: every message is dropped/duplicated with a
+/// fixed rate, every still-running node crashes with a fixed per-round
+/// rate.
+struct IidOptions {
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double crash_rate = 0.0;           ///< per still-running node, per round
+  std::uint32_t recovery_delay = 0;  ///< 0 = permanent crashes
+};
+
+class IidAdversary final : public Adversary {
+ public:
+  explicit IidAdversary(IidOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "iid"; }
+  MessageOdds message_odds(graph::NodeId from, graph::NodeId to,
+                           std::uint32_t round) const override;
+  void pick_crashes(std::uint32_t round, const AdversaryView& view,
+                    util::Rng& rng,
+                    std::vector<graph::NodeId>& out) override;
+  std::uint32_t recovery_delay() const override {
+    return options_.recovery_delay;
+  }
+
+ private:
+  IidOptions options_;
+};
+
+/// Bursty adversary: the first `burst_rounds` rounds of every `period`
+/// rounds run at the elevated burst rates (message loss and crashes);
+/// outside bursts only the base drop rate applies.
+struct BurstyOptions {
+  double base_drop_rate = 0.0;
+  double burst_drop_rate = 0.5;
+  std::uint32_t period = 8;        ///< rounds per cycle (clamped to >= 1)
+  std::uint32_t burst_rounds = 2;  ///< leading rounds of a cycle that burst
+  double duplicate_rate = 0.0;
+  double crash_rate = 0.0;  ///< per still-running node, burst rounds only
+  std::uint32_t recovery_delay = 0;
+};
+
+class BurstyAdversary final : public Adversary {
+ public:
+  explicit BurstyAdversary(BurstyOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "bursty"; }
+  MessageOdds message_odds(graph::NodeId from, graph::NodeId to,
+                           std::uint32_t round) const override;
+  void pick_crashes(std::uint32_t round, const AdversaryView& view,
+                    util::Rng& rng,
+                    std::vector<graph::NodeId>& out) override;
+  std::uint32_t recovery_delay() const override {
+    return options_.recovery_delay;
+  }
+  bool in_burst(std::uint32_t round) const noexcept;
+
+ private:
+  BurstyOptions options_;
+};
+
+/// Adaptive adversary targeting high-degree, still-active nodes.
+struct AdaptiveOptions {
+  double drop_rate = 0.25;  ///< on edges *into* targeted (top-degree) nodes
+  double background_drop_rate = 0.0;  ///< on every other edge
+  double duplicate_rate = 0.0;
+  std::uint32_t crash_period = 4;  ///< crash a target every this many rounds
+                                   ///< (0 = never crash)
+  std::uint32_t max_crashes = 4;   ///< total crash budget per run
+  std::uint32_t recovery_delay = 0;
+  double degree_fraction = 0.25;  ///< top fraction of degrees targeted
+};
+
+class AdaptiveAdversary final : public Adversary {
+ public:
+  explicit AdaptiveAdversary(AdaptiveOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "adaptive"; }
+  MessageOdds message_odds(graph::NodeId from, graph::NodeId to,
+                           std::uint32_t round) const override;
+  void pick_crashes(std::uint32_t round, const AdversaryView& view,
+                    util::Rng& rng,
+                    std::vector<graph::NodeId>& out) override;
+  std::uint32_t recovery_delay() const override {
+    return options_.recovery_delay;
+  }
+  void bind(const graph::Graph& g) override;
+  void begin_run() override { crashes_spent_ = 0; }
+
+  bool targeted(graph::NodeId v) const noexcept {
+    return v < targeted_.size() && targeted_[v] != 0;
+  }
+
+ private:
+  AdaptiveOptions options_;
+  std::vector<std::uint8_t> targeted_;  ///< precomputed in bind()
+  std::uint32_t crashes_spent_ = 0;
+};
+
+}  // namespace arbmis::fault

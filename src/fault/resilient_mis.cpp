@@ -1,0 +1,169 @@
+#include "fault/resilient_mis.h"
+
+#include "core/bounded_arb.h"
+#include "core/params.h"
+#include "mis/distributed_verify.h"
+#include "mis/luby.h"
+
+namespace arbmis::fault {
+
+namespace {
+
+/// Induced subgraph of the kept nodes, with the residual → input id map.
+struct Residual {
+  graph::Graph graph;
+  std::vector<graph::NodeId> to_input;
+};
+
+Residual induced_subgraph(const graph::Graph& g,
+                          const std::vector<std::uint8_t>& keep) {
+  const graph::NodeId n = g.num_nodes();
+  Residual res;
+  std::vector<graph::NodeId> to_sub(n, 0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (keep[v] == 0) continue;
+    to_sub[v] = static_cast<graph::NodeId>(res.to_input.size());
+    res.to_input.push_back(v);
+  }
+  graph::Builder builder(static_cast<graph::NodeId>(res.to_input.size()));
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (keep[v] == 0) continue;
+    for (graph::NodeId w : g.neighbors(v)) {
+      if (w > v && keep[w] != 0) builder.add_edge(to_sub[v], to_sub[w]);
+    }
+  }
+  res.graph = builder.build();
+  return res;
+}
+
+}  // namespace
+
+MisDriver shatter_driver(graph::NodeId alpha, core::PracticalTuning tuning) {
+  return [alpha, tuning](const graph::Graph& g, sim::Network& net,
+                         std::uint32_t max_rounds, sim::RunStats& stats) {
+    std::vector<mis::MisState> labels(g.num_nodes(),
+                                      mis::MisState::kUndecided);
+    if (g.num_edges() == 0) {
+      // Edgeless residual: every node is trivially in the MIS.
+      std::fill(labels.begin(), labels.end(), mis::MisState::kInMis);
+      stats = sim::RunStats{};
+      stats.all_halted = true;
+      return labels;
+    }
+    const core::Params params =
+        core::Params::practical(alpha, g.max_degree(), tuning);
+    bool any_member = false;
+    if (params.num_scales > 0) {
+      core::BoundedArbIndependentSet algo(g, params);
+      stats = net.run(algo,
+                      std::min(max_rounds, params.total_rounds() + 2));
+      for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+        switch (algo.outcomes()[v]) {
+          case core::ArbOutcome::kInMis:
+            labels[v] = mis::MisState::kInMis;
+            any_member = true;
+            break;
+          case core::ArbOutcome::kCovered:
+            labels[v] = mis::MisState::kCovered;
+            break;
+          default:  // active / bad / remaining: finish in a later attempt
+            break;
+        }
+      }
+    } else {
+      stats = sim::RunStats{};
+      stats.all_halted = true;
+    }
+    if (!any_member) {
+      // Θ = 0 (residual below the shattering regime) or faults wiped the
+      // run: fall back to Luby B so the attempt still makes progress.
+      mis::LubyBMis luby(g);
+      stats.absorb(net.run(luby, max_rounds));
+      labels = luby.states();
+    }
+    return labels;
+  };
+}
+
+ResilientResult resilient_mis(const graph::Graph& g, std::uint64_t seed,
+                              Adversary& adversary, const MisDriver& driver,
+                              const ResilientOptions& options) {
+  const graph::NodeId n = g.num_nodes();
+  ResilientResult result;
+  result.state.assign(n, mis::MisState::kUndecided);
+  std::vector<std::uint8_t> undecided(n, 1);
+  graph::NodeId undecided_count = n;
+  const util::Rng seed_tree(seed);
+
+  for (std::uint32_t attempt = 0;
+       attempt < options.max_attempts && undecided_count > 0; ++attempt) {
+    const Residual res = induced_subgraph(g, undecided);
+    const std::uint64_t attempt_seed = seed_tree.child(attempt).next();
+    const bool faulty = attempt < options.fault_free_after;
+
+    AttemptReport rep;
+    rep.attempt = attempt;
+    rep.residual_nodes = res.graph.num_nodes();
+    rep.faulty = faulty;
+
+    std::vector<mis::MisState> labels;
+    {
+      FaultPlan plan(res.graph, attempt_seed, adversary);
+      sim::NetworkOptions net_options;
+      net_options.num_threads = options.num_threads;
+      if (faulty) net_options.fault = &plan;
+      sim::Network net(res.graph, attempt_seed, net_options);
+      labels = driver(res.graph, net, options.max_rounds_per_attempt,
+                      rep.stats);
+      if (faulty) rep.faults = plan.totals();
+    }
+
+    // Certify fault-free within the residual; only verified members are
+    // trusted. Two adjacent members both fail their local check, so the
+    // committed set is independent by construction of the verifier.
+    const mis::DistributedMisCheck::Result check =
+        mis::DistributedMisCheck::run(res.graph, labels, attempt_seed);
+    result.rounds_to_recovery += rep.stats.rounds + check.stats.rounds;
+
+    for (graph::NodeId s = 0; s < res.graph.num_nodes(); ++s) {
+      if (labels[s] != mis::MisState::kInMis || check.local_ok[s] == 0) {
+        continue;
+      }
+      const graph::NodeId v = res.to_input[s];
+      result.state[v] = mis::MisState::kInMis;
+      undecided[v] = 0;
+      --undecided_count;
+      ++rep.committed;
+    }
+    // Coverage is recomputed from the committed members, never taken from
+    // the faulty run's labels.
+    for (graph::NodeId s = 0; s < res.graph.num_nodes(); ++s) {
+      const graph::NodeId v = res.to_input[s];
+      if (result.state[v] != mis::MisState::kInMis) continue;
+      for (graph::NodeId w : g.neighbors(v)) {
+        if (undecided[w] != 0) {
+          result.state[w] = mis::MisState::kCovered;
+          undecided[w] = 0;
+          --undecided_count;
+          ++rep.covered;
+        }
+      }
+    }
+
+    result.faults.drops += rep.faults.drops;
+    result.faults.duplicates += rep.faults.duplicates;
+    result.faults.crashes += rep.faults.crashes;
+    result.faults.recoveries += rep.faults.recoveries;
+    result.attempt_log.push_back(rep);
+    ++result.attempts;
+  }
+
+  // Final fault-free certification on the full input graph.
+  const mis::DistributedMisCheck::Result final_check =
+      mis::DistributedMisCheck::run(g, result.state, seed);
+  result.rounds_to_recovery += final_check.stats.rounds;
+  result.certified = final_check.all_ok && undecided_count == 0;
+  return result;
+}
+
+}  // namespace arbmis::fault

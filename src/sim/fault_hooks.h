@@ -1,0 +1,108 @@
+// Fault-injection seam of the CONGEST simulator.
+//
+// The simulator itself stays fault-agnostic: NetworkOptions::fault accepts
+// a FaultInjector and the Network consults it at exactly three points —
+//
+//   * begin_round: serially at every round barrier, before any callback of
+//     that round runs. This is where node events (crashes, recoveries)
+//     resolve, so the down set is frozen for the duration of the phase and
+//     every worker reads a consistent snapshot.
+//   * on_message: once per send, from the sending node's worker. The fate
+//     of a message (delivered, dropped, duplicated) must be a pure
+//     function of (plan, edge slot, round) — the contract that keeps
+//     fault runs byte-identical across thread counts: the parallel
+//     executor stages the surviving copies in its per-worker ExecLanes and
+//     replays them in shard order, reproducing the serial inbox bytes.
+//   * account: once per round at the barrier, with the round's summed drop
+//     and duplicate counts (serially accumulated, or merged from the lanes
+//     in shard order), so the injector's ledger is executor-independent.
+//
+// Semantics of the injected faults:
+//   * a dropped message is lost in transit — the sender still pays its
+//     CONGEST budget (it sent the message; the network ate it);
+//   * a duplicated message is delivered twice to the same recipient (the
+//     network duplicated it in transit — no extra sender budget);
+//   * a down (crashed) node receives no callbacks and sends nothing;
+//     messages addressed to a node that is down at send time are dropped.
+//     Recovery is crash-recover with state intact: the node resumes its
+//     callback schedule having missed the intervening rounds.
+//
+// The concrete implementation (FaultPlan, adversaries, the fault ledger)
+// lives in src/fault; this header exists so arbmis_sim does not depend on
+// arbmis_fault.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace arbmis::sim {
+
+/// Fate of one message: how many copies reach the recipient's next-round
+/// inbox. 0 = dropped, 1 = delivered, 2 = duplicated.
+struct FaultDecision {
+  std::uint8_t copies = 1;
+};
+
+/// Node events resolved at one round barrier.
+struct RoundFaultEvents {
+  std::uint32_t crashes = 0;
+  std::uint32_t recoveries = 0;
+};
+
+/// Run-wide fault counters, surfaced through ModelCheckReport::faults.
+struct FaultTotals {
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint32_t crashes = 0;
+  std::uint32_t recoveries = 0;
+
+  bool operator==(const FaultTotals&) const = default;
+};
+
+/// Abstract fault source attached via NetworkOptions::fault. All hooks are
+/// called by the Network only; with no injector attached the simulator
+/// takes none of these paths (zero cost when off).
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Reset per-run state (Network::run calls this at the top of each run).
+  virtual void begin_run() = 0;
+
+  /// Serial barrier hook before the callbacks of `round` execute (round 0
+  /// is the on_start phase). Resolves crash/recovery events; `halted` is
+  /// the per-node halt flags (1 = halted), so adaptive adversaries can
+  /// target still-active nodes.
+  virtual RoundFaultEvents begin_round(
+      std::uint32_t round, std::span<const std::uint8_t> halted) = 0;
+
+  /// Fate of one message sent from `from` to `to` on the directed edge
+  /// `edge_slot` during `round`. Must be const and thread-safe: the
+  /// parallel executor calls it concurrently from workers, and determinism
+  /// across thread counts requires it to be a pure function.
+  virtual FaultDecision on_message(graph::NodeId from, graph::NodeId to,
+                                   std::uint64_t edge_slot,
+                                   std::uint32_t round) const = 0;
+
+  /// True while `v` is crashed. Stable between barriers.
+  virtual bool is_down(graph::NodeId v) const = 0;
+
+  /// Number of currently-down nodes (all distinct from halted nodes).
+  virtual graph::NodeId num_down() const = 0;
+
+  /// True if any currently-down node has a recovery scheduled; the run
+  /// must not end while recoveries are pending.
+  virtual bool recovery_pending() const = 0;
+
+  /// Ledger hook: the round's summed drop/duplicate counts, delivered once
+  /// per round at the barrier.
+  virtual void account(std::uint32_t round, std::uint64_t drops,
+                       std::uint64_t duplicates) = 0;
+
+  /// Run-wide totals (valid during and after a run).
+  virtual FaultTotals totals() const = 0;
+};
+
+}  // namespace arbmis::sim

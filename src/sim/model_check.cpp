@@ -42,6 +42,12 @@ std::string ModelCheckReport::summary() const {
       << " max_edge=" << max_edge_bits_per_round << "b"
       << " max_rng_reads=" << max_rng_reads_per_round << " k=" << k
       << " violations=" << violations;
+  if (faults.drops > 0 || faults.duplicates > 0 || faults.crashes > 0 ||
+      faults.recoveries > 0) {
+    out << " faults{drops=" << faults.drops
+        << " dups=" << faults.duplicates << " crashes=" << faults.crashes
+        << " recoveries=" << faults.recoveries << "}";
+  }
   return out.str();
 }
 
@@ -114,7 +120,8 @@ std::string node_name(graph::NodeId v) {
 
 bool ModelChecker::on_send(ModelCheckerLane* lane, graph::NodeId from,
                            graph::NodeId target, std::uint64_t slot,
-                           std::uint64_t payload, std::uint32_t round) {
+                           std::uint64_t payload, std::uint32_t round,
+                           std::uint8_t copies) {
   if (!options_.enabled) return false;
   const graph::NodeId active = lane ? lane->active_node : active_node_;
   if (from != active) {
@@ -156,10 +163,16 @@ bool ModelChecker::on_send(ModelCheckerLane* lane, graph::NodeId from,
   }
 
   // A message sent after a draw in the same callback carries that round's
-  // randomness to `target`, which will read it on delivery.
+  // randomness to `target`, which will read it on delivery — once per
+  // delivered copy, so dropped messages never enter the read-k ledger and
+  // duplicated ones enter it twice.
   const bool rng_bearing =
       rng_epoch_[from] == round && rng_reads_[from] > 0;
-  if (rng_bearing && !lane) pending_origin_[target].push_back(from);
+  if (rng_bearing && !lane) {
+    for (std::uint8_t c = 0; c < copies; ++c) {
+      pending_origin_[target].push_back(from);
+    }
+  }
   return rng_bearing && lane != nullptr;
 }
 
@@ -285,6 +298,11 @@ void ModelChecker::merge_lane(ModelCheckerLane& lane, std::uint32_t round) {
   }
   report_.violations += lane.violations;
   lane.reset();
+}
+
+void ModelChecker::record_fault_totals(const FaultTotals& totals) {
+  if (!options_.enabled) return;
+  report_.faults = totals;
 }
 
 void ModelChecker::end_run(std::uint32_t rounds) {

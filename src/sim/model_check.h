@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "sim/fault_hooks.h"
 
 namespace arbmis::sim {
 
@@ -79,6 +80,11 @@ struct ModelCheckReport {
   /// simulator-side analog of ReadKFamily::read_k().
   std::uint32_t k = 0;
   std::uint64_t violations = 0;
+  /// Injected-fault totals for the run (all zero when no FaultInjector is
+  /// attached). Note that a duplicated randomness-bearing message counts
+  /// twice in the read-k ledger: the recipient observably reads the value
+  /// once per delivered copy.
+  FaultTotals faults;
   /// Per-round series (index = round number; round 0 is on_start).
   std::vector<std::uint32_t> round_max_message_bits;
   std::vector<std::uint32_t> round_k;
@@ -153,13 +159,18 @@ class ModelChecker {
   /// Hook for every send: `slot` is the directed-edge slot (shared with
   /// Network's per-edge counters). Enforces the bit budget and tags the
   /// message as randomness-bearing if `from` drew earlier this round.
-  /// Returns true iff the message is randomness-bearing AND the lane path
-  /// is active — the caller must then report the delivery via
-  /// on_delivered_origin during its merge (the serial path records the
-  /// origin internally and always returns false).
+  /// `copies` is the number of inbox copies the network will deliver
+  /// (faults make it 0 = dropped or 2 = duplicated; 1 otherwise). The
+  /// sender is charged its full CONGEST budget regardless — it sent the
+  /// message even if the network ate it — but only delivered copies enter
+  /// the read-k ledger. Returns true iff the message is randomness-bearing
+  /// AND the lane path is active — the caller must then report each
+  /// delivered copy via on_delivered_origin during its merge (the serial
+  /// path records the origins internally and always returns false).
   bool on_send(ModelCheckerLane* lane, graph::NodeId from,
                graph::NodeId target, std::uint64_t slot,
-               std::uint64_t payload, std::uint32_t round);
+               std::uint64_t payload, std::uint32_t round,
+               std::uint8_t copies = 1);
 
   /// Hook for each node about to consume its inbox this round: counts the
   /// read multiplicity of every randomness-bearing message delivered to it
@@ -182,6 +193,10 @@ class ModelChecker {
   /// at the round barrier in shard order; `round` is the round the lane's
   /// callbacks executed in (0 for the on_start phase). Resets the lane.
   void merge_lane(ModelCheckerLane& lane, std::uint32_t round);
+
+  /// Copies the fault injector's run-wide totals into the report (Network
+  /// calls this once at the end of a faulty run).
+  void record_fault_totals(const FaultTotals& totals);
 
   /// Final bookkeeping; logs the summary at debug level.
   void end_run(std::uint32_t rounds);

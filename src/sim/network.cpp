@@ -37,6 +37,7 @@ Network::Network(const graph::Graph& g, std::uint64_t seed,
                  NetworkOptions options)
     : graph_(&g),
       options_(options),
+      fault_(options.fault),
       num_threads_(options.num_threads != 0 ? options.num_threads
                                             : default_num_threads()),
       checker_(g, options.model_check,
@@ -82,16 +83,37 @@ void Network::do_send(ExecLane* lane, graph::NodeId from, graph::NodeId port,
         "one edge in one round");
   }
   const graph::NodeId target = nbrs[port];
-  const bool rng_bearing = checker_.on_send(
-      lane ? &lane->check : nullptr, from, target, slot, payload, round_);
+  // Fault seam: the fate of a message is a pure function of (plan, edge
+  // slot, round), so workers can decide it independently and determinism
+  // across thread counts is preserved. Messages to a down node are dropped
+  // outright; the sender paid its CONGEST budget either way.
+  std::uint8_t copies = 1;
+  if (fault_ != nullptr) {
+    copies = fault_->is_down(target)
+                 ? std::uint8_t{0}
+                 : fault_->on_message(from, target, slot, round_).copies;
+    if (copies == 0) {
+      (lane ? lane->fault_drops : round_fault_drops_) += 1;
+    } else if (copies > 1) {
+      (lane ? lane->fault_duplicates : round_fault_duplicates_) +=
+          std::uint64_t{copies} - 1;
+    }
+  }
+  const bool rng_bearing =
+      checker_.on_send(lane ? &lane->check : nullptr, from, target, slot,
+                       payload, round_, copies);
   if (lane) {
     lane->max_edge_load = std::max(lane->max_edge_load, load);
-    lane->sends.push_back(
-        ExecLane::StagedSend{target, Message{from, tag, payload},
-                             rng_bearing});
+    if (copies > 0) {
+      lane->sends.push_back(
+          ExecLane::StagedSend{target, Message{from, tag, payload},
+                               rng_bearing, copies});
+    }
   } else {
     stats_.max_edge_load = std::max(stats_.max_edge_load, load);
-    next_inbox_[target].push_back(Message{from, tag, payload});
+    for (std::uint8_t c = 0; c < copies; ++c) {
+      next_inbox_[target].push_back(Message{from, tag, payload});
+    }
   }
 }
 
@@ -136,6 +158,7 @@ void Network::run_phase(Algorithm& algorithm) {
     const graph::NodeId n = graph_->num_nodes();
     for (graph::NodeId v = 0; v < n; ++v) {
       if (halted_[v] != 0) continue;
+      if (fault_ != nullptr && fault_->is_down(v)) continue;
       step_node(algorithm, v, nullptr);
     }
     return;
@@ -168,6 +191,9 @@ void Network::run_phase_parallel(Algorithm& algorithm) {
     const graph::NodeId end = shard_bounds_[w + 1];
     for (graph::NodeId v = begin; v < end; ++v) {
       if (halted_[v] != 0) continue;
+      // The down set is frozen at the barrier, so workers read a
+      // consistent snapshot (no mid-phase crashes).
+      if (fault_ != nullptr && fault_->is_down(v)) continue;
       step_node(algorithm, v, &lane);
     }
   });
@@ -177,14 +203,20 @@ void Network::run_phase_parallel(Algorithm& algorithm) {
   // ordering, stats, and checker ledger byte-for-byte.
   for (ExecLane& lane : lanes_) {
     for (const ExecLane::StagedSend& staged : lane.sends) {
-      next_inbox_[staged.target].push_back(staged.msg);
-      if (staged.rng_bearing) {
-        checker_.on_delivered_origin(staged.target, staged.msg.src);
+      // copies > 1 = network duplication: each delivered copy is one inbox
+      // entry and (if randomness-bearing) one read-k ledger entry.
+      for (std::uint8_t c = 0; c < staged.copies; ++c) {
+        next_inbox_[staged.target].push_back(staged.msg);
+        if (staged.rng_bearing) {
+          checker_.on_delivered_origin(staged.target, staged.msg.src);
+        }
       }
     }
     stats_.messages += lane.messages;
     stats_.max_edge_load = std::max(stats_.max_edge_load, lane.max_edge_load);
     num_halted_ += lane.halts;
+    round_fault_drops_ += lane.fault_drops;
+    round_fault_duplicates_ += lane.fault_duplicates;
     checker_.merge_lane(lane.check, round_);
     lane.reset();
   }
@@ -201,11 +233,30 @@ RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
   for (auto& box : inbox_) box.clear();
   for (auto& box : next_inbox_) box.clear();
   std::fill(edge_epoch_.begin(), edge_epoch_.end(), ~std::uint32_t{0});
+  last_round_ = RoundDelta{};
+  round_fault_drops_ = 0;
+  round_fault_duplicates_ = 0;
   checker_.begin_run();
 
+  RoundFaultEvents events{};
+  if (fault_ != nullptr) {
+    fault_->begin_run();
+    // Crash/recovery events resolve serially at the barrier, before any
+    // callback of the round runs, so the down set is frozen per phase.
+    events = fault_->begin_round(0, halted_);
+  }
+  std::uint64_t messages_before = stats_.messages;
   run_phase(algorithm);  // round 0: on_start
+  flush_round_accounting(messages_before, events);
 
-  while (num_halted_ < n && round_ < max_rounds) {
+  while (round_ < max_rounds) {
+    if (num_halted_ >= n) break;
+    // With permanent crashes the halted count can never reach n: stop once
+    // every node is either halted or down and no recovery is scheduled.
+    if (fault_ != nullptr && !fault_->recovery_pending() &&
+        num_halted_ + fault_->num_down() >= n) {
+      break;
+    }
     if (algorithm.is_reactive()) {
       // Quiescence cut: nothing in flight means every further round is a
       // global no-op for a reactive algorithm.
@@ -223,14 +274,35 @@ RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
     for (auto& box : next_inbox_) box.clear();
     ++round_;
     checker_.begin_round(round_);
+    events = RoundFaultEvents{};
+    if (fault_ != nullptr) events = fault_->begin_round(round_, halted_);
+    messages_before = stats_.messages;
     run_phase(algorithm);
     ++stats_.rounds;
+    flush_round_accounting(messages_before, events);
     if (observer) observer(*this, round_);
   }
   stats_.payload_bits = stats_.messages * kBitsPerMessage;
   stats_.all_halted = (num_halted_ == n);
+  if (fault_ != nullptr) checker_.record_fault_totals(fault_->totals());
   checker_.end_run(stats_.rounds);
   return stats_;
+}
+
+void Network::flush_round_accounting(std::uint64_t messages_before,
+                                     RoundFaultEvents events) {
+  last_round_.round = round_;
+  last_round_.messages = stats_.messages - messages_before;
+  last_round_.payload_bits = last_round_.messages * kBitsPerMessage;
+  last_round_.fault_drops = round_fault_drops_;
+  last_round_.fault_duplicates = round_fault_duplicates_;
+  last_round_.fault_crashes = events.crashes;
+  last_round_.fault_recoveries = events.recoveries;
+  if (fault_ != nullptr) {
+    fault_->account(round_, round_fault_drops_, round_fault_duplicates_);
+  }
+  round_fault_drops_ = 0;
+  round_fault_duplicates_ = 0;
 }
 
 graph::NodeId NodeContext::degree() const noexcept {

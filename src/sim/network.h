@@ -37,6 +37,15 @@
 // Determinism: node v draws from Rng(seed).child(v); callback order never
 // affects the streams, so a run is a pure function of (graph, seed,
 // algorithm) — and, by the merge rule above, independent of num_threads.
+//
+// Fault injection: NetworkOptions::fault attaches a FaultInjector
+// (sim/fault_hooks.h; the deterministic FaultPlan lives in src/fault/).
+// Message fates are decided per send as a pure function of (plan, edge
+// slot, round), surviving copies ride the regular lane staging, and node
+// crashes/recoveries resolve serially at the round barrier — so a faulty
+// run is a pure function of (graph, seed, algorithm, plan) and remains
+// byte-identical across thread counts. With no injector attached every
+// fault path is skipped.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +55,7 @@
 
 #include "graph/graph.h"
 #include "sim/algorithm.h"
+#include "sim/fault_hooks.h"
 #include "sim/message.h"
 #include "sim/model_check.h"
 #include "sim/thread_pool.h"
@@ -56,6 +66,11 @@ namespace arbmis::sim {
 struct NetworkOptions {
   bool enforce_congest = true;
   std::uint32_t max_messages_per_edge_per_round = 1;
+  /// Fault injector (non-owning; must outlive every run). nullptr (the
+  /// default) disables every fault path — runs are byte-identical to a
+  /// build without the subsystem. See sim/fault_hooks.h for the contract
+  /// and src/fault/ for the deterministic FaultPlan implementation.
+  FaultInjector* fault = nullptr;
   /// Worker threads for round execution. 0 (default) = the process-wide
   /// default, which is the serial executor unless a ScopedNumThreads
   /// override is active; >= 1 = the staged parallel executor with exactly
@@ -109,6 +124,8 @@ struct ExecLane {
     Message msg;
     /// Carries the sender's this-round randomness (read-k ledger entry).
     bool rng_bearing;
+    /// Inbox copies to deliver (>= 1; dropped messages are never staged).
+    std::uint8_t copies;
   };
 
   /// Sends in call order; senders within a shard ascend, so concatenating
@@ -117,6 +134,10 @@ struct ExecLane {
   std::uint64_t messages = 0;      ///< delivered messages consumed
   std::uint32_t max_edge_load = 0;
   graph::NodeId halts = 0;         ///< nodes newly halted in this shard
+  /// Fault events staged by this worker's sends (merged at the barrier so
+  /// the injector's ledger stays executor-independent).
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_duplicates = 0;
   ModelCheckerLane check;
 
   void reset() noexcept {
@@ -124,8 +145,25 @@ struct ExecLane {
     messages = 0;
     max_edge_load = 0;
     halts = 0;
+    fault_drops = 0;
+    fault_duplicates = 0;
     check.reset();
   }
+};
+
+/// Per-round accounting snapshot, refreshed at every round barrier and
+/// readable by RoundObservers (sim/trace.h records it). `messages` counts
+/// the messages consumed by callbacks this round; fault counters cover
+/// faults resolved or injected this round (drops/duplicates are charged to
+/// the round the message was *sent* in).
+struct RoundDelta {
+  std::uint32_t round = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t payload_bits = 0;
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_duplicates = 0;
+  std::uint32_t fault_crashes = 0;
+  std::uint32_t fault_recoveries = 0;
 };
 
 class Network {
@@ -160,6 +198,10 @@ class Network {
     return checker_.report();
   }
 
+  /// Accounting for the most recently completed round (valid inside a
+  /// RoundObserver and after run() returns).
+  const RoundDelta& last_round() const noexcept { return last_round_; }
+
  private:
   friend class NodeContext;
   friend class NodeRandom;
@@ -176,9 +218,14 @@ class Network {
   void run_phase_parallel(Algorithm& algorithm);
   /// Invokes the callback of one node (shared by both executors).
   void step_node(Algorithm& algorithm, graph::NodeId v, ExecLane* lane);
+  /// Barrier bookkeeping: fills last_round_, flushes the round's fault
+  /// drop/duplicate counts to the injector's ledger.
+  void flush_round_accounting(std::uint64_t messages_before,
+                              RoundFaultEvents events);
 
   const graph::Graph* graph_;
   NetworkOptions options_;
+  FaultInjector* fault_ = nullptr;  ///< non-owning; nullptr = fault-free
   std::uint32_t num_threads_ = 0;  ///< resolved at construction; 0 = serial
   std::vector<util::Rng> rngs_;
   // One byte per node (not vector<bool>): under the parallel executor a
@@ -204,6 +251,11 @@ class Network {
 
   ModelChecker checker_;
   RunStats stats_;
+  RoundDelta last_round_;
+  // Fault drop/duplicate counts of the round in progress (serial executor
+  // writes directly; the parallel merge folds the lane counters in here).
+  std::uint64_t round_fault_drops_ = 0;
+  std::uint64_t round_fault_duplicates_ = 0;
 };
 
 }  // namespace arbmis::sim

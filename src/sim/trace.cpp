@@ -6,7 +6,11 @@ namespace arbmis::sim {
 
 Network::RoundObserver Trace::observer() {
   return [this](const Network& net, std::uint32_t round) {
-    records_.push_back({round, net.num_halted()});
+    const RoundDelta& delta = net.last_round();
+    records_.push_back({round, net.num_halted(), delta.messages,
+                        delta.payload_bits, delta.fault_drops,
+                        delta.fault_duplicates, delta.fault_crashes,
+                        delta.fault_recoveries});
   };
 }
 
@@ -21,7 +25,16 @@ std::uint32_t Trace::round_reaching_halted_fraction(
 
 void Trace::print(std::ostream& out) const {
   for (const RoundRecord& rec : records_) {
-    out << "round " << rec.round << ": halted=" << rec.halted << '\n';
+    out << "round " << rec.round << ": halted=" << rec.halted
+        << " messages=" << rec.messages << " bits=" << rec.payload_bits;
+    if (rec.fault_drops > 0 || rec.fault_duplicates > 0 ||
+        rec.fault_crashes > 0 || rec.fault_recoveries > 0) {
+      out << " faults{drops=" << rec.fault_drops
+          << " dups=" << rec.fault_duplicates
+          << " crashes=" << rec.fault_crashes
+          << " recoveries=" << rec.fault_recoveries << "}";
+    }
+    out << '\n';
   }
 }
 

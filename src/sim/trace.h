@@ -1,7 +1,8 @@
 // Optional per-round trace: a RoundObserver that snapshots aggregate
-// progress (halted counts) and, when verbose, prints one line per round.
-// Used by examples/congest_trace and by debugging sessions; cheap enough to
-// leave attached in tests.
+// progress (halted counts, message/payload volume, injected-fault events
+// from Network::last_round()) and, when verbose, prints one line per
+// round. Used by examples/congest_trace and by debugging sessions; cheap
+// enough to leave attached in tests.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +17,13 @@ class Trace {
  public:
   struct RoundRecord {
     std::uint32_t round = 0;
-    graph::NodeId halted = 0;
+    graph::NodeId halted = 0;          ///< cumulative halted count
+    std::uint64_t messages = 0;        ///< messages consumed this round
+    std::uint64_t payload_bits = 0;    ///< messages * kBitsPerMessage
+    std::uint64_t fault_drops = 0;     ///< messages dropped this round
+    std::uint64_t fault_duplicates = 0;
+    std::uint32_t fault_crashes = 0;   ///< crashes resolved at this barrier
+    std::uint32_t fault_recoveries = 0;
   };
 
   /// Returns an observer bound to this trace. The trace must outlive the

@@ -6,6 +6,8 @@
 #include <set>
 
 #include "core/arb_mis.h"
+#include "fault/adversary.h"
+#include "fault/resilient_mis.h"
 #include "graph/generators.h"
 #include "graph/properties.h"
 #include "graph/subgraph.h"
@@ -156,6 +158,57 @@ TEST_P(Fuzz, PipelineUnderRandomThreadCount) {
       << "threads=" << threads;
   EXPECT_EQ(serial.mis.stats.messages, parallel.mis.stats.messages)
       << "threads=" << threads;
+}
+
+TEST_P(Fuzz, ResilientMisSurvivesRandomAdversaries) {
+  // Random-adversary fuzz for the fault subsystem: draw adversary
+  // parameters (drop/duplicate/crash rates, recovery delay, adversary
+  // family) from the seed, run the resilient driver, and assert the
+  // safety property the subsystem exists for — a certified output is a
+  // true MIS (independent, maximal, label-consistent) no matter what the
+  // adversary did. Certification itself must always be reached because
+  // the fault-free safety net kicks in after `fault_free_after` attempts.
+  util::Rng rng(GetParam() + 600);
+  const graph::NodeId n = 60 + static_cast<graph::NodeId>(rng.below(140));
+  const double p =
+      2.0 / static_cast<double>(n) * static_cast<double>(1 + rng.below(3));
+  const graph::Graph g = graph::gen::gnp(n, p, rng);
+
+  const double drop = rng.uniform01() * 0.6;
+  const double dup = rng.uniform01() * 0.3;
+  const double crash = rng.uniform01() * 0.05;
+  const std::uint32_t delay = static_cast<std::uint32_t>(rng.below(4));
+
+  fault::ResilientOptions options;
+  options.max_rounds_per_attempt = 2048;
+  fault::ResilientResult result;
+  if (rng.bernoulli(0.5)) {
+    fault::IidAdversary adversary({.drop_rate = drop,
+                                   .duplicate_rate = dup,
+                                   .crash_rate = crash,
+                                   .recovery_delay = delay});
+    result = fault::resilient_mis(g, GetParam(), adversary,
+                                  fault::algorithm_driver<mis::MetivierMis>(),
+                                  options);
+  } else {
+    fault::BurstyAdversary adversary({.base_drop_rate = drop / 4.0,
+                                      .burst_drop_rate = drop,
+                                      .period = 6,
+                                      .burst_rounds = 2,
+                                      .duplicate_rate = dup,
+                                      .crash_rate = crash,
+                                      .recovery_delay = delay});
+    result = fault::resilient_mis(g, GetParam(), adversary,
+                                  fault::shatter_driver(2), options);
+  }
+
+  ASSERT_TRUE(result.certified)
+      << "drop=" << drop << " dup=" << dup << " crash=" << crash;
+  mis::MisResult as_result;
+  as_result.state = result.state;
+  const mis::Verification verdict = mis::verify(g, as_result);
+  EXPECT_TRUE(verdict.independent) << "certified output not independent";
+  EXPECT_TRUE(verdict.maximal) << "certified output not maximal";
 }
 
 TEST_P(Fuzz, MisAndMatchingCoexistOnSameGraph) {

@@ -12,13 +12,18 @@
 #include <functional>
 #include <limits>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "core/arb_mis.h"
 #include "core/bounded_arb.h"
 #include "core/params.h"
+#include "fault/adversary.h"
+#include "fault/fault_plan.h"
+#include "fault/resilient_mis.h"
 #include "graph/generators.h"
+#include "mis/ghaffari.h"
 #include "mis/bit_metivier.h"
 #include "mis/luby.h"
 #include "mis/metivier.h"
@@ -64,6 +69,7 @@ void expect_identical(const RunRecord& serial, const RunRecord& parallel,
   EXPECT_EQ(a.violations, b.violations) << label;
   EXPECT_EQ(a.round_max_message_bits, b.round_max_message_bits) << label;
   EXPECT_EQ(a.round_k, b.round_k) << label;
+  EXPECT_TRUE(a.faults == b.faults) << label;
 }
 
 /// Runs `algorithm` on a fresh network with the given worker count and
@@ -71,9 +77,11 @@ void expect_identical(const RunRecord& serial, const RunRecord& parallel,
 template <typename Algo, typename Extract>
 RunRecord run_case(const graph::Graph& g, std::uint64_t seed,
                    std::uint32_t threads, Algo& algorithm,
-                   std::uint32_t max_rounds, Extract&& extract) {
+                   std::uint32_t max_rounds, Extract&& extract,
+                   sim::FaultInjector* fault = nullptr) {
   sim::NetworkOptions options;
   options.num_threads = threads;
+  options.fault = fault;
   sim::Network net(g, seed, options);
   RunRecord record;
   record.halt_round.assign(g.num_nodes(), kNeverHalted);
@@ -269,6 +277,112 @@ TEST_P(ParallelEquivalence, ArbMisPipelineMatchesSerialOnAllGraphs) {
           << label;
       EXPECT_EQ(serial.mis.stats.all_halted, parallel.mis.stats.all_halted)
           << label;
+    }
+  }
+}
+
+TEST_P(ParallelEquivalence, FaultyLubyMatchesSerialOnAllGraphs) {
+  // Fault injection must preserve the determinism-merge rule: with an
+  // identically-constructed FaultPlan per run, every thread count must
+  // reproduce the serial run byte-for-byte — outputs, stats, the checker
+  // report (including fault totals), the per-round fault ledger, and the
+  // final down mask. A fresh plan per run is required because plans are
+  // stateful (down set, event stream); determinism comes from the plan
+  // being a pure function of (graph, seed, adversary).
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : test_graphs(seed)) {
+    const auto run_with = [&](std::uint32_t threads) {
+      fault::IidAdversary adversary({.drop_rate = 0.2,
+                                     .duplicate_rate = 0.05,
+                                     .crash_rate = 0.01,
+                                     .recovery_delay = 3});
+      fault::FaultPlan plan(gc.g, seed, adversary);
+      mis::LubyBMis algorithm(gc.g);
+      RunRecord record = run_case(
+          gc.g, seed, threads, algorithm, 512,
+          [](const mis::LubyBMis& a) { return a.states(); }, &plan);
+      std::vector<std::uint8_t> down;
+      for (graph::NodeId v = 0; v < gc.g.num_nodes(); ++v) {
+        down.push_back(plan.is_down(v) ? 1 : 0);
+      }
+      return std::make_tuple(std::move(record), plan.ledger(),
+                             std::move(down));
+    };
+    const auto serial = run_with(0);
+    EXPECT_FALSE(std::get<1>(serial).empty()) << gc.name;
+    for (const std::uint32_t threads : kThreadCounts) {
+      const auto parallel = run_with(threads);
+      const std::string label =
+          "faulty_luby/" + gc.name + "/t" + std::to_string(threads);
+      expect_identical(std::get<0>(serial), std::get<0>(parallel), label);
+      EXPECT_EQ(std::get<1>(serial), std::get<1>(parallel)) << label;
+      EXPECT_EQ(std::get<2>(serial), std::get<2>(parallel)) << label;
+    }
+  }
+}
+
+TEST_P(ParallelEquivalence, FaultyGhaffariUnderAdaptiveMatchesSerial) {
+  // The adaptive adversary reads the halted/down masks at the round
+  // barrier, so it is the most executor-coupled plan — if any staging
+  // leaked across workers, its crash picks would diverge by thread count.
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : test_graphs(seed)) {
+    const auto run_with = [&](std::uint32_t threads) {
+      fault::AdaptiveAdversary adversary({.drop_rate = 0.3,
+                                          .background_drop_rate = 0.05,
+                                          .duplicate_rate = 0.05,
+                                          .crash_period = 4,
+                                          .max_crashes = 3,
+                                          .recovery_delay = 0,
+                                          .degree_fraction = 0.25});
+      fault::FaultPlan plan(gc.g, seed, adversary);
+      mis::GhaffariMis algorithm(gc.g);
+      RunRecord record = run_case(
+          gc.g, seed, threads, algorithm, 512,
+          [](const mis::GhaffariMis& a) { return a.states(); }, &plan);
+      return std::make_pair(std::move(record), plan.ledger());
+    };
+    const auto serial = run_with(0);
+    for (const std::uint32_t threads : kThreadCounts) {
+      const auto parallel = run_with(threads);
+      const std::string label =
+          "faulty_ghaffari/" + gc.name + "/t" + std::to_string(threads);
+      expect_identical(serial.first, parallel.first, label);
+      EXPECT_EQ(serial.second, parallel.second) << label;
+    }
+  }
+}
+
+TEST_P(ParallelEquivalence, ResilientMisMatchesSerialOnAllGraphs) {
+  // End-to-end: the whole resilient retry loop (faulty attempts, residual
+  // verification, recommits) must land on the same certified MIS and the
+  // same attempt/fault accounting for every worker count.
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : test_graphs(seed)) {
+    const auto run_with = [&](std::uint32_t threads) {
+      fault::IidAdversary adversary({.drop_rate = 0.25,
+                                     .duplicate_rate = 0.05,
+                                     .crash_rate = 0.01,
+                                     .recovery_delay = 0});
+      fault::ResilientOptions options;
+      options.max_rounds_per_attempt = 4096;
+      options.num_threads = threads;
+      return fault::resilient_mis(gc.g, seed, adversary,
+                                  fault::algorithm_driver<mis::LubyBMis>(),
+                                  options);
+    };
+    const fault::ResilientResult serial = run_with(0);
+    EXPECT_TRUE(serial.certified) << gc.name;
+    for (const std::uint32_t threads : kThreadCounts) {
+      const fault::ResilientResult parallel = run_with(threads);
+      const std::string label =
+          "resilient/" + gc.name + "/t" + std::to_string(threads);
+      EXPECT_EQ(serial.state, parallel.state) << label;
+      EXPECT_EQ(serial.certified, parallel.certified) << label;
+      EXPECT_EQ(serial.attempts, parallel.attempts) << label;
+      EXPECT_EQ(serial.rounds_to_recovery, parallel.rounds_to_recovery)
+          << label;
+      EXPECT_TRUE(serial.faults == parallel.faults) << label;
     }
   }
 }

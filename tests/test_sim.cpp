@@ -207,6 +207,30 @@ TEST(Trace, RecordsHaltProgress) {
   EXPECT_EQ(trace.round_reaching_halted_fraction(1.0, 4), 3u);
 }
 
+TEST(Trace, RecordsPerRoundMessagesAndPayload) {
+  // On cycle(4) every node broadcasts each round, so rounds 1..3 each
+  // deliver exactly 8 messages. The trace must carry the per-round
+  // message and payload deltas (not cumulative totals), and all fault
+  // counters must stay zero on a fault-free run.
+  const graph::Graph g = graph::gen::cycle(4);
+  Network net(g, 1);
+  FloodAlgorithm algorithm(4, 3);
+  Trace trace;
+  const RunStats stats = net.run(algorithm, 10, trace.observer());
+  ASSERT_EQ(trace.records().size(), 3u);
+  std::uint64_t traced_messages = 0;
+  for (const Trace::RoundRecord& r : trace.records()) {
+    EXPECT_EQ(r.messages, 8u) << "round " << r.round;
+    EXPECT_EQ(r.payload_bits, 8u * kBitsPerMessage) << "round " << r.round;
+    EXPECT_EQ(r.fault_drops, 0u);
+    EXPECT_EQ(r.fault_duplicates, 0u);
+    EXPECT_EQ(r.fault_crashes, 0u);
+    EXPECT_EQ(r.fault_recoveries, 0u);
+    traced_messages += r.messages;
+  }
+  EXPECT_EQ(traced_messages, stats.messages);
+}
+
 TEST(RunStats, AbsorbAddsRoundsAndMessages) {
   RunStats a{.rounds = 3, .messages = 10, .payload_bits = 720,
              .max_edge_load = 1, .all_halted = true};
