@@ -14,6 +14,18 @@
 
 namespace arbmis::bench {
 
+/// Build flavor of *this* translation unit (the system libbenchmark is a
+/// Debian Debug build and warns about itself; our code is what matters for
+/// timing validity). run_benches.sh refuses to record results from a
+/// non-Release binary via `--build-info`.
+inline constexpr const char* build_type() noexcept {
+#ifdef NDEBUG
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
 /// Parses "--trials N" / "--quick" style options shared by all benches.
 struct BenchOptions {
   std::uint64_t trials = 0;  ///< 0 = bench default
@@ -21,6 +33,7 @@ struct BenchOptions {
   bool csv = false;          ///< also emit each table as CSV
   std::uint64_t seed = 12345;
   std::uint32_t threads = 0;  ///< simulator workers; 0 = serial
+  std::string json_out;       ///< machine-readable copy; "" = bench default
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions options;
@@ -30,10 +43,15 @@ struct BenchOptions {
         options.quick = true;
       } else if (arg == "--csv") {
         options.csv = true;
+      } else if (arg == "--build-info") {
+        std::cout << "build=" << build_type() << "\n";
+        std::exit(0);
       } else if (arg == "--trials" && i + 1 < argc) {
         options.trials = std::strtoull(argv[++i], nullptr, 10);
       } else if (arg == "--seed" && i + 1 < argc) {
         options.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (arg == "--json" && i + 1 < argc) {
+        options.json_out = argv[++i];
       } else if (arg == "--threads" && i + 1 < argc) {
         options.threads =
             static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));

@@ -71,12 +71,9 @@ int main(int argc, char** argv) {
       options.threads != 0 ? options.threads
                            : std::max<std::uint32_t>(hardware, 2);
   const std::uint64_t reps = options.quick ? 2 : 3;
-  std::string json_path = "results/BENCH_sim_parallel.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
-      json_path = argv[i + 1];
-    }
-  }
+  const std::string json_path = options.json_out.empty()
+                                    ? "results/BENCH_sim_parallel.json"
+                                    : options.json_out;
 
   bench::print_header(
       "P1", "parallel round executor — speedup with bit-identical output");

@@ -61,8 +61,11 @@ ModelChecker::ModelChecker(const graph::Graph& g, ModelCheckOptions options,
                    ceil_log2(static_cast<std::uint64_t>(num_nodes_) + 1));
   edge_bit_budget_ =
       per_message * std::max<std::uint32_t>(allowed_messages_per_edge, 1);
-  std::uint64_t slots = 0;
-  for (graph::NodeId v = 0; v < num_nodes_; ++v) slots += g.degree(v);
+  origin_offset_.resize(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (graph::NodeId v = 0; v < num_nodes_; ++v) {
+    origin_offset_[v + 1] = origin_offset_[v] + g.degree(v);
+  }
+  const std::uint64_t slots = origin_offset_[num_nodes_];
   edge_bits_.assign(slots, 0);
   edge_bits_epoch_.assign(slots, kStaleEpoch);
   rng_reads_.assign(num_nodes_, 0);
@@ -71,8 +74,12 @@ ModelChecker::ModelChecker(const graph::Graph& g, ModelCheckOptions options,
     mult_[s].assign(num_nodes_, 0);
     mult_epoch_[s].assign(num_nodes_, kStaleEpoch);
   }
-  pending_origin_.resize(num_nodes_);
-  current_origin_.resize(num_nodes_);
+  origin_pending_.resize(slots);
+  origin_current_.resize(slots);
+  origin_count_pending_.assign(num_nodes_, 0);
+  origin_count_current_.assign(num_nodes_, 0);
+  origin_overflow_pending_.resize(num_nodes_);
+  origin_overflow_current_.resize(num_nodes_);
   report_.edge_bit_budget = edge_bit_budget_;
 }
 
@@ -83,8 +90,16 @@ void ModelChecker::begin_run() {
   for (int s = 0; s < 2; ++s) {
     std::fill(mult_epoch_[s].begin(), mult_epoch_[s].end(), kStaleEpoch);
   }
-  for (auto& box : pending_origin_) box.clear();
-  for (auto& box : current_origin_) box.clear();
+  std::fill(origin_count_pending_.begin(), origin_count_pending_.end(), 0u);
+  std::fill(origin_count_current_.begin(), origin_count_current_.end(), 0u);
+  if (origin_pending_dirty_) {
+    for (auto& box : origin_overflow_pending_) box.clear();
+    origin_pending_dirty_ = false;
+  }
+  if (origin_current_dirty_) {
+    for (auto& box : origin_overflow_current_) box.clear();
+    origin_current_dirty_ = false;
+  }
   active_node_ = kNoNode;
   report_ = ModelCheckReport{};
   report_.edge_bit_budget = edge_bit_budget_;
@@ -95,8 +110,27 @@ void ModelChecker::begin_round(std::uint32_t round) {
   (void)round;
   // Mirror the Network's inbox swap: what was sent last round is what gets
   // consumed this round. Undelivered leftovers (halted recipients) die here.
-  std::swap(current_origin_, pending_origin_);
-  for (auto& box : pending_origin_) box.clear();
+  std::swap(origin_current_, origin_pending_);
+  std::swap(origin_count_current_, origin_count_pending_);
+  std::fill(origin_count_pending_.begin(), origin_count_pending_.end(), 0u);
+  std::swap(origin_overflow_current_, origin_overflow_pending_);
+  std::swap(origin_current_dirty_, origin_pending_dirty_);
+  if (origin_pending_dirty_) {
+    for (auto& box : origin_overflow_pending_) box.clear();
+    origin_pending_dirty_ = false;
+  }
+}
+
+void ModelChecker::deliver_origin(graph::NodeId target, graph::NodeId origin) {
+  std::uint32_t& count = origin_count_pending_[target];
+  const std::uint64_t cap = origin_offset_[target + 1] - origin_offset_[target];
+  if (count < cap) [[likely]] {
+    origin_pending_[origin_offset_[target] + count] = origin;
+  } else {
+    origin_overflow_pending_[target].push_back(origin);
+    origin_pending_dirty_ = true;
+  }
+  ++count;
 }
 
 std::uint32_t& ModelChecker::stamped(std::vector<std::uint32_t>& counts,
@@ -170,7 +204,7 @@ bool ModelChecker::on_send(ModelCheckerLane* lane, graph::NodeId from,
       rng_epoch_[from] == round && rng_reads_[from] > 0;
   if (rng_bearing && !lane) {
     for (std::uint8_t c = 0; c < copies; ++c) {
-      pending_origin_[target].push_back(from);
+      deliver_origin(target, from);
     }
   }
   return rng_bearing && lane != nullptr;
@@ -192,19 +226,35 @@ void ModelChecker::on_consume(ModelCheckerLane* lane, graph::NodeId v,
                               std::uint32_t round) {
   if (!options_.enabled) return;
   if (round == 0) return;  // nothing in flight before round 1
-  auto& origins = current_origin_[v];
+  std::uint32_t& count = origin_count_current_[v];
+  if (count == 0) return;
+  const std::uint64_t base = origin_offset_[v];
+  const std::uint64_t cap = origin_offset_[v + 1] - base;
+  const std::uint64_t in_arena = std::min<std::uint64_t>(count, cap);
   if (lane) {
     // Multiplicity counters are indexed by origin — a neighbor possibly
     // owned by another worker — so the counting is deferred to merge_lane.
-    lane->consumed_origins.insert(lane->consumed_origins.end(),
-                                  origins.begin(), origins.end());
-    origins.clear();
+    const graph::NodeId* arena = origin_current_.data() + base;
+    lane->consumed_origins.insert(lane->consumed_origins.end(), arena,
+                                  arena + in_arena);
+    if (count > cap) {
+      auto& box = origin_overflow_current_[v];
+      lane->consumed_origins.insert(lane->consumed_origins.end(), box.begin(),
+                                    box.end());
+      box.clear();
+    }
+    count = 0;
     return;
   }
-  for (graph::NodeId origin : origins) {
-    count_consumption(origin, round - 1);
+  for (std::uint64_t i = 0; i < in_arena; ++i) {
+    count_consumption(origin_current_[base + i], round - 1);
   }
-  origins.clear();
+  if (count > cap) {
+    auto& box = origin_overflow_current_[v];
+    for (graph::NodeId origin : box) count_consumption(origin, round - 1);
+    box.clear();
+  }
+  count = 0;
 }
 
 void ModelChecker::on_rng_read(ModelCheckerLane* lane, graph::NodeId v,
@@ -263,7 +313,7 @@ void ModelChecker::on_halt(ModelCheckerLane* lane, graph::NodeId v) {
 void ModelChecker::on_delivered_origin(graph::NodeId target,
                                        graph::NodeId origin) {
   if (!options_.enabled) return;
-  pending_origin_[target].push_back(origin);
+  deliver_origin(target, origin);
 }
 
 void ModelChecker::merge_lane(ModelCheckerLane& lane, std::uint32_t round) {

@@ -205,6 +205,9 @@ class ModelChecker {
   void violation(ModelCheckerLane* lane, const std::string& what);
   /// Bumps the read multiplicity of `origin`'s round-`draw_round` draw.
   void count_consumption(graph::NodeId origin, std::uint32_t draw_round);
+  /// Appends one randomness-bearing delivery to the pending origin arena
+  /// (side buffer past the recipient's per-directed-edge capacity).
+  void deliver_origin(graph::NodeId target, graph::NodeId origin);
   /// Lazily epoch-stamped per-round counters.
   std::uint32_t& stamped(std::vector<std::uint32_t>& counts,
                          std::vector<std::uint32_t>& epochs, std::uint64_t i,
@@ -233,9 +236,22 @@ class ModelChecker {
   std::vector<std::uint32_t> mult_epoch_[2];
 
   // Origins of randomness-bearing messages in flight / being delivered,
-  // mirroring Network's next_inbox_/inbox_ swap.
-  std::vector<std::vector<graph::NodeId>> pending_origin_;
-  std::vector<std::vector<graph::NodeId>> current_origin_;
+  // mirroring Network's message-arena swap: a flat arena with one origin
+  // slot per directed edge in CSR order (origin_offset_ = the same layout
+  // as Network's edge_offset_), per-recipient fill counts, and per-node
+  // side buffers for deliveries past capacity (fault duplicates or
+  // congest-off runs). Zero allocations on the fault-free path; fill
+  // order is ascending sender per recipient, identical to the pre-arena
+  // per-node vectors.
+  std::vector<std::uint64_t> origin_offset_;  // size n+1
+  std::vector<graph::NodeId> origin_pending_;
+  std::vector<graph::NodeId> origin_current_;
+  std::vector<std::uint32_t> origin_count_pending_;
+  std::vector<std::uint32_t> origin_count_current_;
+  std::vector<std::vector<graph::NodeId>> origin_overflow_pending_;
+  std::vector<std::vector<graph::NodeId>> origin_overflow_current_;
+  bool origin_pending_dirty_ = false;
+  bool origin_current_dirty_ = false;
 
   ModelCheckReport report_;
 };

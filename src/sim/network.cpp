@@ -12,6 +12,11 @@ namespace {
 // single-threaded setup code, never to a running phase.
 std::uint32_t g_default_num_threads = 0;
 
+// Process-wide default applied when NetworkOptions::inbox ==
+// InboxImpl::kProcessDefault; see ScopedInboxImpl. Same mutation contract
+// as g_default_num_threads.
+InboxImpl g_default_inbox_impl = InboxImpl::kArena;
+
 }  // namespace
 
 std::uint32_t default_num_threads() noexcept { return g_default_num_threads; }
@@ -23,6 +28,18 @@ ScopedNumThreads::ScopedNumThreads(std::uint32_t num_threads) noexcept
 
 ScopedNumThreads::~ScopedNumThreads() {
   g_default_num_threads = previous_;
+}
+
+InboxImpl default_inbox_impl() noexcept { return g_default_inbox_impl; }
+
+ScopedInboxImpl::ScopedInboxImpl(InboxImpl impl) noexcept
+    : previous_(g_default_inbox_impl) {
+  g_default_inbox_impl =
+      impl == InboxImpl::kProcessDefault ? InboxImpl::kArena : impl;
+}
+
+ScopedInboxImpl::~ScopedInboxImpl() {
+  g_default_inbox_impl = previous_;
 }
 
 void RunStats::absorb(const RunStats& other) noexcept {
@@ -40,6 +57,9 @@ Network::Network(const graph::Graph& g, std::uint64_t seed,
       fault_(options.fault),
       num_threads_(options.num_threads != 0 ? options.num_threads
                                             : default_num_threads()),
+      use_arena_((options.inbox == InboxImpl::kProcessDefault
+                      ? default_inbox_impl()
+                      : options.inbox) != InboxImpl::kReferenceVectors),
       checker_(g, options.model_check,
                options.max_messages_per_edge_per_round) {
   const graph::NodeId n = g.num_nodes();
@@ -47,19 +67,69 @@ Network::Network(const graph::Graph& g, std::uint64_t seed,
   const util::Rng base(seed);
   for (graph::NodeId v = 0; v < n; ++v) rngs_.push_back(base.child(v));
   halted_.assign(n, 0);
-  inbox_.resize(n);
-  next_inbox_.resize(n);
   edge_offset_.resize(n + 1, 0);
   for (graph::NodeId v = 0; v < n; ++v) {
     edge_offset_[v + 1] = edge_offset_[v] + g.degree(v);
   }
   edge_sends_.assign(edge_offset_[n], 0);
   edge_epoch_.assign(edge_offset_[n], ~std::uint32_t{0});
+  if (use_arena_) {
+    // All storage a run can touch on the fault-free path, sized once: one
+    // Message slot per directed edge, double-buffered, plus fill counts.
+    arena_cur_.resize(edge_offset_[n]);
+    arena_next_.resize(edge_offset_[n]);
+    inbox_count_cur_.assign(n, 0);
+    inbox_count_next_.assign(n, 0);
+    overflow_cur_.resize(n);
+    overflow_next_.resize(n);
+  } else {
+    inbox_.resize(n);
+    next_inbox_.resize(n);
+  }
   if (num_threads_ > 0) {
     pool_ = std::make_unique<ThreadPool>(num_threads_);
     lanes_.resize(num_threads_);
     shard_bounds_.resize(static_cast<std::size_t>(num_threads_) + 1, 0);
   }
+}
+
+void Network::deliver(graph::NodeId target, const Message& msg) {
+  ++in_flight_next_;
+  if (use_arena_) {
+    std::uint32_t& count = inbox_count_next_[target];
+    if (count < graph_->degree(target)) [[likely]] {
+      arena_next_[edge_offset_[target] + count] = msg;
+    } else {
+      // Past one-per-directed-edge capacity: fault duplicates, or a run
+      // with enforce_congest off. Order is preserved — the side buffer
+      // holds exactly the suffix of the node's delivery sequence.
+      overflow_next_[target].push_back(msg);
+      overflow_next_dirty_ = true;
+    }
+    ++count;
+  } else {
+    next_inbox_[target].push_back(msg);
+  }
+}
+
+std::span<const Message> Network::current_inbox(graph::NodeId v,
+                                                ExecLane* lane) {
+  if (!use_arena_) return inbox_[v];
+  const std::uint32_t count = inbox_count_cur_[v];
+  const std::uint64_t base = edge_offset_[v];
+  const graph::NodeId cap = graph_->degree(v);
+  if (count <= cap) [[likely]] {
+    return std::span<const Message>(arena_cur_.data() + base, count);
+  }
+  // Overflowed inbox: splice region + side buffer into contiguous scratch
+  // (per-worker under the parallel executor; the callback only needs the
+  // span for its own duration).
+  std::vector<Message>& scratch = lane ? lane->scratch : scratch_inbox_;
+  scratch.assign(arena_cur_.begin() + static_cast<std::ptrdiff_t>(base),
+                 arena_cur_.begin() + static_cast<std::ptrdiff_t>(base + cap));
+  scratch.insert(scratch.end(), overflow_cur_[v].begin(),
+                 overflow_cur_[v].end());
+  return scratch;
 }
 
 void Network::do_send(ExecLane* lane, graph::NodeId from, graph::NodeId port,
@@ -112,7 +182,7 @@ void Network::do_send(ExecLane* lane, graph::NodeId from, graph::NodeId port,
   } else {
     stats_.max_edge_load = std::max(stats_.max_edge_load, load);
     for (std::uint8_t c = 0; c < copies; ++c) {
-      next_inbox_[target].push_back(Message{from, tag, payload});
+      deliver(target, Message{from, tag, payload});
     }
   }
 }
@@ -131,6 +201,7 @@ void Network::do_halt(ExecLane* lane, graph::NodeId v) {
 
 util::Rng& Network::draw_rng(ExecLane* lane, graph::NodeId v) {
   checker_.on_rng_read(lane ? &lane->check : nullptr, v, round_);
+  ++(lane ? lane->rng_draws : rng_draws_);
   return rngs_[v];
 }
 
@@ -143,11 +214,12 @@ void Network::step_node(Algorithm& algorithm, graph::NodeId v,
     algorithm.on_start(ctx);
   } else {
     checker_.on_consume(check, v, round_);
-    algorithm.on_round(ctx, inbox_[v]);
+    const std::span<const Message> inbox = current_inbox(v, lane);
+    algorithm.on_round(ctx, inbox);
     if (lane) {
-      lane->messages += inbox_[v].size();
+      lane->messages += inbox.size();
     } else {
-      stats_.messages += inbox_[v].size();
+      stats_.messages += inbox.size();
     }
   }
   checker_.end_callback(check);
@@ -206,7 +278,7 @@ void Network::run_phase_parallel(Algorithm& algorithm) {
       // copies > 1 = network duplication: each delivered copy is one inbox
       // entry and (if randomness-bearing) one read-k ledger entry.
       for (std::uint8_t c = 0; c < staged.copies; ++c) {
-        next_inbox_[staged.target].push_back(staged.msg);
+        deliver(staged.target, staged.msg);
         if (staged.rng_bearing) {
           checker_.on_delivered_origin(staged.target, staged.msg.src);
         }
@@ -215,6 +287,7 @@ void Network::run_phase_parallel(Algorithm& algorithm) {
     stats_.messages += lane.messages;
     stats_.max_edge_load = std::max(stats_.max_edge_load, lane.max_edge_load);
     num_halted_ += lane.halts;
+    rng_draws_ += lane.rng_draws;
     round_fault_drops_ += lane.fault_drops;
     round_fault_duplicates_ += lane.fault_duplicates;
     checker_.merge_lane(lane.check, round_);
@@ -230,8 +303,25 @@ RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
   num_halted_ = 0;
   round_ = 0;
   stats_ = RunStats{};
-  for (auto& box : inbox_) box.clear();
-  for (auto& box : next_inbox_) box.clear();
+  if (use_arena_) {
+    // Occupancy counts are the arena's only per-run state; slot contents
+    // are dead once the counts read zero.
+    std::fill(inbox_count_cur_.begin(), inbox_count_cur_.end(), 0);
+    std::fill(inbox_count_next_.begin(), inbox_count_next_.end(), 0);
+    if (overflow_cur_dirty_) {
+      for (auto& box : overflow_cur_) box.clear();
+      overflow_cur_dirty_ = false;
+    }
+    if (overflow_next_dirty_) {
+      for (auto& box : overflow_next_) box.clear();
+      overflow_next_dirty_ = false;
+    }
+  } else {
+    for (auto& box : inbox_) box.clear();
+    for (auto& box : next_inbox_) box.clear();
+  }
+  in_flight_next_ = 0;
+  rng_draws_ = 0;
   std::fill(edge_epoch_.begin(), edge_epoch_.end(), ~std::uint32_t{0});
   last_round_ = RoundDelta{};
   round_fault_drops_ = 0;
@@ -259,19 +349,27 @@ RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
     }
     if (algorithm.is_reactive()) {
       // Quiescence cut: nothing in flight means every further round is a
-      // global no-op for a reactive algorithm.
-      bool any_in_flight = false;
-      for (const auto& box : next_inbox_) {
-        if (!box.empty()) {
-          any_in_flight = true;
-          break;
-        }
-      }
-      if (!any_in_flight) break;
+      // global no-op for a reactive algorithm. The staged-message counter
+      // makes this O(1) (it counts exactly the entries the reference
+      // implementation's per-box scan would find).
+      if (in_flight_next_ == 0) break;
     }
     // Deliver: next becomes current.
-    std::swap(inbox_, next_inbox_);
-    for (auto& box : next_inbox_) box.clear();
+    if (use_arena_) {
+      std::swap(arena_cur_, arena_next_);
+      std::swap(inbox_count_cur_, inbox_count_next_);
+      std::fill(inbox_count_next_.begin(), inbox_count_next_.end(), 0);
+      std::swap(overflow_cur_, overflow_next_);
+      std::swap(overflow_cur_dirty_, overflow_next_dirty_);
+      if (overflow_next_dirty_) {
+        for (auto& box : overflow_next_) box.clear();
+        overflow_next_dirty_ = false;
+      }
+    } else {
+      std::swap(inbox_, next_inbox_);
+      for (auto& box : next_inbox_) box.clear();
+    }
+    in_flight_next_ = 0;
     ++round_;
     checker_.begin_round(round_);
     events = RoundFaultEvents{};

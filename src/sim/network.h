@@ -46,11 +46,34 @@
 // run is a pure function of (graph, seed, algorithm, plan) and remains
 // byte-identical across thread counts. With no injector attached every
 // fault path is skipped.
+//
+// Message arena (the delivery fast path): the CONGEST normalization caps
+// traffic at one message per directed edge per round, so instead of one
+// heap vector per node the default inbox is a flat arena with exactly one
+// Message slot per directed edge, laid out in the CSR edge order the
+// per-edge counters already use (slot base of node v = edge_offset_[v]).
+// A send appends at inbox_count_next_[target], so node v's inbox is the
+// contiguous range [edge_offset_[v], edge_offset_[v] + count) of the
+// arena — filled in ascending sender id, which for sorted adjacency IS
+// port order, i.e. byte-identical to the retained vector-inbox reference
+// implementation. Delivery, lane merge, and fault-injected duplicates are
+// plain index writes into storage allocated once at construction: after
+// the constructor returns, a fault-free run performs zero heap
+// allocations in either executor. Fault duplicates (and runs that opt out
+// of enforce_congest) can exceed the one-slot-per-edge capacity; the
+// excess overflows into a per-node side buffer that is empty — and costs
+// nothing — on the normal path, keeping "<= 1 message per directed edge
+// per round" an enforced invariant rather than a load-bearing assumption.
+// NetworkOptions::inbox / ScopedInboxImpl select the reference
+// implementation for differential tests (tests/test_message_arena.cpp,
+// the arena matrix in tests/test_parallel_equivalence.cpp, and the
+// arena-vs-reference fuzz in tests/test_fuzz.cpp are the proof).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -63,9 +86,22 @@
 
 namespace arbmis::sim {
 
+/// Inbox storage strategy (see the "Message arena" section of the header
+/// comment). The reference implementation is retained verbatim so the
+/// arena can be differentially tested against the pre-arena behavior.
+enum class InboxImpl : std::uint8_t {
+  kProcessDefault = 0,  ///< resolve via default_inbox_impl()
+  kArena,               ///< flat per-directed-edge slots (the fast path)
+  kReferenceVectors,    ///< legacy vector<vector<Message>> inboxes
+};
+
 struct NetworkOptions {
   bool enforce_congest = true;
   std::uint32_t max_messages_per_edge_per_round = 1;
+  /// Inbox storage. kProcessDefault resolves to the process-wide default
+  /// (the arena unless a ScopedInboxImpl override is active). Results are
+  /// bit-identical across all values.
+  InboxImpl inbox = InboxImpl::kProcessDefault;
   /// Fault injector (non-owning; must outlive every run). nullptr (the
   /// default) disables every fault path — runs are byte-identical to a
   /// build without the subsystem. See sim/fault_hooks.h for the contract
@@ -102,6 +138,27 @@ class ScopedNumThreads {
   std::uint32_t previous_;
 };
 
+/// Process-wide inbox implementation applied when NetworkOptions::inbox ==
+/// InboxImpl::kProcessDefault. Defaults to the arena. Never returns
+/// kProcessDefault. Not thread-safe to mutate while Networks are being
+/// constructed concurrently.
+InboxImpl default_inbox_impl() noexcept;
+
+/// RAII override of default_inbox_impl(): routes every Network constructed
+/// in scope (including those buried inside pipeline drivers) through the
+/// given inbox implementation — how the differential tests run whole
+/// pipelines against the retained reference implementation.
+class ScopedInboxImpl {
+ public:
+  explicit ScopedInboxImpl(InboxImpl impl) noexcept;
+  ~ScopedInboxImpl();
+  ScopedInboxImpl(const ScopedInboxImpl&) = delete;
+  ScopedInboxImpl& operator=(const ScopedInboxImpl&) = delete;
+
+ private:
+  InboxImpl previous_;
+};
+
 struct RunStats {
   std::uint32_t rounds = 0;           ///< rounds executed (excludes on_start)
   std::uint64_t messages = 0;         ///< total messages delivered
@@ -132,17 +189,24 @@ struct ExecLane {
   /// lanes in shard order reproduces the serial send order.
   std::vector<StagedSend> sends;
   std::uint64_t messages = 0;      ///< delivered messages consumed
+  std::uint64_t rng_draws = 0;     ///< logical draws made in this shard
   std::uint32_t max_edge_load = 0;
   graph::NodeId halts = 0;         ///< nodes newly halted in this shard
   /// Fault events staged by this worker's sends (merged at the barrier so
   /// the injector's ledger stays executor-independent).
   std::uint64_t fault_drops = 0;
   std::uint64_t fault_duplicates = 0;
+  /// Contiguous copy of an overflowing arena inbox (region + side buffer)
+  /// for the duration of one callback; unused — and never allocated — on
+  /// the fault-free path. Not cleared by reset(): it is transient per
+  /// callback and keeps its capacity across rounds.
+  std::vector<Message> scratch;
   ModelCheckerLane check;
 
   void reset() noexcept {
     sends.clear();
     messages = 0;
+    rng_draws = 0;
     max_edge_load = 0;
     halts = 0;
     fault_drops = 0;
@@ -164,6 +228,8 @@ struct RoundDelta {
   std::uint64_t fault_duplicates = 0;
   std::uint32_t fault_crashes = 0;
   std::uint32_t fault_recoveries = 0;
+
+  friend bool operator==(const RoundDelta&, const RoundDelta&) = default;
 };
 
 class Network {
@@ -177,6 +243,30 @@ class Network {
   graph::NodeId num_halted() const noexcept { return num_halted_; }
   /// Resolved worker count (0 = serial executor).
   std::uint32_t num_threads() const noexcept { return num_threads_; }
+  /// True when the flat message arena backs the inboxes (the default);
+  /// false selects the retained vector-inbox reference implementation.
+  bool uses_arena() const noexcept { return use_arena_; }
+  /// Total Message slots in the arena = number of directed edges (one slot
+  /// per (node, port) pair, CSR order). Valid in both inbox modes.
+  std::uint64_t arena_slots() const noexcept { return edge_offset_.back(); }
+  /// Logical RNG draws made so far in the current run, summed over nodes.
+  /// Deterministic in (graph, seed, algorithm) and executor-independent.
+  std::uint64_t total_rng_draws() const noexcept { return rng_draws_; }
+  /// Messages staged for delivery next round, network-wide / to one node
+  /// (valid at round barriers, e.g. inside a RoundObserver; test hooks).
+  std::uint64_t in_flight() const noexcept { return in_flight_next_; }
+  std::uint32_t staged_inbox_size(graph::NodeId v) const noexcept {
+    return use_arena_ ? inbox_count_next_[v]
+                      : static_cast<std::uint32_t>(next_inbox_[v].size());
+  }
+  /// Staged messages for v that exceeded its per-directed-edge slot
+  /// capacity and sit in the overflow side buffer (0 on the normal path).
+  std::uint32_t staged_overflow_size(graph::NodeId v) const noexcept {
+    const std::uint32_t cap = graph_->degree(v);
+    return use_arena_ && inbox_count_next_[v] > cap
+               ? inbox_count_next_[v] - cap
+               : 0;
+  }
 
   /// Called after every completed round with the round number just
   /// finished; used by audits and traces. May inspect but not mutate.
@@ -211,6 +301,15 @@ class Network {
   void do_halt(ExecLane* lane, graph::NodeId v);
   /// Accounts one logical draw from v's stream, then exposes it.
   util::Rng& draw_rng(ExecLane* lane, graph::NodeId v);
+  /// Appends one inbox copy for `target` to next-round storage: an arena
+  /// slot write on the fast path (side buffer past capacity), a push_back
+  /// under the reference implementation. Serial in both executors (the
+  /// parallel path reaches here only through the barrier merge).
+  void deliver(graph::NodeId target, const Message& msg);
+  /// The inbox being consumed this round, as contiguous storage. Arena
+  /// overflow (fault duplicates / congest-off runs) is materialized into
+  /// the caller's scratch buffer; the fast path is a span into the arena.
+  std::span<const Message> current_inbox(graph::NodeId v, ExecLane* lane);
 
   /// Runs one callback phase (on_start when round_ == 0, else on_round)
   /// over all non-halted nodes, serially or on the worker pool.
@@ -227,6 +326,7 @@ class Network {
   NetworkOptions options_;
   FaultInjector* fault_ = nullptr;  ///< non-owning; nullptr = fault-free
   std::uint32_t num_threads_ = 0;  ///< resolved at construction; 0 = serial
+  bool use_arena_ = true;          ///< resolved at construction
   std::vector<util::Rng> rngs_;
   // One byte per node (not vector<bool>): under the parallel executor a
   // node's own halt flag is written while neighbors' flags are read.
@@ -234,7 +334,25 @@ class Network {
   graph::NodeId num_halted_ = 0;
   std::uint32_t round_ = 0;
 
-  // inboxes for the current round / being filled for the next round
+  // Message arena: one slot per directed edge in CSR order (node v's inbox
+  // region is [edge_offset_[v], edge_offset_[v+1])), double-buffered for
+  // the deliver/fill round phases, with a per-node fill count. Messages
+  // past a node's region capacity — only possible with fault duplicates or
+  // enforce_congest off — land in the per-node overflow side buffers,
+  // whose dirty flags make the common no-overflow round reset O(1).
+  std::vector<Message> arena_cur_;
+  std::vector<Message> arena_next_;
+  std::vector<std::uint32_t> inbox_count_cur_;
+  std::vector<std::uint32_t> inbox_count_next_;
+  std::vector<std::vector<Message>> overflow_cur_;
+  std::vector<std::vector<Message>> overflow_next_;
+  bool overflow_cur_dirty_ = false;
+  bool overflow_next_dirty_ = false;
+  std::vector<Message> scratch_inbox_;  ///< serial-path overflow staging
+  std::uint64_t in_flight_next_ = 0;    ///< messages staged for next round
+
+  // Reference implementation (InboxImpl::kReferenceVectors): the pre-arena
+  // per-node inbox vectors, kept for differential testing.
   std::vector<std::vector<Message>> inbox_;
   std::vector<std::vector<Message>> next_inbox_;
 
@@ -252,6 +370,7 @@ class Network {
   ModelChecker checker_;
   RunStats stats_;
   RoundDelta last_round_;
+  std::uint64_t rng_draws_ = 0;  ///< run-wide logical draws (all nodes)
   // Fault drop/duplicate counts of the round in progress (serial executor
   // writes directly; the parallel merge folds the lane counters in here).
   std::uint64_t round_fault_drops_ = 0;

@@ -8,6 +8,8 @@
 #include "core/arb_mis.h"
 #include "core/ghaffari_arb.h"
 #include "core/lw_tree_mis.h"
+#include "fault/adversary.h"
+#include "fault/fault_plan.h"
 #include "graph/generators.h"
 #include "mis/bit_metivier.h"
 #include "mis/gather_solve.h"
@@ -30,6 +32,11 @@ std::uint64_t state_hash(const std::vector<mis::MisState>& state) {
   }
   return h;
 }
+
+/// Golden hash for the faulty Luby-B run in
+/// GoldenFaultyPinAcrossExecutorsAndInboxes (graph hubbed_forest_union(400,
+/// 2, 4, rng(2024)), network seed 11, fault seed 11).
+constexpr std::uint64_t kGoldenFaultyLubyPin = 0x307006cb35222906ULL;
 
 // Golden pins: the exact output words of the generator for fixed seeds.
 // These lock the SplitMix64 seeding and xoshiro256** step across platforms
@@ -127,6 +134,74 @@ TEST(Determinism, GoldenPinsHoldUnderTheParallelExecutor) {
             0xe8f3f3171e775bd3ULL);
   EXPECT_EQ(state_hash(mis::BitMetivierMis::run(g, 2).mis.state),
             0xa05a05940c3562fdULL);
+}
+
+TEST(Determinism, GoldenPinsHoldUnderReferenceInboxes) {
+  // Same constants once more, with every Network forced onto the pre-arena
+  // vector-of-vectors inbox path. The arena's byte-identity promise
+  // (sim/network.h) says both implementations produce the same delivery
+  // bytes, so the serial pins are also the reference-inbox pins. If this
+  // test disagrees with GoldenPerSeedMisOutputs, the arena drifted.
+  util::Rng rng(2024);
+  const graph::Graph g = graph::gen::hubbed_forest_union(400, 2, 4, rng);
+  const sim::ScopedInboxImpl scoped(sim::InboxImpl::kReferenceVectors);
+
+  const auto met1 = mis::MetivierMis::run(g, 1);
+  EXPECT_EQ(state_hash(met1.state), 0x87b54202a38a4860ULL);
+  EXPECT_EQ(met1.stats.rounds, 5u);
+  EXPECT_EQ(state_hash(mis::MetivierMis::run(g, 2).state),
+            0x36af02129ce25543ULL);
+  EXPECT_EQ(state_hash(mis::MetivierMis::run(g, 3).state),
+            0xe1e2f725bdbeab0dULL);
+
+  EXPECT_EQ(state_hash(mis::LubyBMis::run(g, 1).state),
+            0xa70b8bcaaed6cc82ULL);
+  EXPECT_EQ(state_hash(mis::LubyBMis::run(g, 2).state),
+            0x83842878ad8031d8ULL);
+
+  EXPECT_EQ(state_hash(core::arb_mis(g, {.alpha = 2}, 1).mis.state),
+            0xe1e2f725bdbeab0dULL);
+  EXPECT_EQ(state_hash(core::arb_mis(g, {.alpha = 2}, 2).mis.state),
+            0x2ad32695e98905c0ULL);
+
+  EXPECT_EQ(state_hash(mis::BitMetivierMis::run(g, 1).mis.state),
+            0xe8f3f3171e775bd3ULL);
+  EXPECT_EQ(state_hash(mis::BitMetivierMis::run(g, 2).mis.state),
+            0xa05a05940c3562fdULL);
+}
+
+TEST(Determinism, GoldenFaultyPinAcrossExecutorsAndInboxes) {
+  // One pinned constant for a lossy run: Luby-B under an i.i.d. adversary
+  // (drops, duplicates, crash/recover) must hash identically through all
+  // four (inbox implementation x executor) combinations. Duplicates are
+  // the interesting part — they are exactly what spills into the arena's
+  // overflow side buffer, so this pin covers the overflow delivery order.
+  util::Rng rng(2024);
+  const graph::Graph g = graph::gen::hubbed_forest_union(400, 2, 4, rng);
+
+  const auto run_faulty = [&](sim::InboxImpl impl, std::uint32_t threads) {
+    const sim::ScopedInboxImpl inbox(impl);
+    fault::IidAdversary adversary({.drop_rate = 0.2,
+                                   .duplicate_rate = 0.1,
+                                   .crash_rate = 0.01,
+                                   .recovery_delay = 3});
+    fault::FaultPlan plan(g, 11, adversary);
+    sim::NetworkOptions options;
+    options.num_threads = threads;
+    options.fault = &plan;
+    sim::Network net(g, 11, options);
+    mis::LubyBMis algo(g);
+    net.run(algo, 4096);
+    return state_hash(algo.states());
+  };
+
+  const std::uint64_t pin = run_faulty(sim::InboxImpl::kArena, 0);
+  EXPECT_EQ(run_faulty(sim::InboxImpl::kArena, 4), pin);
+  EXPECT_EQ(run_faulty(sim::InboxImpl::kReferenceVectors, 0), pin);
+  EXPECT_EQ(run_faulty(sim::InboxImpl::kReferenceVectors, 4), pin);
+  // The absolute value is pinned too, so the faulty schedule itself is
+  // locked against drift in FaultPlan / Rng, not just cross-impl agreement.
+  EXPECT_EQ(pin, kGoldenFaultyLubyPin);
 }
 
 TEST(Determinism, EveryAlgorithmIsAPureFunctionOfGraphAndSeed) {

@@ -10,7 +10,9 @@
 #include "fault/resilient_mis.h"
 #include "graph/generators.h"
 #include "graph/properties.h"
+#include "fault/fault_plan.h"
 #include "graph/subgraph.h"
+#include "mis/luby.h"
 #include "mis/matching.h"
 #include "mis/metivier.h"
 #include "mis/verifier.h"
@@ -223,6 +225,139 @@ TEST_P(Fuzz, MisAndMatchingCoexistOnSameGraph) {
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
                                            89));
+
+// ---------------------------------------------------------------------------
+// Arena differential fuzz (slow tier: ctest -L slow; excluded from tier1).
+// Random graph x random adversary x random thread count, message arena vs
+// the retained vector-inbox reference implementation — agreeing not just
+// on outputs but *message for message*: a wrapper algorithm hash-chains
+// every delivered (src, tag, payload) triple into a per-node digest, so
+// any divergence in inbox contents or order anywhere in the run flips a
+// hash even if the final MIS happens to coincide.
+// ---------------------------------------------------------------------------
+
+/// Delegating wrapper that folds each node's inbox stream into a per-node
+/// digest. Each callback touches only its own node's slot, so the wrapper
+/// obeys the simulator's thread-safety contract.
+class InboxHashingAlgorithm final : public sim::Algorithm {
+ public:
+  InboxHashingAlgorithm(sim::Algorithm& inner, graph::NodeId n)
+      : inner_(&inner), digests_(n, 0x9e3779b97f4a7c15ULL) {}
+
+  std::string_view name() const override { return inner_->name(); }
+  bool is_reactive() const override { return inner_->is_reactive(); }
+
+  void on_start(sim::NodeContext& ctx) override { inner_->on_start(ctx); }
+
+  void on_round(sim::NodeContext& ctx,
+                std::span<const sim::Message> inbox) override {
+    std::uint64_t& digest = digests_[ctx.id()];
+    for (const sim::Message& m : inbox) {
+      digest = util::mix64(digest, m.src);
+      digest = util::mix64(digest, m.tag);
+      digest = util::mix64(digest, m.payload);
+    }
+    inner_->on_round(ctx, inbox);
+  }
+
+  const std::vector<std::uint64_t>& digests() const { return digests_; }
+
+ private:
+  sim::Algorithm* inner_;
+  std::vector<std::uint64_t> digests_;
+};
+
+/// One observable snapshot of a fuzz run for exact comparison.
+struct ArenaFuzzRun {
+  std::vector<std::uint64_t> digests;
+  std::vector<std::uint32_t> states;
+  std::uint64_t rng_draws = 0;
+  std::uint32_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint32_t max_edge_load = 0;
+
+  bool operator==(const ArenaFuzzRun&) const = default;
+};
+
+class ArenaSlowFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArenaSlowFuzz, ArenaAgreesWithReferenceMessageForMessage) {
+  constexpr int kCasesPerSeed = 10;
+  for (int c = 0; c < kCasesPerSeed; ++c) {
+    const std::uint64_t case_seed = GetParam() * 1000 + std::uint64_t(c);
+    util::Rng rng(case_seed + 700);
+    const graph::NodeId n = 40 + static_cast<graph::NodeId>(rng.below(200));
+    const double p =
+        2.0 / static_cast<double>(n) * static_cast<double>(1 + rng.below(4));
+    const graph::Graph g = graph::gen::gnp(n, p, rng);
+    const auto threads = static_cast<std::uint32_t>(rng.below(9));  // 0..8
+    const bool use_metivier = rng.bernoulli(0.5);
+    const bool faulty = rng.bernoulli(0.5);
+    const fault::IidOptions odds = {
+        .drop_rate = faulty ? rng.uniform01() * 0.4 : 0.0,
+        .duplicate_rate = faulty ? rng.uniform01() * 0.3 : 0.0,
+        .crash_rate = faulty ? rng.uniform01() * 0.03 : 0.0,
+        .recovery_delay = static_cast<std::uint32_t>(rng.below(4))};
+    const std::string label = "case_seed=" + std::to_string(case_seed) +
+                              " n=" + std::to_string(n) +
+                              " threads=" + std::to_string(threads) +
+                              (faulty ? " faulty" : " fault-free");
+
+    const auto run_one = [&](sim::InboxImpl impl,
+                             std::uint32_t num_threads) -> ArenaFuzzRun {
+      const sim::ScopedInboxImpl inbox(impl);
+      // A fresh plan per run: plans are stateful, determinism comes from
+      // (graph, seed, adversary) being identical across runs.
+      fault::IidAdversary adversary(odds);
+      fault::FaultPlan plan(g, case_seed, adversary);
+      sim::NetworkOptions options;
+      options.num_threads = num_threads;
+      options.fault = faulty ? &plan : nullptr;
+      sim::Network net(g, case_seed, options);
+      ArenaFuzzRun run;
+      sim::RunStats stats;
+      if (use_metivier) {
+        mis::MetivierMis algo(g);
+        InboxHashingAlgorithm wrapped(algo, n);
+        stats = net.run(wrapped, 2048);
+        run.digests = wrapped.digests();
+        for (const auto s : algo.states()) {
+          run.states.push_back(static_cast<std::uint32_t>(s));
+        }
+      } else {
+        mis::LubyBMis algo(g);
+        InboxHashingAlgorithm wrapped(algo, n);
+        stats = net.run(wrapped, 2048);
+        run.digests = wrapped.digests();
+        for (const auto s : algo.states()) {
+          run.states.push_back(static_cast<std::uint32_t>(s));
+        }
+      }
+      run.rng_draws = net.total_rng_draws();
+      run.rounds = stats.rounds;
+      run.messages = stats.messages;
+      run.max_edge_load = stats.max_edge_load;
+      return run;
+    };
+
+    // Baseline: the reference implementation on the serial executor — the
+    // seed (pre-arena) behavior. The arena must reproduce it at whatever
+    // thread count the dice picked.
+    const ArenaFuzzRun reference =
+        run_one(sim::InboxImpl::kReferenceVectors, 0);
+    const ArenaFuzzRun arena = run_one(sim::InboxImpl::kArena, threads);
+    EXPECT_EQ(reference.digests, arena.digests) << label;
+    EXPECT_EQ(reference.states, arena.states) << label;
+    EXPECT_EQ(reference.rng_draws, arena.rng_draws) << label;
+    EXPECT_EQ(reference.rounds, arena.rounds) << label;
+    EXPECT_EQ(reference.messages, arena.messages) << label;
+    EXPECT_EQ(reference.max_edge_load, arena.max_edge_load) << label;
+  }
+}
+
+// 21 seeds x 10 cases each = 210 random cases per suite run.
+INSTANTIATE_TEST_SUITE_P(Seeds, ArenaSlowFuzz,
+                         ::testing::Range<std::uint64_t>(1, 22));
 
 }  // namespace
 }  // namespace arbmis

@@ -44,6 +44,8 @@ struct RunRecord {
   sim::RunStats stats;
   std::vector<std::uint32_t> output;      ///< per-node final states/outcomes
   std::vector<std::uint32_t> halt_round;  ///< first round seen halted
+  std::uint64_t rng_draws = 0;            ///< run-wide logical RNG draws
+  std::vector<sim::RoundDelta> deltas;    ///< per-round accounting series
   sim::ModelCheckReport report;
 };
 
@@ -57,6 +59,8 @@ void expect_identical(const RunRecord& serial, const RunRecord& parallel,
   EXPECT_EQ(serial.stats.all_halted, parallel.stats.all_halted) << label;
   EXPECT_EQ(serial.output, parallel.output) << label;
   EXPECT_EQ(serial.halt_round, parallel.halt_round) << label;
+  EXPECT_EQ(serial.rng_draws, parallel.rng_draws) << label;
+  EXPECT_EQ(serial.deltas, parallel.deltas) << label;
 
   const sim::ModelCheckReport& a = serial.report;
   const sim::ModelCheckReport& b = parallel.report;
@@ -91,8 +95,10 @@ RunRecord run_case(const graph::Graph& g, std::uint64_t seed,
         record.halt_round[v] = round;
       }
     }
+    record.deltas.push_back(n.last_round());
   };
   record.stats = net.run(algorithm, max_rounds, observer);
+  record.rng_draws = net.total_rng_draws();
   record.report = net.model_check_report();
   for (auto value : extract(algorithm)) {
     record.output.push_back(static_cast<std::uint32_t>(value));
@@ -388,6 +394,181 @@ TEST_P(ParallelEquivalence, ResilientMisMatchesSerialOnAllGraphs) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEquivalence,
+                         ::testing::Values(1, 7, 2024));
+
+// ---------------------------------------------------------------------------
+// Arena differential matrix: the message arena (sim/network.h, the default
+// inbox implementation) against the retained pre-arena reference
+// implementation (InboxImpl::kReferenceVectors — the seed behavior,
+// verbatim). The baseline is a reference-inbox *serial* run; every arena
+// run — serial and at each thread count — must reproduce it byte for
+// byte: MIS outputs, halt rounds, RNG draw counts, the read-k ledger in
+// the checker report, and the per-round RoundDelta series.
+// ---------------------------------------------------------------------------
+
+// Arena thread counts: 0 = serial executor, then the staged executor.
+constexpr std::uint32_t kArenaThreadCounts[] = {0, 1, 2, 4, 8};
+
+class ArenaEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Runs `run_with(threads)` once under the reference inboxes (serial) and
+/// then under the arena at every thread count, expecting byte-identity.
+template <typename RunWith>
+void expect_arena_matches_reference(const std::string& algo,
+                                    const std::string& graph_name,
+                                    RunWith&& run_with) {
+  RunRecord reference;
+  {
+    const sim::ScopedInboxImpl inbox(sim::InboxImpl::kReferenceVectors);
+    reference = run_with(0);
+  }
+  for (const std::uint32_t threads : kArenaThreadCounts) {
+    const sim::ScopedInboxImpl inbox(sim::InboxImpl::kArena);
+    expect_identical(reference, run_with(threads),
+                     algo + "/" + graph_name + "/arena_t" +
+                         std::to_string(threads));
+  }
+}
+
+TEST_P(ArenaEquivalence, LubyMatchesReferenceInboxes) {
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : test_graphs(seed)) {
+    expect_arena_matches_reference(
+        "luby", gc.name, [&](std::uint32_t threads) {
+          mis::LubyBMis algorithm(gc.g);
+          return run_case(gc.g, seed, threads, algorithm, 1 << 20,
+                          [](const mis::LubyBMis& a) { return a.states(); });
+        });
+  }
+}
+
+TEST_P(ArenaEquivalence, MetivierMatchesReferenceInboxes) {
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : test_graphs(seed)) {
+    expect_arena_matches_reference(
+        "metivier", gc.name, [&](std::uint32_t threads) {
+          mis::MetivierMis algorithm(gc.g);
+          return run_case(
+              gc.g, seed, threads, algorithm, 1 << 20,
+              [](const mis::MetivierMis& a) { return a.states(); });
+        });
+  }
+}
+
+TEST_P(ArenaEquivalence, GhaffariMatchesReferenceInboxes) {
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : test_graphs(seed)) {
+    expect_arena_matches_reference(
+        "ghaffari", gc.name, [&](std::uint32_t threads) {
+          mis::GhaffariMis algorithm(gc.g);
+          return run_case(
+              gc.g, seed, threads, algorithm, 1 << 20,
+              [](const mis::GhaffariMis& a) { return a.states(); });
+        });
+  }
+}
+
+TEST_P(ArenaEquivalence, BoundedArbMatchesReferenceInboxes) {
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : test_graphs(seed)) {
+    const core::Params params = core::Params::practical(2, gc.g.max_degree());
+    expect_arena_matches_reference(
+        "bounded_arb", gc.name, [&](std::uint32_t threads) {
+          core::BoundedArbIndependentSet algorithm(gc.g, params);
+          RunRecord record =
+              run_case(gc.g, seed, threads, algorithm, params.total_rounds(),
+                       [](const core::BoundedArbIndependentSet& a) {
+                         return a.outcomes();
+                       });
+          for (const auto& scale : algorithm.scale_stats()) {
+            record.output.push_back(scale.scale);
+            record.output.push_back(static_cast<std::uint32_t>(scale.joined));
+            record.output.push_back(
+                static_cast<std::uint32_t>(scale.covered));
+            record.output.push_back(static_cast<std::uint32_t>(scale.bad));
+            record.output.push_back(
+                static_cast<std::uint32_t>(scale.active_after));
+          }
+          return record;
+        });
+  }
+}
+
+TEST_P(ArenaEquivalence, BfsRootingMatchesReferenceInboxes) {
+  // Reactive algorithm: terminates via the quiescence cut, which the
+  // arena answers from its staged-message counter instead of scanning
+  // per-node boxes — the cut must fire on exactly the same round.
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : test_graphs(seed)) {
+    const auto run_with = [&](std::uint32_t threads) {
+      sim::ScopedNumThreads scoped(threads);
+      return sim::BfsRooting::run(gc.g, seed, gc.g.num_nodes());
+    };
+    sim::BfsRooting::Result reference;
+    {
+      const sim::ScopedInboxImpl inbox(sim::InboxImpl::kReferenceVectors);
+      reference = run_with(0);
+    }
+    EXPECT_TRUE(reference.stabilized) << gc.name;
+    for (const std::uint32_t threads : kArenaThreadCounts) {
+      const sim::ScopedInboxImpl inbox(sim::InboxImpl::kArena);
+      const sim::BfsRooting::Result arena = run_with(threads);
+      const std::string label = "bfs_rooting/" + gc.name + "/arena_t" +
+                                std::to_string(threads);
+      EXPECT_EQ(reference.parent, arena.parent) << label;
+      EXPECT_EQ(reference.root, arena.root) << label;
+      EXPECT_EQ(reference.distance, arena.distance) << label;
+      EXPECT_EQ(reference.quiescence_round, arena.quiescence_round) << label;
+      EXPECT_EQ(reference.stats.rounds, arena.stats.rounds) << label;
+      EXPECT_EQ(reference.stats.messages, arena.stats.messages) << label;
+    }
+  }
+}
+
+TEST_P(ArenaEquivalence, FaultyLubyMatchesReferenceInboxes) {
+  // The faulty row of the matrix: duplicates overflow the arena's
+  // per-directed-edge capacity into the side buffers, so this is the path
+  // where a layout bug would first diverge from the reference bytes. The
+  // fault ledger and final down mask ride along in the comparison.
+  const std::uint64_t seed = GetParam();
+  for (const GraphCase& gc : test_graphs(seed)) {
+    const auto run_with = [&](std::uint32_t threads) {
+      fault::IidAdversary adversary({.drop_rate = 0.2,
+                                     .duplicate_rate = 0.1,
+                                     .crash_rate = 0.01,
+                                     .recovery_delay = 3});
+      fault::FaultPlan plan(gc.g, seed, adversary);
+      mis::LubyBMis algorithm(gc.g);
+      RunRecord record = run_case(
+          gc.g, seed, threads, algorithm, 512,
+          [](const mis::LubyBMis& a) { return a.states(); }, &plan);
+      std::vector<std::uint8_t> down;
+      for (graph::NodeId v = 0; v < gc.g.num_nodes(); ++v) {
+        down.push_back(plan.is_down(v) ? 1 : 0);
+      }
+      return std::make_tuple(std::move(record), plan.ledger(),
+                             std::move(down));
+    };
+    std::tuple<RunRecord, std::vector<fault::LedgerEntry>,
+               std::vector<std::uint8_t>>
+        reference;
+    {
+      const sim::ScopedInboxImpl inbox(sim::InboxImpl::kReferenceVectors);
+      reference = run_with(0);
+    }
+    for (const std::uint32_t threads : kArenaThreadCounts) {
+      const sim::ScopedInboxImpl inbox(sim::InboxImpl::kArena);
+      const auto arena = run_with(threads);
+      const std::string label =
+          "faulty_luby/" + gc.name + "/arena_t" + std::to_string(threads);
+      expect_identical(std::get<0>(reference), std::get<0>(arena), label);
+      EXPECT_EQ(std::get<1>(reference), std::get<1>(arena)) << label;
+      EXPECT_EQ(std::get<2>(reference), std::get<2>(arena)) << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArenaEquivalence,
                          ::testing::Values(1, 7, 2024));
 
 }  // namespace

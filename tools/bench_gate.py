@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over google-benchmark JSON output.
+
+Compares the `items_per_second` counter of selected benchmarks in a fresh
+run against a committed baseline and fails (exit 1) when any of them
+regresses by more than the tolerance. CI's perf-smoke job drives it as:
+
+    python3 tools/bench_gate.py \
+        --baseline results/BENCH_micro.json \
+        --current  /tmp/bench_micro_now.json \
+        --benchmark 'BM_NetworkRoundThroughput/4096' \
+        --tolerance 0.25
+
+Only throughput counters are compared — absolute wall-clock on shared CI
+runners is too noisy, and items/s at fixed n drifts less than ns/op. The
+baseline file is the one run_benches.sh commits from a quiet machine; the
+tolerance (default 25%) absorbs runner-to-runner variance, not real
+regressions (the arena refactor moved this counter by >100%).
+
+Stdlib only: the image has no third-party Python packages.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_items_per_second(path):
+    """Returns {benchmark name: items_per_second} from a gbench JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for row in doc.get("benchmarks", []):
+        if "items_per_second" in row:
+            out[row["name"]] = float(row["items_per_second"])
+    return out
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed gbench JSON (e.g. results/BENCH_micro.json)")
+    parser.add_argument("--current", required=True,
+                        help="gbench JSON from the fresh run under test")
+    parser.add_argument("--benchmark", action="append", required=True,
+                        dest="benchmarks",
+                        help="benchmark name to gate on (repeatable)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args(argv)
+
+    baseline = load_items_per_second(args.baseline)
+    current = load_items_per_second(args.current)
+
+    failures = 0
+    for name in args.benchmarks:
+        if name not in baseline:
+            print(f"GATE ERROR: {name!r} missing from baseline "
+                  f"{args.baseline}")
+            failures += 1
+            continue
+        if name not in current:
+            print(f"GATE ERROR: {name!r} missing from current run "
+                  f"{args.current}")
+            failures += 1
+            continue
+        base = baseline[name]
+        cur = current[name]
+        floor = base * (1.0 - args.tolerance)
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "OK" if cur >= floor else "REGRESSION"
+        print(f"{verdict}: {name}: baseline {base:.3e} items/s, "
+              f"current {cur:.3e} items/s ({ratio:.2f}x, floor "
+              f"{floor:.3e})")
+        if cur < floor:
+            failures += 1
+
+    if failures:
+        print(f"bench gate FAILED: {failures} benchmark(s) out of bounds")
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
