@@ -1,14 +1,23 @@
 // Shared helpers for the experiment benches: command-line trial counts,
-// consistent headers, and the standard workload constructors.
+// consistent headers, the standard workload constructors, and the
+// telemetry session (--events/--trace/--metrics, docs/OBSERVABILITY.md).
 #pragma once
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "graph/generators.h"
 #include "graph/graph.h"
+#include "obs/manifest.h"
+#include "obs/profile.h"
+#include "obs/registry.h"
+#include "obs/sink.h"
+#include "sim/network.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -34,6 +43,10 @@ struct BenchOptions {
   std::uint64_t seed = 12345;
   std::uint32_t threads = 0;  ///< simulator workers; 0 = serial
   std::string json_out;       ///< machine-readable copy; "" = bench default
+  std::string events_out;     ///< telemetry event stream (.jsonl or .bin)
+  std::string trace_out;      ///< Chrome trace_event JSON from OBS_SCOPE
+  std::string metrics_out;    ///< "arbmis.metrics.v1" registry dump
+  std::uint32_t trace_sample = 1;  ///< keep every Nth round event/series
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions options;
@@ -55,10 +68,129 @@ struct BenchOptions {
       } else if (arg == "--threads" && i + 1 < argc) {
         options.threads =
             static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (arg.rfind("--events=", 0) == 0) {
+        options.events_out = arg.substr(9);
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        options.trace_out = arg.substr(8);
+      } else if (arg.rfind("--metrics=", 0) == 0) {
+        options.metrics_out = arg.substr(10);
+      } else if (arg.rfind("--trace-sample=", 0) == 0) {
+        options.trace_sample = static_cast<std::uint32_t>(
+            std::strtoul(arg.substr(15).c_str(), nullptr, 10));
       }
     }
     return options;
   }
+};
+
+/// RAII telemetry session for a bench binary: attaches (per the options)
+/// an event sink (--events=path, binary when the path ends in .bin), a
+/// metrics registry (--metrics=path), and a profiler (--trace=path), all
+/// process-wide via the obs Scoped* guards. On destruction the metrics
+/// JSON and the Chrome trace are written next to the bench's other
+/// artifacts, each embedding the run manifest. With none of the flags
+/// given, constructing the session attaches nothing and the run pays the
+/// usual zero cost.
+class ObsSession {
+ public:
+  ObsSession(const BenchOptions& options, std::string tool)
+      : manifest_(obs::make_manifest(std::move(tool))),
+        trace_out_(options.trace_out),
+        metrics_out_(options.metrics_out) {
+    manifest_.seed = options.seed;
+    manifest_.threads =
+        options.threads != 0 ? options.threads : sim::default_num_threads();
+    manifest_.inbox =
+        sim::default_inbox_impl() == sim::InboxImpl::kReferenceVectors
+            ? "reference"
+            : "arena";
+    const std::uint32_t sample =
+        options.trace_sample == 0 ? 1 : options.trace_sample;
+    if (!options.events_out.empty()) {
+      obs::SinkConfig config;
+      config.round_sample = sample;
+      const bool binary = options.events_out.size() >= 4 &&
+                          options.events_out.compare(
+                              options.events_out.size() - 4, 4, ".bin") == 0;
+      if (binary) {
+        events_ = std::make_unique<obs::BinaryWriter>(options.events_out,
+                                                      config);
+      } else {
+        events_ = std::make_unique<obs::JsonlWriter>(options.events_out,
+                                                     config);
+      }
+      events_->attach_manifest(manifest_);
+    }
+    if (!metrics_out_.empty()) {
+      registry_ = std::make_unique<obs::Registry>(sample);
+      registry_->track_round_series("sim.messages");
+      registry_->track_round_series("sim.payload_bits");
+    }
+    if (!trace_out_.empty()) profiler_ = std::make_unique<obs::Profiler>();
+    if (events_ != nullptr) sink_scope_.emplace(events_.get());
+    if (registry_ != nullptr) registry_scope_.emplace(registry_.get());
+    if (profiler_ != nullptr) profiler_scope_.emplace(profiler_.get());
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Stamp the workload description into the manifest. Call before the
+  /// measured work; an attached events file gets the updated manifest as
+  /// an additional record (readers use the latest one).
+  void set_workload(std::string description, std::uint64_t nodes,
+                    std::uint64_t edges) {
+    manifest_.workload = std::move(description);
+    manifest_.nodes = nodes;
+    manifest_.edges = edges;
+    if (events_ != nullptr) events_->attach_manifest(manifest_);
+  }
+
+  obs::Registry* metrics() noexcept { return registry_.get(); }
+
+  ~ObsSession() {
+    profiler_scope_.reset();
+    registry_scope_.reset();
+    sink_scope_.reset();
+    if (events_ != nullptr) {
+      events_->flush();
+      std::cout << "[obs] events -> " << events_path_of(events_.get())
+                << "\n";
+    }
+    if (registry_ != nullptr && !metrics_out_.empty()) {
+      std::ofstream out(metrics_out_);
+      out << registry_->to_json(&manifest_) << "\n";
+      std::cout << "[obs] metrics -> " << metrics_out_ << "\n";
+    }
+    if (profiler_ != nullptr && !trace_out_.empty()) {
+      std::ofstream out(trace_out_);
+      out << profiler_->to_chrome_trace_json(&manifest_) << "\n";
+      std::cout << "[obs] trace -> " << trace_out_ << " ("
+                << profiler_->span_count()
+                << " spans; open in chrome://tracing or Perfetto)\n";
+    }
+  }
+
+ private:
+  static std::string events_path_of(const obs::EventSink* sink) {
+    if (const auto* jsonl = dynamic_cast<const obs::JsonlWriter*>(sink)) {
+      return jsonl->path();
+    }
+    if (const auto* binary = dynamic_cast<const obs::BinaryWriter*>(sink)) {
+      return binary->path();
+    }
+    return "<sink>";
+  }
+
+  obs::Manifest manifest_;
+  std::string trace_out_;
+  std::string metrics_out_;
+  std::unique_ptr<obs::EventSink> events_;
+  std::unique_ptr<obs::Registry> registry_;
+  std::unique_ptr<obs::Profiler> profiler_;
+  std::optional<obs::ScopedSink> sink_scope_;
+  std::optional<obs::ScopedRegistry> registry_scope_;
+  std::optional<obs::ScopedProfiler> profiler_scope_;
 };
 
 inline void print_header(std::string_view experiment_id,

@@ -22,6 +22,10 @@ int main(int argc, char** argv) {
       options.trials ? options.trials : (options.quick ? 3 : 10);
   const graph::NodeId n = options.quick ? 4000 : 32000;
 
+  bench::ObsSession obs_session(options, "bench_comparison");
+  obs_session.set_workload(
+      "comparison sweep: tree,pa_tree,planar,arb2,arb4,gnp,powerlaw", n, 0);
+
   bench::print_header(
       "T4", "who-wins comparison across workloads (paper §1, §1.2)");
   std::cout << "n = " << n << ", runs per cell: " << runs << "\n\n";

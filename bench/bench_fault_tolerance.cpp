@@ -49,6 +49,9 @@ int main(int argc, char** argv) {
   const graph::NodeId n = options.quick ? 200 : 600;
   util::Rng rng(options.seed);
   const graph::Graph g = graph::gen::union_of_random_forests(n, 2, rng);
+  bench::ObsSession obs_session(options, "bench_fault_tolerance");
+  obs_session.set_workload("arb2 forest union", g.num_nodes(),
+                           g.num_edges());
   std::cout << "workload: arb2 forest union, n=" << n
             << ", m=" << g.num_edges() << ", threads=" << options.threads
             << "\n\n";

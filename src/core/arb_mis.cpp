@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "graph/subgraph.h"
+#include "obs/sink.h"
 #include "mis/degree_reduction.h"
 #include "mis/linial.h"
 #include "mis/metivier.h"
@@ -69,6 +70,14 @@ sim::RunStats run_stage(const graph::Graph& g,
   return stats;
 }
 
+/// Pipeline-stage transition event (index = stage position, set_size =
+/// nodes the stage ran on). No-op without an attached sink.
+void emit_phase(std::string_view name, std::uint64_t index,
+                std::uint64_t set_size, const sim::RunStats& stats) {
+  obs::emit(obs::make_event(obs::EventKind::kPhase, /*round=*/0, name, index,
+                            set_size, stats.rounds, stats.messages));
+}
+
 }  // namespace
 
 ArbMisResult arb_mis(const graph::Graph& g, const ArbMisOptions& options,
@@ -87,6 +96,7 @@ ArbMisResult arb_mis(const graph::Graph& g, const ArbMisOptions& options,
     result.reduction_stats = reduction.stats;
     result.mis.state = std::move(reduction.state);
     residual = std::move(reduction.residual_mask);
+    emit_phase("degree_reduction", 0, g.num_nodes(), result.reduction_stats);
   }
 
   // Stage 1: BoundedArbIndependentSet on the residual graph.
@@ -145,6 +155,15 @@ ArbMisResult arb_mis(const graph::Graph& g, const ArbMisOptions& options,
   result.shatter_stats.rounds += 1;  // flush
   result.bad_components = shattering_stats(g, bad_mask);
   for (std::uint8_t b : bad_mask) result.bad_size += b;
+  if (obs::sink() != nullptr) {
+    emit_phase("shatter", 1, shatter_sub.graph.num_nodes(),
+               result.shatter_stats);
+    for (const BoundedArbIndependentSet::ScaleStats& s : shatter.scale_stats) {
+      obs::emit(obs::make_event(obs::EventKind::kScale, /*round=*/0, {},
+                                s.scale, s.joined, s.covered, s.bad,
+                                s.active_after));
+    }
+  }
 
   // Stage 2: split VIB into Vlo / Vhi by residual degree against the
   // scale-Θ cut (paper §3.3), measured inside the remaining set.
@@ -163,18 +182,29 @@ ArbMisResult arb_mis(const graph::Graph& g, const ArbMisOptions& options,
   }
   for (std::uint8_t b : vlo) result.vlo_size += b;
   for (std::uint8_t b : vhi) result.vhi_size += b;
+  if (obs::sink() != nullptr) {
+    obs::emit(obs::make_event(obs::EventKind::kShatter, /*round=*/0, {},
+                              result.bad_size,
+                              result.bad_components.num_components,
+                              result.bad_components.largest_component,
+                              result.vlo_size, result.vhi_size));
+  }
 
   result.low_stats = run_stage(g, result.mis.state, vlo,
                                options.low_finisher, options.alpha, seed + 2);
+  emit_phase("vlo", 2, result.vlo_size, result.low_stats);
   result.high_stats = run_stage(g, result.mis.state, vhi,
                                 options.high_finisher, options.alpha, seed + 3);
+  emit_phase("vhi", 3, result.vhi_size, result.high_stats);
   result.bad_stats = run_stage(g, result.mis.state, bad_mask,
                                options.bad_finisher, options.alpha, seed + 4);
+  emit_phase("bad", 4, result.bad_size, result.bad_stats);
 
   // Defensive cleanup — must never trigger if the stage sets partition the
   // undecided nodes (tests assert cleanup_used == false).
   if (result.mis.undecided_count() > 0) {
     result.cleanup_used = true;
+    const std::uint64_t leftover_count = result.mis.undecided_count();
     std::vector<std::uint8_t> leftover(g.num_nodes(), 0);
     for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
       leftover[v] = (result.mis.state[v] == MisState::kUndecided) ? 1 : 0;
@@ -182,6 +212,7 @@ ArbMisResult arb_mis(const graph::Graph& g, const ArbMisOptions& options,
     const sim::RunStats stats = run_stage(g, result.mis.state, leftover,
                                           Finisher::kElection, options.alpha,
                                           seed + 5);
+    emit_phase("cleanup", 5, leftover_count, stats);
     result.bad_stats.absorb(stats);
   }
 

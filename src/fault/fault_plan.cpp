@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/sink.h"
+
 namespace arbmis::fault {
 
 FaultPlan::FaultPlan(const graph::Graph& g, std::uint64_t seed,
@@ -33,6 +35,8 @@ sim::RoundFaultEvents FaultPlan::begin_round(
   // Recoveries due at this barrier resolve before new crashes, so a node
   // can in principle recover and be re-crashed at the same barrier only
   // via an explicit adversary pick.
+  // Both decision loops below run serially at the round barrier, so the
+  // per-decision telemetry events are emitted in deterministic node order.
   if (pending_recoveries_ > 0) {
     for (graph::NodeId v = 0; v < n; ++v) {
       if (down_[v] != 0 && recover_at_[v] <= round) {
@@ -41,6 +45,8 @@ sim::RoundFaultEvents FaultPlan::begin_round(
         --num_down_;
         --pending_recoveries_;
         ++events.recoveries;
+        obs::emit(
+            obs::make_event(obs::EventKind::kFaultRecovery, round, {}, v));
       }
     }
   }
@@ -59,6 +65,8 @@ sim::RoundFaultEvents FaultPlan::begin_round(
       recover_at_[v] = round + delay;
       ++pending_recoveries_;
     }
+    obs::emit(obs::make_event(obs::EventKind::kFaultCrash, round, {}, v,
+                              delay > 0 ? recover_at_[v] : kNever));
   }
   totals_.crashes += events.crashes;
   totals_.recoveries += events.recoveries;

@@ -4,6 +4,7 @@
 #include "core/params.h"
 #include "mis/distributed_verify.h"
 #include "mis/luby.h"
+#include "obs/sink.h"
 
 namespace arbmis::fault {
 
@@ -154,6 +155,10 @@ ResilientResult resilient_mis(const graph::Graph& g, std::uint64_t seed,
     result.faults.duplicates += rep.faults.duplicates;
     result.faults.crashes += rep.faults.crashes;
     result.faults.recoveries += rep.faults.recoveries;
+    obs::emit(obs::make_event(obs::EventKind::kAttempt, /*round=*/0, {},
+                              rep.attempt, rep.residual_nodes, rep.committed,
+                              rep.covered, rep.faulty ? 1 : 0,
+                              rep.stats.rounds));
     result.attempt_log.push_back(rep);
     ++result.attempts;
   }
@@ -163,6 +168,9 @@ ResilientResult resilient_mis(const graph::Graph& g, std::uint64_t seed,
       mis::DistributedMisCheck::run(g, result.state, seed);
   result.rounds_to_recovery += final_check.stats.rounds;
   result.certified = final_check.all_ok && undecided_count == 0;
+  obs::emit(obs::make_event(obs::EventKind::kCertified, /*round=*/0, {},
+                            result.certified ? 1 : 0, result.attempts,
+                            result.rounds_to_recovery));
   return result;
 }
 

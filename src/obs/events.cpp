@@ -1,0 +1,111 @@
+#include "obs/events.h"
+
+#include <cstdio>
+
+namespace arbmis::obs {
+
+namespace {
+
+constexpr std::size_t kNumKinds = static_cast<std::size_t>(EventKind::kCount);
+
+/// The wire schema. Order matches EventKind; tools/trace_inspect.py embeds
+/// the same table (docs/OBSERVABILITY.md documents both) — update all
+/// three together and bump the manifest schema version on breaking change.
+constexpr std::array<EventSchema, kNumKinds> kSchemas = {{
+    {"run_begin", "algorithm",
+     {"nodes", "edges", "seed", "max_rounds", "enforce_congest"}, 5},
+    {"round", nullptr,
+     {"halted", "messages", "payload_bits", "in_flight", "rng_draws",
+      "max_message_bits", "k_prev"},
+     7},
+    {"run_end", nullptr,
+     {"rounds", "messages", "payload_bits", "max_edge_load", "all_halted",
+      "rng_draws"},
+     6},
+    {"model_check", nullptr,
+     {"k", "max_message_bits", "max_edge_bits", "max_rng_reads", "violations",
+      "edge_bit_budget"},
+     6},
+    {"violation", "what", {}, 0},
+    {"fault_round", nullptr, {"drops", "duplicates", "crashes", "recoveries"},
+     4},
+    {"fault_crash", nullptr, {"node", "recover_at"}, 2},
+    {"fault_recovery", nullptr, {"node"}, 1},
+    {"phase", "name", {"index", "set_size", "rounds", "messages"}, 4},
+    {"scale", nullptr, {"scale", "joined", "covered", "bad", "active_after"},
+     5},
+    {"shatter", nullptr,
+     {"set_size", "components", "largest", "vlo", "vhi"}, 5},
+    {"attempt", nullptr,
+     {"attempt", "residual", "committed", "covered", "faulty", "rounds"}, 6},
+    {"certified", nullptr, {"certified", "attempts", "rounds_to_recovery"},
+     3},
+    {"log", "message", {"level"}, 1},
+    {"lane_merge", nullptr, {"lane", "sends", "messages", "halts"}, 4},
+}};
+
+}  // namespace
+
+EventCategory event_category(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kLog:
+      return EventCategory::kLogText;
+    case EventKind::kLaneMerge:
+      return EventCategory::kExec;
+    default:
+      return EventCategory::kSemantic;
+  }
+}
+
+const EventSchema& event_schema(EventKind kind) noexcept {
+  return kSchemas[static_cast<std::size_t>(kind)];
+}
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string to_json_line(const Event& e) {
+  const EventSchema& schema = event_schema(e.kind);
+  std::string out;
+  out.reserve(64 + e.text.size());
+  out += "{\"ev\":\"";
+  out += schema.name;
+  out += "\",\"round\":";
+  out += std::to_string(e.round);
+  const std::uint32_t n = std::min(e.num_values, schema.num_fields);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out += ",\"";
+    out += schema.fields[i];
+    out += "\":";
+    out += std::to_string(e.values[i]);
+  }
+  if (schema.text_field != nullptr) {
+    out += ",\"";
+    out += schema.text_field;
+    out += "\":\"";
+    append_json_escaped(out, e.text);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace arbmis::obs

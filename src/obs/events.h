@@ -1,0 +1,122 @@
+// Structured telemetry events.
+//
+// Every observable fact about a run — round barriers, pipeline phase
+// transitions, fault decisions, model-checker verdicts — is expressed as
+// one Event: a kind, a logical round, up to kMaxEventValues named 64-bit
+// values, and an optional text payload. Field names live in a central
+// schema table (event_schema) shared by the JSONL writer, the binary
+// writer, and tools/trace_inspect.py, so the on-disk formats and the
+// validator can never drift apart silently.
+//
+// Determinism contract: events use *logical* time only (the round number
+// and emission order); wall-clock lives exclusively in the profiler
+// (obs/profile.h). Kinds in the kSemantic category are emitted at serial
+// points of the simulator (round barriers, run boundaries, pipeline
+// drivers) and are byte-identical across executor thread counts and inbox
+// implementations — tests/test_parallel_equivalence.cpp enforces this.
+// Kinds in the kExec category describe executor internals (per-lane merge
+// volumes) and legitimately vary by thread count; the default sink
+// configuration excludes them (obs/sink.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace arbmis::obs {
+
+inline constexpr std::size_t kMaxEventValues = 8;
+
+enum class EventKind : std::uint8_t {
+  kRunBegin = 0,   ///< Network::run entered
+  kRound,          ///< one round barrier (accounting snapshot)
+  kRunEnd,         ///< Network::run returning (RunStats)
+  kModelCheck,     ///< end-of-run CONGEST checker summary
+  kViolation,      ///< one model-check violation (text = what)
+  kFaultRound,     ///< per-round injected-fault ledger entry
+  kFaultCrash,     ///< one crash decision at a round barrier
+  kFaultRecovery,  ///< one recovery resolved at a round barrier
+  kPhase,          ///< pipeline phase transition (text = phase name)
+  kScale,          ///< Algorithm 1 per-scale outcome
+  kShatter,        ///< shattering outcome of the bad set
+  kAttempt,        ///< one resilient_mis attempt
+  kCertified,      ///< resilient_mis final certification verdict
+  kLog,            ///< a util/log line routed into the stream
+  kLaneMerge,      ///< executor detail: one lane folded at a barrier
+  kCount
+};
+
+/// Coarse grouping used by sink filtering (obs/sink.h).
+enum class EventCategory : std::uint8_t {
+  kSemantic = 0,  ///< deterministic in (graph, seed, algorithm, plan)
+  kLogText,       ///< log lines (deterministic content, free-form)
+  kExec,          ///< executor internals; vary by thread count
+};
+
+EventCategory event_category(EventKind kind) noexcept;
+
+/// One telemetry record. `text` is borrowed — valid only for the duration
+/// of the emit call (sinks that buffer must copy; see OwnedEvent).
+struct Event {
+  EventKind kind = EventKind::kCount;
+  std::uint32_t round = 0;
+  std::string_view text{};
+  std::array<std::uint64_t, kMaxEventValues> values{};
+  std::uint32_t num_values = 0;
+};
+
+/// Deep copy of an Event for buffering sinks (obs::VectorSink).
+struct OwnedEvent {
+  EventKind kind = EventKind::kCount;
+  std::uint32_t round = 0;
+  std::string text;
+  std::array<std::uint64_t, kMaxEventValues> values{};
+  std::uint32_t num_values = 0;
+
+  OwnedEvent() = default;
+  explicit OwnedEvent(const Event& e)
+      : kind(e.kind), round(e.round), text(e.text), values(e.values),
+        num_values(e.num_values) {}
+  Event view() const noexcept {
+    return Event{kind, round, text, values, num_values};
+  }
+  friend bool operator==(const OwnedEvent&, const OwnedEvent&) = default;
+};
+
+/// Field names of one kind, in Event::values order. `text_field` is the
+/// JSON key of the text payload (nullptr = kind carries no text).
+struct EventSchema {
+  const char* name = nullptr;  ///< stable wire name, e.g. "round"
+  const char* text_field = nullptr;
+  std::array<const char*, kMaxEventValues> fields{};
+  std::uint32_t num_fields = 0;
+};
+
+/// Schema of `kind`; valid for every kind < kCount.
+const EventSchema& event_schema(EventKind kind) noexcept;
+
+/// Builds an event from a value list (bounds-checked at compile time).
+template <typename... Values>
+Event make_event(EventKind kind, std::uint32_t round, std::string_view text,
+                 Values... values) {
+  static_assert(sizeof...(Values) <= kMaxEventValues);
+  Event e;
+  e.kind = kind;
+  e.round = round;
+  e.text = text;
+  e.values = {static_cast<std::uint64_t>(values)...};
+  e.num_values = sizeof...(Values);
+  return e;
+}
+
+/// Canonical single-line JSON rendering, shared by the JSONL writer and
+/// the capture sink so stream comparisons and files use identical bytes:
+///   {"ev":"round","round":3,"messages":8,...}
+std::string to_json_line(const Event& e);
+
+/// JSON string escaping for the writers (quotes, backslashes, control
+/// characters; input treated as raw bytes).
+void append_json_escaped(std::string& out, std::string_view text);
+
+}  // namespace arbmis::obs

@@ -1,0 +1,159 @@
+#include "obs/sink.h"
+
+#include <atomic>
+#include <utility>
+
+namespace arbmis::obs {
+
+namespace {
+
+std::atomic<EventSink*> g_sink{nullptr};
+
+void log_hook(util::LogLevel level, std::string_view message) {
+  emit(make_event(EventKind::kLog, /*round=*/0, message,
+                  static_cast<std::uint64_t>(level)));
+}
+
+void append_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out += static_cast<char>(static_cast<unsigned char>(v) | 0x80u);
+    v >>= 7;
+  }
+  out += static_cast<char>(v);
+}
+
+}  // namespace
+
+bool SinkConfig::accepts_category(EventCategory category) const noexcept {
+  switch (category) {
+    case EventCategory::kSemantic: return semantic;
+    case EventCategory::kLogText: return log_text;
+    case EventCategory::kExec: return exec;
+  }
+  return false;
+}
+
+bool is_per_round(EventKind kind) noexcept {
+  return kind == EventKind::kRound || kind == EventKind::kFaultRound ||
+         kind == EventKind::kLaneMerge;
+}
+
+void EventSink::emit(const Event& e) {
+  if (!config_.accepts_category(event_category(e.kind))) return;
+  if (is_per_round(e.kind) && config_.round_sample > 1 &&
+      e.round % config_.round_sample != 0) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  write(e);
+}
+
+void EventSink::attach_manifest(const Manifest& m) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  manifest_ = m;
+  write_manifest(m);
+}
+
+JsonlWriter::JsonlWriter(std::string path, SinkConfig config)
+    : EventSink(config), path_(std::move(path)), out_(path_) {}
+
+JsonlWriter::~JsonlWriter() = default;
+
+void JsonlWriter::rotate(std::string new_path) {
+  const std::lock_guard<std::mutex> lock(mutex());
+  out_.close();
+  path_ = std::move(new_path);
+  out_.open(path_);
+  if (manifest()) write_manifest(*manifest());
+}
+
+void JsonlWriter::flush() {
+  const std::lock_guard<std::mutex> lock(mutex());
+  out_.flush();
+}
+
+void JsonlWriter::write(const Event& e) { out_ << to_json_line(e) << '\n'; }
+
+void JsonlWriter::write_manifest(const Manifest& m) {
+  out_ << to_json_line(m) << '\n';
+}
+
+BinaryWriter::BinaryWriter(std::string path, SinkConfig config)
+    : EventSink(config), path_(std::move(path)),
+      out_(path_, std::ios::binary) {
+  out_.write("ARBMISEV", 8);
+  out_.put('\x01');
+}
+
+BinaryWriter::~BinaryWriter() = default;
+
+void BinaryWriter::flush() {
+  const std::lock_guard<std::mutex> lock(mutex());
+  out_.flush();
+}
+
+void BinaryWriter::write(const Event& e) {
+  std::string rec;
+  rec += '\x01';
+  rec += static_cast<char>(e.kind);
+  append_varint(rec, e.round);
+  append_varint(rec, e.num_values);
+  for (std::uint32_t i = 0; i < e.num_values; ++i) {
+    append_varint(rec, e.values[i]);
+  }
+  append_varint(rec, e.text.size());
+  rec.append(e.text);
+  out_.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+}
+
+void BinaryWriter::write_manifest(const Manifest& m) {
+  const std::string json = to_json_line(m);
+  std::string rec;
+  rec += '\x00';
+  append_varint(rec, json.size());
+  rec += json;
+  out_.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+}
+
+std::vector<OwnedEvent> VectorSink::events() const {
+  const std::lock_guard<std::mutex> lock(events_mu_);
+  return events_;
+}
+
+std::size_t VectorSink::size() const {
+  const std::lock_guard<std::mutex> lock(events_mu_);
+  return events_.size();
+}
+
+std::string VectorSink::to_jsonl() const {
+  const std::lock_guard<std::mutex> lock(events_mu_);
+  std::string out;
+  for (const OwnedEvent& e : events_) {
+    out += to_json_line(e.view());
+    out += '\n';
+  }
+  return out;
+}
+
+void VectorSink::write(const Event& e) {
+  const std::lock_guard<std::mutex> lock(events_mu_);
+  events_.emplace_back(e);
+}
+
+EventSink* sink() noexcept { return g_sink.load(std::memory_order_acquire); }
+
+void emit(const Event& e) {
+  if (EventSink* s = sink()) s->emit(e);
+}
+
+ScopedSink::ScopedSink(EventSink* s)
+    : prev_(g_sink.exchange(s, std::memory_order_acq_rel)),
+      prev_hook_(util::set_log_event_hook(s != nullptr ? &log_hook
+                                                       : nullptr)) {}
+
+ScopedSink::~ScopedSink() {
+  util::set_log_event_hook(prev_hook_);
+  g_sink.store(prev_, std::memory_order_release);
+}
+
+}  // namespace arbmis::obs

@@ -9,6 +9,7 @@
 // normalization) unless a test opts out.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 #include "graph/graph.h"
@@ -25,5 +26,18 @@ struct Message {
 /// our algorithms, payload is one word, src is implicit from the port. We
 /// charge the full 64-bit word plus an 8-bit kind.
 inline constexpr std::uint64_t kBitsPerMessage = 72;
+
+/// Bits charged for the message tag in the *actual*-width accounting below
+/// (matches ModelCheckOptions::tag_bits' default).
+inline constexpr std::uint32_t kTagBits = 8;
+
+/// Actual width of one message on the wire: the tag's O(1) kind bits plus
+/// the significant bits of the payload word — the same formula the model
+/// checker budgets with. Per-round accounting (RoundDelta::payload_bits,
+/// the sim.message_bits histogram) uses this; the nominal run-wide
+/// RunStats::payload_bits keeps charging the full kBitsPerMessage word.
+constexpr std::uint64_t message_bits(const Message& m) noexcept {
+  return kTagBits + static_cast<std::uint64_t>(std::bit_width(m.payload));
+}
 
 }  // namespace arbmis::sim

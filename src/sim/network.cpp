@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/profile.h"
+#include "obs/registry.h"
+#include "obs/sink.h"
+
 namespace arbmis::sim {
 
 namespace {
@@ -54,6 +58,7 @@ Network::Network(const graph::Graph& g, std::uint64_t seed,
                  NetworkOptions options)
     : graph_(&g),
       options_(options),
+      seed_(seed),
       fault_(options.fault),
       num_threads_(options.num_threads != 0 ? options.num_threads
                                             : default_num_threads()),
@@ -216,10 +221,22 @@ void Network::step_node(Algorithm& algorithm, graph::NodeId v,
     checker_.on_consume(check, v, round_);
     const std::span<const Message> inbox = current_inbox(v, lane);
     algorithm.on_round(ctx, inbox);
+    // Actual-width accounting (RoundDelta::payload_bits): sum the real
+    // per-message widths of the consumed inbox. Commutative, so worker
+    // threads may feed the attached registry's histogram directly.
+    std::uint64_t consumed_bits = 0;
+    obs::Registry* const reg = obs::registry();
+    for (const Message& m : inbox) {
+      const std::uint64_t bits = message_bits(m);
+      consumed_bits += bits;
+      if (reg != nullptr) reg->observe("sim.message_bits", bits);
+    }
     if (lane) {
       lane->messages += inbox.size();
+      lane->payload_bits += consumed_bits;
     } else {
       stats_.messages += inbox.size();
+      round_payload_bits_ += consumed_bits;
     }
   }
   checker_.end_callback(check);
@@ -258,6 +275,8 @@ void Network::run_phase_parallel(Algorithm& algorithm) {
   // Any bounds not reached stay at n (pre-filled): trailing empty shards.
 
   pool_->run([&](std::uint32_t w) {
+    obs::set_thread_lane(w + 1);
+    OBS_SCOPE("net.shard");
     ExecLane& lane = lanes_[w];
     const graph::NodeId begin = shard_bounds_[w];
     const graph::NodeId end = shard_bounds_[w + 1];
@@ -273,7 +292,18 @@ void Network::run_phase_parallel(Algorithm& algorithm) {
   // Barrier merge, in shard (= ascending node-id) order: replaying the
   // lane buffers in this order reproduces the serial executor's inbox
   // ordering, stats, and checker ledger byte-for-byte.
+  OBS_SCOPE("net.merge");
+  const bool emit_lanes = obs::sink() != nullptr;
+  std::uint32_t lane_index = 0;
   for (ExecLane& lane : lanes_) {
+    if (emit_lanes) {
+      // kExec category: legitimately varies by thread count, excluded by
+      // the default sink configuration (see obs/events.h).
+      obs::emit(obs::make_event(obs::EventKind::kLaneMerge, round_, {},
+                                lane_index, lane.sends.size(), lane.messages,
+                                lane.halts));
+    }
+    ++lane_index;
     for (const ExecLane::StagedSend& staged : lane.sends) {
       // copies > 1 = network duplication: each delivered copy is one inbox
       // entry and (if randomness-bearing) one read-k ledger entry.
@@ -285,6 +315,7 @@ void Network::run_phase_parallel(Algorithm& algorithm) {
       }
     }
     stats_.messages += lane.messages;
+    round_payload_bits_ += lane.payload_bits;
     stats_.max_edge_load = std::max(stats_.max_edge_load, lane.max_edge_load);
     num_halted_ += lane.halts;
     rng_draws_ += lane.rng_draws;
@@ -297,7 +328,13 @@ void Network::run_phase_parallel(Algorithm& algorithm) {
 
 RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
                       const RoundObserver& observer) {
+  OBS_SCOPE("net.run");
   const graph::NodeId n = graph_->num_nodes();
+  if (obs::sink() != nullptr) {
+    obs::emit(obs::make_event(obs::EventKind::kRunBegin, /*round=*/0,
+                              algorithm.name(), n, graph_->num_edges(), seed_,
+                              max_rounds, options_.enforce_congest ? 1 : 0));
+  }
   // Reset per-run state; RNG streams intentionally persist across runs.
   std::fill(halted_.begin(), halted_.end(), 0);
   num_halted_ = 0;
@@ -326,6 +363,7 @@ RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
   last_round_ = RoundDelta{};
   round_fault_drops_ = 0;
   round_fault_duplicates_ = 0;
+  round_payload_bits_ = 0;
   checker_.begin_run();
 
   RoundFaultEvents events{};
@@ -340,6 +378,7 @@ RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
   flush_round_accounting(messages_before, events);
 
   while (round_ < max_rounds) {
+    OBS_SCOPE("net.round");
     if (num_halted_ >= n) break;
     // With permanent crashes the halted count can never reach n: stop once
     // every node is either halted or down and no recovery is scheduled.
@@ -384,6 +423,30 @@ RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
   stats_.all_halted = (num_halted_ == n);
   if (fault_ != nullptr) checker_.record_fault_totals(fault_->totals());
   checker_.end_run(stats_.rounds);
+  if (obs::sink() != nullptr) {
+    obs::emit(obs::make_event(obs::EventKind::kRunEnd, round_, {},
+                              stats_.rounds, stats_.messages,
+                              stats_.payload_bits, stats_.max_edge_load,
+                              stats_.all_halted ? 1 : 0, rng_draws_));
+    if (checker_.enabled()) {
+      const ModelCheckReport& report = checker_.report();
+      obs::emit(obs::make_event(
+          obs::EventKind::kModelCheck, round_, {}, report.k,
+          report.max_message_bits, report.max_edge_bits_per_round,
+          report.max_rng_reads_per_round, report.violations,
+          report.edge_bit_budget));
+    }
+  }
+  if (obs::Registry* const reg = obs::registry()) {
+    reg->add("sim.runs");
+    reg->add("sim.rounds", stats_.rounds);
+    reg->add("sim.rng_draws", rng_draws_);
+    reg->set("sim.max_edge_load", stats_.max_edge_load);
+    if (checker_.enabled()) {
+      reg->set("sim.model.k", checker_.report().k);
+      reg->add("sim.model.violations", checker_.report().violations);
+    }
+  }
   return stats_;
 }
 
@@ -391,7 +454,7 @@ void Network::flush_round_accounting(std::uint64_t messages_before,
                                      RoundFaultEvents events) {
   last_round_.round = round_;
   last_round_.messages = stats_.messages - messages_before;
-  last_round_.payload_bits = last_round_.messages * kBitsPerMessage;
+  last_round_.payload_bits = round_payload_bits_;
   last_round_.fault_drops = round_fault_drops_;
   last_round_.fault_duplicates = round_fault_duplicates_;
   last_round_.fault_crashes = events.crashes;
@@ -399,8 +462,46 @@ void Network::flush_round_accounting(std::uint64_t messages_before,
   if (fault_ != nullptr) {
     fault_->account(round_, round_fault_drops_, round_fault_duplicates_);
   }
+  if (obs::sink() != nullptr) {
+    const ModelCheckReport& report = checker_.report();
+    // The per-round checker series are lazily sized; a round with no sends
+    // (or a disabled checker) may not have slots yet.
+    const std::uint32_t width_now =
+        round_ < report.round_max_message_bits.size()
+            ? report.round_max_message_bits[round_]
+            : 0;
+    // The read-k ledger of a round's draws completes one round later, when
+    // neighbors consume them — so report the *previous* round's final k.
+    const std::uint32_t k_prev =
+        round_ >= 1 && round_ - 1 < report.round_k.size()
+            ? report.round_k[round_ - 1]
+            : 0;
+    obs::emit(obs::make_event(obs::EventKind::kRound, round_, {}, num_halted_,
+                              last_round_.messages, last_round_.payload_bits,
+                              in_flight_next_, rng_draws_, width_now,
+                              k_prev));
+    if (fault_ != nullptr) {
+      obs::emit(obs::make_event(obs::EventKind::kFaultRound, round_, {},
+                                last_round_.fault_drops,
+                                last_round_.fault_duplicates,
+                                last_round_.fault_crashes,
+                                last_round_.fault_recoveries));
+    }
+  }
+  if (obs::Registry* const reg = obs::registry()) {
+    reg->add("sim.messages", last_round_.messages);
+    reg->add("sim.payload_bits", last_round_.payload_bits);
+    if (fault_ != nullptr) {
+      reg->add("sim.fault.drops", last_round_.fault_drops);
+      reg->add("sim.fault.duplicates", last_round_.fault_duplicates);
+      reg->add("sim.fault.crashes", last_round_.fault_crashes);
+      reg->add("sim.fault.recoveries", last_round_.fault_recoveries);
+    }
+    reg->snapshot_round(round_);
+  }
   round_fault_drops_ = 0;
   round_fault_duplicates_ = 0;
+  round_payload_bits_ = 0;
 }
 
 graph::NodeId NodeContext::degree() const noexcept {

@@ -189,6 +189,7 @@ struct ExecLane {
   /// lanes in shard order reproduces the serial send order.
   std::vector<StagedSend> sends;
   std::uint64_t messages = 0;      ///< delivered messages consumed
+  std::uint64_t payload_bits = 0;  ///< actual bits consumed (message_bits)
   std::uint64_t rng_draws = 0;     ///< logical draws made in this shard
   std::uint32_t max_edge_load = 0;
   graph::NodeId halts = 0;         ///< nodes newly halted in this shard
@@ -206,6 +207,7 @@ struct ExecLane {
   void reset() noexcept {
     sends.clear();
     messages = 0;
+    payload_bits = 0;
     rng_draws = 0;
     max_edge_load = 0;
     halts = 0;
@@ -223,6 +225,10 @@ struct ExecLane {
 struct RoundDelta {
   std::uint32_t round = 0;
   std::uint64_t messages = 0;
+  /// Actual bits consumed this round: sum of message_bits() (tag kind bits
+  /// plus significant payload bits) over the consumed messages — NOT
+  /// messages * kBitsPerMessage; the nominal full-word charge lives only
+  /// in the run-wide RunStats::payload_bits.
   std::uint64_t payload_bits = 0;
   std::uint64_t fault_drops = 0;
   std::uint64_t fault_duplicates = 0;
@@ -324,6 +330,7 @@ class Network {
 
   const graph::Graph* graph_;
   NetworkOptions options_;
+  std::uint64_t seed_ = 0;  ///< base RNG seed (telemetry run_begin events)
   FaultInjector* fault_ = nullptr;  ///< non-owning; nullptr = fault-free
   std::uint32_t num_threads_ = 0;  ///< resolved at construction; 0 = serial
   bool use_arena_ = true;          ///< resolved at construction
@@ -371,6 +378,9 @@ class Network {
   RunStats stats_;
   RoundDelta last_round_;
   std::uint64_t rng_draws_ = 0;  ///< run-wide logical draws (all nodes)
+  // Actual consumed bits of the round in progress (serial executor writes
+  // directly; the parallel merge folds the lane counters in here).
+  std::uint64_t round_payload_bits_ = 0;
   // Fault drop/duplicate counts of the round in progress (serial executor
   // writes directly; the parallel merge folds the lane counters in here).
   std::uint64_t round_fault_drops_ = 0;

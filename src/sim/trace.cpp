@@ -16,11 +16,15 @@ Network::RoundObserver Trace::observer() {
 
 std::uint32_t Trace::round_reaching_halted_fraction(
     double fraction, graph::NodeId n) const noexcept {
+  // An empty target is met before any round runs, even with no records.
+  if (fraction <= 0.0 || n == 0) return 0;
+  // More nodes than exist can never halt.
+  if (fraction > 1.0) return kNeverReached;
   const double target = fraction * static_cast<double>(n);
   for (const RoundRecord& rec : records_) {
     if (static_cast<double>(rec.halted) >= target) return rec.round;
   }
-  return 0;
+  return kNeverReached;
 }
 
 void Trace::print(std::ostream& out) const {

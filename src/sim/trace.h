@@ -19,7 +19,10 @@ class Trace {
     std::uint32_t round = 0;
     graph::NodeId halted = 0;          ///< cumulative halted count
     std::uint64_t messages = 0;        ///< messages consumed this round
-    std::uint64_t payload_bits = 0;    ///< messages * kBitsPerMessage
+    /// Actual bits consumed this round: sum of sim::message_bits() over
+    /// the consumed messages (see RoundDelta::payload_bits), not the
+    /// nominal messages * kBitsPerMessage.
+    std::uint64_t payload_bits = 0;
     std::uint64_t fault_drops = 0;     ///< messages dropped this round
     std::uint64_t fault_duplicates = 0;
     std::uint32_t fault_crashes = 0;   ///< crashes resolved at this barrier
@@ -32,8 +35,17 @@ class Trace {
 
   const std::vector<RoundRecord>& records() const noexcept { return records_; }
 
-  /// First round by which at least `fraction` of nodes had halted, or 0 if
-  /// never reached.
+  /// Sentinel for "the fraction was never reached in the recorded rounds"
+  /// — distinct from round 0, which is a real round (on_start).
+  static constexpr std::uint32_t kNeverReached = ~std::uint32_t{0};
+
+  /// First recorded round by which at least `fraction` of the n nodes had
+  /// halted. Boundary behavior (pinned by tests/test_sim.cpp):
+  ///   - fraction <= 0 or n == 0: the target is empty, trivially met
+  ///     before any round — returns 0 even with no records;
+  ///   - fraction > 1 (target > n nodes), no records, or target simply
+  ///     never met: returns kNeverReached;
+  ///   - fraction == 1.0 requires every node halted (no rounding slack).
   std::uint32_t round_reaching_halted_fraction(double fraction,
                                                graph::NodeId n) const noexcept;
 

@@ -6,6 +6,7 @@ namespace arbmis::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<LogEventHook> g_event_hook{nullptr};
 
 constexpr std::string_view level_name(LogLevel level) noexcept {
   switch (level) {
@@ -25,9 +26,16 @@ void set_log_level(LogLevel level) noexcept {
   g_level.store(level, std::memory_order_relaxed);
 }
 
+LogEventHook set_log_event_hook(LogEventHook hook) noexcept {
+  return g_event_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
 namespace detail {
 void log_line(LogLevel level, std::string_view message) {
   std::clog << '[' << level_name(level) << "] " << message << '\n';
+  if (LogEventHook hook = g_event_hook.load(std::memory_order_acquire)) {
+    hook(level, message);
+  }
 }
 }  // namespace detail
 

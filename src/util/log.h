@@ -15,6 +15,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
 
+/// Observer for emitted log lines, called (in addition to the stderr
+/// write) for every line that passes the level threshold. This is the
+/// seam obs::ScopedSink uses to mirror log output into the telemetry
+/// event stream without util depending on obs. Returns the previous hook
+/// so scoped installers can restore it; pass nullptr to detach. The hook
+/// may be invoked from any thread and must be thread-safe.
+using LogEventHook = void (*)(LogLevel level, std::string_view message);
+LogEventHook set_log_event_hook(LogEventHook hook) noexcept;
+
 namespace detail {
 void log_line(LogLevel level, std::string_view message);
 }

@@ -27,6 +27,7 @@
 #include "mis/bit_metivier.h"
 #include "mis/luby.h"
 #include "mis/metivier.h"
+#include "obs/sink.h"
 #include "sim/bfs_rooting.h"
 #include "sim/network.h"
 
@@ -47,7 +48,24 @@ struct RunRecord {
   std::uint64_t rng_draws = 0;            ///< run-wide logical RNG draws
   std::vector<sim::RoundDelta> deltas;    ///< per-round accounting series
   sim::ModelCheckReport report;
+  /// Telemetry event stream captured under the default sink configuration
+  /// (executor-internal kinds excluded), rendered as JSONL. Events carry
+  /// logical time only, so the bytes must match across executors.
+  std::string events;
 };
+
+/// Captures the telemetry event stream emitted while `fn` runs; the
+/// stream lands in *events as JSONL.
+template <typename Fn>
+auto with_event_capture(std::string* events, Fn&& fn) {
+  obs::VectorSink capture;
+  auto result = [&] {
+    const obs::ScopedSink scoped(&capture);
+    return fn();
+  }();
+  *events = capture.to_jsonl();
+  return result;
+}
 
 void expect_identical(const RunRecord& serial, const RunRecord& parallel,
                       const std::string& label) {
@@ -61,6 +79,8 @@ void expect_identical(const RunRecord& serial, const RunRecord& parallel,
   EXPECT_EQ(serial.halt_round, parallel.halt_round) << label;
   EXPECT_EQ(serial.rng_draws, parallel.rng_draws) << label;
   EXPECT_EQ(serial.deltas, parallel.deltas) << label;
+  EXPECT_EQ(serial.events, parallel.events) << label;
+  EXPECT_FALSE(serial.events.empty()) << label;
 
   const sim::ModelCheckReport& a = serial.report;
   const sim::ModelCheckReport& b = parallel.report;
@@ -97,7 +117,12 @@ RunRecord run_case(const graph::Graph& g, std::uint64_t seed,
     }
     record.deltas.push_back(n.last_round());
   };
-  record.stats = net.run(algorithm, max_rounds, observer);
+  // Telemetry rides along with the run under comparison: attaching a sink
+  // must not perturb the run, and the captured stream must itself be
+  // executor-independent, so both properties are checked at once.
+  record.stats = with_event_capture(&record.events, [&] {
+    return net.run(algorithm, max_rounds, observer);
+  });
   record.rng_draws = net.total_rng_draws();
   record.report = net.model_check_report();
   for (auto value : extract(algorithm)) {
@@ -260,15 +285,24 @@ TEST_P(ParallelEquivalence, ArbMisPipelineMatchesSerialOnAllGraphs) {
   // override instead of NetworkOptions plumbing.
   const std::uint64_t seed = GetParam();
   for (const GraphCase& gc : test_graphs(seed)) {
-    const auto run_with =
-        [&](std::uint32_t threads) -> core::ArbMisResult {
+    const auto run_with = [&](std::uint32_t threads) {
       sim::ScopedNumThreads scoped(threads);
-      return core::arb_mis(gc.g, {.alpha = 2}, seed);
+      std::string events;
+      core::ArbMisResult result = with_event_capture(&events, [&] {
+        return core::arb_mis(gc.g, {.alpha = 2}, seed);
+      });
+      return std::make_pair(std::move(result), std::move(events));
     };
-    const core::ArbMisResult serial = run_with(0);
+    const auto [serial, serial_events] = run_with(0);
     EXPECT_TRUE(serial.mis.stats.all_halted) << gc.name;
+    // The pipeline emits phase/scale/shatter driver events on top of the
+    // per-stage network streams; all of it must be executor-independent.
+    EXPECT_NE(serial_events.find("\"ev\":\"phase\""), std::string::npos)
+        << gc.name;
+    EXPECT_NE(serial_events.find("\"ev\":\"shatter\""), std::string::npos)
+        << gc.name;
     for (const std::uint32_t threads : kThreadCounts) {
-      const core::ArbMisResult parallel = run_with(threads);
+      const auto [parallel, parallel_events] = run_with(threads);
       const std::string label =
           "arb_mis/" + gc.name + "/t" + std::to_string(threads);
       EXPECT_EQ(serial.mis.state, parallel.mis.state) << label;
@@ -283,6 +317,7 @@ TEST_P(ParallelEquivalence, ArbMisPipelineMatchesSerialOnAllGraphs) {
           << label;
       EXPECT_EQ(serial.mis.stats.all_halted, parallel.mis.stats.all_halted)
           << label;
+      EXPECT_EQ(serial_events, parallel_events) << label;
     }
   }
 }
@@ -373,14 +408,24 @@ TEST_P(ParallelEquivalence, ResilientMisMatchesSerialOnAllGraphs) {
       fault::ResilientOptions options;
       options.max_rounds_per_attempt = 4096;
       options.num_threads = threads;
-      return fault::resilient_mis(gc.g, seed, adversary,
-                                  fault::algorithm_driver<mis::LubyBMis>(),
-                                  options);
+      std::string events;
+      fault::ResilientResult result = with_event_capture(&events, [&] {
+        return fault::resilient_mis(gc.g, seed, adversary,
+                                    fault::algorithm_driver<mis::LubyBMis>(),
+                                    options);
+      });
+      return std::make_pair(std::move(result), std::move(events));
     };
-    const fault::ResilientResult serial = run_with(0);
+    const auto [serial, serial_events] = run_with(0);
     EXPECT_TRUE(serial.certified) << gc.name;
+    // Attempt/certification driver events plus the per-attempt network and
+    // fault-plan streams must all be executor-independent.
+    EXPECT_NE(serial_events.find("\"ev\":\"attempt\""), std::string::npos)
+        << gc.name;
+    EXPECT_NE(serial_events.find("\"ev\":\"certified\""), std::string::npos)
+        << gc.name;
     for (const std::uint32_t threads : kThreadCounts) {
-      const fault::ResilientResult parallel = run_with(threads);
+      const auto [parallel, parallel_events] = run_with(threads);
       const std::string label =
           "resilient/" + gc.name + "/t" + std::to_string(threads);
       EXPECT_EQ(serial.state, parallel.state) << label;
@@ -389,6 +434,7 @@ TEST_P(ParallelEquivalence, ResilientMisMatchesSerialOnAllGraphs) {
       EXPECT_EQ(serial.rounds_to_recovery, parallel.rounds_to_recovery)
           << label;
       EXPECT_TRUE(serial.faults == parallel.faults) << label;
+      EXPECT_EQ(serial_events, parallel_events) << label;
     }
   }
 }

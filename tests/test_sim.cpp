@@ -2,6 +2,7 @@
 // enforcement, determinism, and accounting.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <stdexcept>
 
 #include "graph/generators.h"
@@ -221,7 +222,12 @@ TEST(Trace, RecordsPerRoundMessagesAndPayload) {
   std::uint64_t traced_messages = 0;
   for (const Trace::RoundRecord& r : trace.records()) {
     EXPECT_EQ(r.messages, 8u) << "round " << r.round;
-    EXPECT_EQ(r.payload_bits, 8u * kBitsPerMessage) << "round " << r.round;
+    // Actual widths, not the nominal kBitsPerMessage: round r consumes
+    // the payload broadcast in round r - 1 (0, 1, 2), so each message is
+    // kTagBits + bit_width(r - 1) bits wide.
+    const std::uint64_t width =
+        kTagBits + std::bit_width(std::uint64_t{r.round} - 1);
+    EXPECT_EQ(r.payload_bits, 8u * width) << "round " << r.round;
     EXPECT_EQ(r.fault_drops, 0u);
     EXPECT_EQ(r.fault_duplicates, 0u);
     EXPECT_EQ(r.fault_crashes, 0u);
@@ -229,6 +235,36 @@ TEST(Trace, RecordsPerRoundMessagesAndPayload) {
     traced_messages += r.messages;
   }
   EXPECT_EQ(traced_messages, stats.messages);
+  // The run-wide total keeps the nominal full-word charge.
+  EXPECT_EQ(stats.payload_bits, stats.messages * kBitsPerMessage);
+}
+
+TEST(Trace, HaltedFractionBoundaries) {
+  // Pin the documented edge cases of round_reaching_halted_fraction.
+  const Trace empty;
+  // An empty target is met before any round — even with no records.
+  EXPECT_EQ(empty.round_reaching_halted_fraction(0.0, 4), 0u);
+  EXPECT_EQ(empty.round_reaching_halted_fraction(-0.5, 4), 0u);
+  EXPECT_EQ(empty.round_reaching_halted_fraction(1.0, 0), 0u);
+  // A positive target can never be met with no records.
+  EXPECT_EQ(empty.round_reaching_halted_fraction(0.5, 4),
+            Trace::kNeverReached);
+
+  // path(4) under FloodAlgorithm(4, 3): all 4 nodes halt in round 3.
+  const graph::Graph g = graph::gen::path(4);
+  Network net(g, 3);
+  FloodAlgorithm algorithm(4, 3);
+  Trace trace;
+  net.run(algorithm, 10, trace.observer());
+  ASSERT_EQ(trace.records().size(), 3u);
+  EXPECT_EQ(trace.records().back().halted, 4u);
+  EXPECT_EQ(trace.round_reaching_halted_fraction(0.0, 4), 0u);
+  EXPECT_EQ(trace.round_reaching_halted_fraction(1.0, 4), 3u);
+  // fraction > 1 asks for more nodes than exist.
+  EXPECT_EQ(trace.round_reaching_halted_fraction(1.5, 4),
+            Trace::kNeverReached);
+  // Nobody halts before round 3, so any positive fraction resolves there.
+  EXPECT_EQ(trace.round_reaching_halted_fraction(0.25, 4), 3u);
 }
 
 TEST(RunStats, AbsorbAddsRoundsAndMessages) {

@@ -1,0 +1,388 @@
+#!/usr/bin/env python3
+"""Inspect, validate, and diff arbmis telemetry artifacts.
+
+Handles every artifact the telemetry subsystem (src/obs, documented in
+docs/OBSERVABILITY.md) writes, auto-detected by content:
+
+  * event streams, JSONL   — first line {"manifest":{...}}, then events
+  * event streams, binary  — magic "ARBMISEV" + version 0x01
+  * Chrome traces          — {"traceEvents":[...]} from --trace=
+  * metrics dumps          — {"schema":"arbmis.metrics.v1"} from --metrics=
+
+Usage:
+
+    python3 tools/trace_inspect.py --validate out.jsonl
+    python3 tools/trace_inspect.py --summary  out.bin
+    python3 tools/trace_inspect.py --diff a.jsonl b.jsonl
+
+--validate exits 0 iff the artifact is well-formed against the embedded
+event schema (EVENT_SCHEMAS below mirrors kSchemas in src/obs/events.cpp;
+update the two together and bump the schema version on breaking change).
+--diff compares two event streams for semantic equality: manifests are
+excluded (they legitimately differ in threads/inbox/git_sha), event
+records must match exactly and in order — the offline version of the
+byte-identity the differential harness enforces in-process.
+
+Stdlib only: the image has no third-party Python packages.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = "arbmis.obs.v1"
+METRICS_SCHEMA_VERSION = "arbmis.metrics.v1"
+BINARY_MAGIC = b"ARBMISEV"
+BINARY_VERSION = 1
+
+# Mirrors kSchemas in src/obs/events.cpp: kind -> (fields, text_field).
+EVENT_SCHEMAS = {
+    "run_begin": (["nodes", "edges", "seed", "max_rounds",
+                   "enforce_congest"], "algorithm"),
+    "round": (["halted", "messages", "payload_bits", "in_flight",
+               "rng_draws", "max_message_bits", "k_prev"], None),
+    "run_end": (["rounds", "messages", "payload_bits", "max_edge_load",
+                 "all_halted", "rng_draws"], None),
+    "model_check": (["k", "max_message_bits", "max_edge_bits",
+                     "max_rng_reads", "violations", "edge_bit_budget"],
+                    None),
+    "violation": ([], "what"),
+    "fault_round": (["drops", "duplicates", "crashes", "recoveries"], None),
+    "fault_crash": (["node", "recover_at"], None),
+    "fault_recovery": (["node"], None),
+    "phase": (["index", "set_size", "rounds", "messages"], "name"),
+    "scale": (["scale", "joined", "covered", "bad", "active_after"], None),
+    "shatter": (["set_size", "components", "largest", "vlo", "vhi"], None),
+    "attempt": (["attempt", "residual", "committed", "covered", "faulty",
+                 "rounds"], None),
+    "certified": (["certified", "attempts", "rounds_to_recovery"], None),
+    "log": (["level"], "message"),
+    "lane_merge": (["lane", "sends", "messages", "halts"], None),
+}
+# Binary event records carry the kind as a byte in EventKind order.
+KIND_NAMES = list(EVENT_SCHEMAS.keys())
+
+
+class FormatError(Exception):
+    pass
+
+
+def check_event(obj, where):
+    """Validates one decoded JSONL event object against the schema."""
+    kind = obj.get("ev")
+    if kind not in EVENT_SCHEMAS:
+        raise FormatError(f"{where}: unknown event kind {kind!r}")
+    fields, text_field = EVENT_SCHEMAS[kind]
+    if not isinstance(obj.get("round"), int):
+        raise FormatError(f"{where}: missing/non-integer 'round'")
+    allowed = {"ev", "round"} | set(fields)
+    if text_field is not None:
+        allowed.add(text_field)
+    for key, value in obj.items():
+        if key not in allowed:
+            raise FormatError(f"{where}: unexpected field {key!r} on "
+                              f"{kind!r}")
+        if key in fields and not isinstance(value, int):
+            raise FormatError(f"{where}: field {key!r} is not an integer")
+        if key == text_field and not isinstance(value, str):
+            raise FormatError(f"{where}: text field {key!r} is not a string")
+    return kind
+
+
+def check_manifest(obj, where):
+    manifest = obj.get("manifest")
+    if not isinstance(manifest, dict):
+        raise FormatError(f"{where}: 'manifest' is not an object")
+    if manifest.get("schema") != SCHEMA_VERSION:
+        raise FormatError(f"{where}: schema {manifest.get('schema')!r}, "
+                          f"expected {SCHEMA_VERSION!r}")
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# Per-format parsers. Each returns (kind, summary_dict) where kind names
+# the artifact type; events formats also return the decoded stream.
+# ---------------------------------------------------------------------------
+
+def parse_events_jsonl(text):
+    """Returns (manifests, events) or raises FormatError."""
+    manifests, events = [], []
+    lines = text.splitlines()
+    if not lines:
+        raise FormatError("empty file")
+    for i, line in enumerate(lines):
+        where = f"line {i + 1}"
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise FormatError(f"{where}: not JSON: {err}") from err
+        if "manifest" in obj:
+            manifests.append(check_manifest(obj, where))
+        elif "ev" in obj:
+            check_event(obj, where)
+            events.append(obj)
+        else:
+            raise FormatError(f"{where}: neither a manifest nor an event")
+    if not manifests or "manifest" not in json.loads(lines[0]):
+        raise FormatError("first line is not the manifest header")
+    return manifests, events
+
+
+def read_varint(buf, pos):
+    value, shift = 0, 0
+    while True:
+        if pos >= len(buf):
+            raise FormatError(f"offset {pos}: truncated varint")
+        byte = buf[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def parse_events_binary(buf):
+    """Decodes the binary stream into (manifests, events)."""
+    if buf[: len(BINARY_MAGIC)] != BINARY_MAGIC:
+        raise FormatError("bad magic")
+    if len(buf) < len(BINARY_MAGIC) + 1:
+        raise FormatError("truncated header")
+    version = buf[len(BINARY_MAGIC)]
+    if version != BINARY_VERSION:
+        raise FormatError(f"unknown binary version {version}")
+    pos = len(BINARY_MAGIC) + 1
+    manifests, events = [], []
+    while pos < len(buf):
+        where = f"offset {pos}"
+        record_type = buf[pos]
+        pos += 1
+        if record_type == 0x00:
+            length, pos = read_varint(buf, pos)
+            blob = buf[pos:pos + length]
+            if len(blob) != length:
+                raise FormatError(f"{where}: truncated manifest")
+            pos += length
+            try:
+                obj = json.loads(blob.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as err:
+                raise FormatError(f"{where}: bad manifest JSON: {err}") \
+                    from err
+            manifests.append(check_manifest(obj, where))
+        elif record_type == 0x01:
+            if pos >= len(buf):
+                raise FormatError(f"{where}: truncated event")
+            kind_byte = buf[pos]
+            pos += 1
+            if kind_byte >= len(KIND_NAMES):
+                raise FormatError(f"{where}: unknown kind byte {kind_byte}")
+            kind = KIND_NAMES[kind_byte]
+            round_no, pos = read_varint(buf, pos)
+            num_values, pos = read_varint(buf, pos)
+            fields, text_field = EVENT_SCHEMAS[kind]
+            if num_values > len(fields):
+                raise FormatError(f"{where}: {kind}: {num_values} values, "
+                                  f"schema has {len(fields)}")
+            event = {"ev": kind, "round": round_no}
+            for i in range(num_values):
+                event[fields[i]], pos = read_varint(buf, pos)
+            text_len, pos = read_varint(buf, pos)
+            blob = buf[pos:pos + text_len]
+            if len(blob) != text_len:
+                raise FormatError(f"{where}: truncated text")
+            pos += text_len
+            if text_field is not None:
+                event[text_field] = blob.decode("utf-8", "replace")
+            elif text_len:
+                raise FormatError(f"{where}: {kind}: unexpected text")
+            events.append(event)
+        else:
+            raise FormatError(f"{where}: unknown record type {record_type}")
+    if not manifests:
+        raise FormatError("no manifest record")
+    return manifests, events
+
+
+def parse_chrome_trace(doc):
+    spans = doc.get("traceEvents")
+    if not isinstance(spans, list):
+        raise FormatError("'traceEvents' is not a list")
+    for i, span in enumerate(spans):
+        where = f"traceEvents[{i}]"
+        if span.get("ph") != "X":
+            raise FormatError(f"{where}: ph {span.get('ph')!r} != 'X'")
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in span:
+                raise FormatError(f"{where}: missing {key!r}")
+    other = doc.get("otherData")
+    if other is not None and other.get("schema") not in (None,
+                                                         SCHEMA_VERSION):
+        raise FormatError(f"otherData schema {other.get('schema')!r}")
+    return spans
+
+
+def parse_metrics(doc):
+    if doc.get("schema") != METRICS_SCHEMA_VERSION:
+        raise FormatError(f"schema {doc.get('schema')!r}, expected "
+                          f"{METRICS_SCHEMA_VERSION!r}")
+    counters = doc.get("counters", {})
+    if not all(isinstance(v, int) for v in counters.values()):
+        raise FormatError("non-integer counter value")
+    rounds = doc.get("rounds", {})
+    sampled = rounds.get("sampled", [])
+    for name, series in rounds.get("series", {}).items():
+        if len(series) != len(sampled):
+            raise FormatError(f"series {name!r}: {len(series)} deltas for "
+                              f"{len(sampled)} sampled rounds")
+    return doc
+
+
+def detect_and_parse(path):
+    """Returns (kind, payload): kind in {events, trace, metrics}."""
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    if raw[: len(BINARY_MAGIC)] == BINARY_MAGIC:
+        return "events", parse_events_binary(raw)
+    text = raw.decode("utf-8")
+    stripped = text.lstrip()
+    if not stripped:
+        raise FormatError("empty file")
+    first_line = stripped.splitlines()[0]
+    try:
+        head = json.loads(first_line)
+    except json.JSONDecodeError:
+        head = None
+    # Order matters: a metrics dump also embeds a "manifest" key, so the
+    # single-document formats are ruled out before the JSONL event format
+    # (whose manifest header is exactly {"manifest":{...}}).
+    if isinstance(head, dict):
+        if head.get("schema") == METRICS_SCHEMA_VERSION:
+            return "metrics", parse_metrics(json.loads(text))
+        if "traceEvents" in head:
+            return "trace", parse_chrome_trace(json.loads(text))
+        if "ev" in head or set(head) == {"manifest"}:
+            return "events", parse_events_jsonl(text)
+    doc = json.loads(text)
+    if "traceEvents" in doc:
+        return "trace", parse_chrome_trace(doc)
+    if doc.get("schema") == METRICS_SCHEMA_VERSION:
+        return "metrics", parse_metrics(doc)
+    raise FormatError("unrecognized artifact (not events/trace/metrics)")
+
+
+# ---------------------------------------------------------------------------
+# Modes.
+# ---------------------------------------------------------------------------
+
+def do_validate(path):
+    try:
+        kind, _ = detect_and_parse(path)
+    except (FormatError, OSError, UnicodeDecodeError,
+            json.JSONDecodeError) as err:
+        print(f"INVALID {path}: {err}")
+        return 1
+    print(f"OK {path}: valid {kind} artifact")
+    return 0
+
+
+def do_summary(path):
+    kind, payload = detect_and_parse(path)
+    if kind == "events":
+        manifests, events = payload
+        manifest = manifests[-1]
+        print(f"{path}: event stream ({len(events)} events)")
+        print(f"  tool={manifest.get('tool')!r} "
+              f"workload={manifest.get('workload')!r} "
+              f"seed={manifest.get('seed')} "
+              f"threads={manifest.get('threads')} "
+              f"inbox={manifest.get('inbox')!r}")
+        by_kind = {}
+        for event in events:
+            by_kind[event["ev"]] = by_kind.get(event["ev"], 0) + 1
+        for name in sorted(by_kind):
+            print(f"  {name:16s} {by_kind[name]}")
+        rounds = [e for e in events if e["ev"] == "round"]
+        if rounds:
+            messages = sum(e.get("messages", 0) for e in rounds)
+            print(f"  rounds observed: {len(rounds)}, "
+                  f"messages: {messages}")
+    elif kind == "trace":
+        spans = payload
+        by_name = {}
+        for span in spans:
+            entry = by_name.setdefault(span["name"], [0, 0.0])
+            entry[0] += 1
+            entry[1] += float(span["dur"])
+        print(f"{path}: Chrome trace ({len(spans)} spans)")
+        for name in sorted(by_name):
+            count, total = by_name[name]
+            print(f"  {name:16s} x{count}  total {total / 1000.0:.3f} ms")
+    else:
+        doc = payload
+        counters = doc.get("counters", {})
+        print(f"{path}: metrics dump ({len(counters)} counters)")
+        for name in sorted(counters):
+            print(f"  {name:24s} {counters[name]}")
+    return 0
+
+
+def event_stream_of(path):
+    kind, payload = detect_and_parse(path)
+    if kind != "events":
+        raise FormatError(f"{path} is a {kind} artifact, not an event "
+                          "stream")
+    return payload[1]
+
+
+def do_diff(path_a, path_b):
+    events_a = event_stream_of(path_a)
+    events_b = event_stream_of(path_b)
+    limit = min(len(events_a), len(events_b))
+    for i in range(limit):
+        if events_a[i] != events_b[i]:
+            print(f"DIFF at event {i}:")
+            print(f"  {path_a}: {json.dumps(events_a[i], sort_keys=True)}")
+            print(f"  {path_b}: {json.dumps(events_b[i], sort_keys=True)}")
+            return 1
+    if len(events_a) != len(events_b):
+        print(f"DIFF: {path_a} has {len(events_a)} events, {path_b} has "
+              f"{len(events_b)}")
+        return 1
+    print(f"IDENTICAL: {len(events_a)} events (manifests excluded)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--validate", action="store_true",
+                      help="check well-formedness; exit 1 when invalid")
+    mode.add_argument("--summary", action="store_true",
+                      help="print per-kind counts / span totals / counters")
+    mode.add_argument("--diff", action="store_true",
+                      help="compare two event streams (manifests excluded)")
+    parser.add_argument("paths", nargs="+", metavar="FILE")
+    args = parser.parse_args(argv)
+
+    if args.diff:
+        if len(args.paths) != 2:
+            parser.error("--diff takes exactly two files")
+        try:
+            return do_diff(args.paths[0], args.paths[1])
+        except (FormatError, OSError) as err:
+            print(f"ERROR: {err}")
+            return 1
+    status = 0
+    for path in args.paths:
+        if args.validate:
+            status |= do_validate(path)
+        else:
+            try:
+                do_summary(path)
+            except (FormatError, OSError) as err:
+                print(f"ERROR {path}: {err}")
+                status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
