@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "sim/bfs_rooting.h"
 
@@ -66,27 +65,31 @@ void GatherSolveMis::solve_locally(graph::NodeId leader) {
   std::sort(nodes.begin(), nodes.end());
   nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
 
-  std::unordered_map<graph::NodeId, bool> covered;
-  std::unordered_map<graph::NodeId, bool> in_mis;
-  for (graph::NodeId node : nodes) {
-    covered[node] = false;
-    in_mis[node] = false;
-  }
-  for (graph::NodeId node : nodes) {  // ascending id = deterministic greedy
-    if (covered[node]) continue;
-    in_mis[node] = true;
+  // Dense local indices into the sorted node list: no hashed containers in
+  // the decision path, so the sweep's memory behavior is as deterministic
+  // as its output (tools/arbmis_audit.py --explain DET004).
+  const auto idx = [&nodes](graph::NodeId node) {
+    return static_cast<std::size_t>(
+        std::lower_bound(nodes.begin(), nodes.end(), node) - nodes.begin());
+  };
+  std::vector<bool> covered(nodes.size(), false);
+  std::vector<bool> in_mis(nodes.size(), false);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    // ascending id = deterministic greedy
+    if (covered[i]) continue;
+    in_mis[i] = true;
     for (const auto& [a, b] : edges) {
-      if (a == node) covered[b] = true;
-      if (b == node) covered[a] = true;
+      if (a == nodes[i]) covered[idx(b)] = true;
+      if (b == nodes[i]) covered[idx(a)] = true;
     }
   }
   // Queue decisions (own one applies immediately) and the end marker.
-  for (graph::NodeId node : nodes) {
-    const std::uint64_t payload =
-        encode_pair(node, in_mis[node] ? 1 : 0);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const graph::NodeId node = nodes[i];
+    const std::uint64_t payload = encode_pair(node, in_mis[i] ? 1 : 0);
     if (node == leader) {
       state_[leader] =
-          in_mis[node] ? MisState::kInMis : MisState::kCovered;
+          in_mis[i] ? MisState::kInMis : MisState::kCovered;
       decided_[leader] = true;
     }
     down_queue_[leader].push_back(payload);

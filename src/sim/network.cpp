@@ -6,6 +6,7 @@
 #include "obs/profile.h"
 #include "obs/registry.h"
 #include "obs/sink.h"
+#include "sim/contract.h"  // static_asserts run in every build via this TU
 
 namespace arbmis::sim {
 

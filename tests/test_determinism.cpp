@@ -204,6 +204,28 @@ TEST(Determinism, GoldenFaultyPinAcrossExecutorsAndInboxes) {
   EXPECT_EQ(pin, kGoldenFaultyLubyPin);
 }
 
+TEST(Determinism, GoldenGatherSolvePins) {
+  // Full-output pins for GatherSolveMis, recorded BEFORE solve_locally's
+  // hashed containers were replaced with dense index vectors: the greedy
+  // sweep iterates the sorted node list either way, so the rewrite must
+  // reproduce these bytes exactly. They also lock the BFS-rooting +
+  // up/down schedule the decisions ride on (rounds included).
+  {
+    util::Rng rng(2024);
+    const graph::Graph g = graph::gen::hubbed_forest_union(400, 2, 4, rng);
+    const auto r = mis::GatherSolveMis::run(g, 1);
+    EXPECT_EQ(state_hash(r.state), 0xbc00a096849bbff5ULL);
+    EXPECT_EQ(r.stats.rounds, 593u);
+  }
+  {
+    util::Rng rng(2026);
+    const graph::Graph g = graph::gen::random_apollonian(500, rng);
+    const auto r = mis::GatherSolveMis::run(g, 9);
+    EXPECT_EQ(state_hash(r.state), 0x450b7af232782908ULL);
+    EXPECT_EQ(r.stats.rounds, 1222u);
+  }
+}
+
 TEST(Determinism, EveryAlgorithmIsAPureFunctionOfGraphAndSeed) {
   util::Rng rng(2024);
   const graph::Graph g = graph::gen::hubbed_forest_union(400, 2, 4, rng);

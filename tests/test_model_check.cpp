@@ -12,6 +12,7 @@
 #include "graph/orientation.h"
 #include "mis/metivier.h"
 #include "readk/family.h"
+#include "sim/contract.h"
 #include "sim/model_check.h"
 #include "sim/network.h"
 
@@ -150,6 +151,34 @@ TEST(ModelCheck, DefaultBudgetFloorsAtOneCongestWord) {
   EXPECT_EQ(small.model_check_report().edge_bit_budget, 72u);
   Network large(graph::gen::path(1000), 1);
   EXPECT_EQ(large.model_check_report().edge_bit_budget, 80u);
+}
+
+TEST(ModelCheck, RuntimeChargesMatchCompileTimeContract) {
+  // The nominal widths pinned at compile time by src/sim/contract.h are
+  // the numbers the runtime checker actually charges: a full CONGEST word
+  // costs exactly kNominalMessageBits, an empty payload costs exactly the
+  // tag, and the default per-edge budget floors at one full message on any
+  // graph small enough for the log-n term to lose. If either side moves
+  // without the other, this test (or contract.h's static_asserts) fails.
+  const graph::Graph g = graph::gen::path(2);
+  {
+    Network net(g, 1);
+    WidePayloadSender algorithm(~std::uint64_t{0});
+    net.run(algorithm, 4);
+    EXPECT_EQ(net.model_check_report().max_message_bits,
+              contract::kNominalMessageBits);
+    EXPECT_EQ(net.model_check_report().edge_bit_budget,
+              contract::kNominalMessageBits);
+  }
+  {
+    Network net(g, 1);
+    WidePayloadSender algorithm(0);
+    net.run(algorithm, 4);
+    EXPECT_EQ(net.model_check_report().max_message_bits,
+              contract::kNominalTagBits);
+  }
+  EXPECT_EQ(ModelCheckOptions{}.tag_bits, contract::kNominalTagBits);
+  EXPECT_EQ(ModelCheckOptions{}.min_edge_bits, contract::kNominalMessageBits);
 }
 
 /// One scale, one iteration, every node competitive: in the single kPrio

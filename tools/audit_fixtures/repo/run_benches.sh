@@ -1,0 +1,12 @@
+#!/bin/bash
+# Fixture for HYG003 (see bench/CMakeLists.txt in this fixture repo).
+set -euo pipefail
+
+BENCHES=(
+  bench_alpha
+  bench_stale   # not a CMake target: must be flagged
+)
+
+for name in "${BENCHES[@]}"; do
+  echo "$name"
+done

@@ -1,0 +1,10 @@
+// Fixture: LAY002 must fire 1x here — core/ may depend on sim/ per the
+// matrix, but sim/thread_pool.h is a restricted executor internal.
+#include "sim/network.h"
+#include "sim/thread_pool.h"
+
+namespace fixture {
+
+int lane_peeker() { return 2; }
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: the control file — deterministic, well-layered code that must
+// produce ZERO findings. It also exercises the lexer's corner cases:
+// banned identifiers inside strings and comments must not fire
+// (e.g. "rand", "getenv", unordered_map, steady_clock in this comment).
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/algorithm.h"
+
+namespace fixture {
+
+inline constexpr const char* kDoc =
+    "strings mentioning rand() or getenv() or mt19937 are not code";
+
+std::uint64_t mix_sorted(const std::vector<std::uint64_t>& values) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint64_t v : values) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace fixture

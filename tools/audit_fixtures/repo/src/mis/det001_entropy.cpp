@@ -1,0 +1,15 @@
+// Fixture: DET001 must fire 4x here — std entropy sources in a semantic
+// module (the <random> include, random_device, mt19937, and rand()).
+#include <random>
+
+namespace fixture {
+
+int hardware_draw() {
+  std::random_device dev;
+  std::mt19937 gen(dev());
+  return static_cast<int>(gen());
+}
+
+int legacy_draw() { return rand(); }
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: DET002 must fire 2x here — wall-clock reads in a semantic
+// module (steady_clock and time()).
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long now_ns() {
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<long>(t.time_since_epoch().count());
+}
+
+long now_s() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: DET003 must fire 2x here — environment/process-state access in
+// a semantic module (getenv and system()).
+#include <cstdlib>
+
+namespace fixture {
+
+const char* home() { return std::getenv("HOME"); }
+
+int shell() { return std::system("true"); }
+
+}  // namespace fixture

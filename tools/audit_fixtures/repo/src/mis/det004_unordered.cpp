@@ -1,0 +1,18 @@
+// Fixture: DET004 must fire 1x here — an unordered container in a
+// semantic module, iterated by range-for (the include line itself is not
+// counted; the type mention is).
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+std::uint64_t sum_values(const std::unordered_map<int, int>& table) {
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : table) {
+    sum += static_cast<std::uint64_t>(value) ^
+           static_cast<std::uint64_t>(key);
+  }
+  return sum;  // depends on implementation-defined bucket order
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: DET005 must fire 2x here — ordered containers keyed by pointer
+// (ordered by address, i.e. by allocator/ASLR state).
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Node {
+  int id;
+};
+
+int count_live(const std::set<Node*>& live,
+               const std::map<Node*, int>& weight) {
+  return static_cast<int>(live.size() + weight.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+namespace fixture {
+
+// This file is the HYG001 fixture: two suppression markers below are
+// non-compliant (one bare, one named but unjustified) and must fire; the
+// third is the compliant form and must pass. Keep the word itself out of
+// prose comments here — like clang-tidy, the audit treats any comment
+// occurrence as a live marker.
+
+int bare = 0;       // NOLINT
+int unjustified = 1;  // NOLINT(bugprone-branch-clone)
+int justified = 2;  // NOLINT(bugprone-branch-clone): fixture for the
+                    // compliant form; named check plus a reason.
+
+}  // namespace fixture

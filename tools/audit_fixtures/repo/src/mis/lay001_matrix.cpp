@@ -1,0 +1,9 @@
+// Fixture: LAY001 must fire 1x here — mis/ reaching up into fault/, an
+// edge the tools/layering.toml matrix does not allow.
+#include "fault/adversary.h"
+
+namespace fixture {
+
+int matrix_breaker() { return 1; }
+
+}  // namespace fixture

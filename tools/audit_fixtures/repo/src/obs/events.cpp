@@ -1,0 +1,13 @@
+// Fixture for HYG002: the kSchemas table. Exactly one deliberate defect —
+// the beta_gamma entry declares num_fields=2 but lists a single field —
+// so the rule must fire 1x on this file.
+#include "obs/events.h"
+
+namespace fixture {
+
+constexpr SchemaTable kSchemas = {{
+    {"alpha", nullptr, {"x", "y"}, 2},
+    {"beta_gamma", "label", {"n"}, 2},
+}};
+
+}  // namespace fixture

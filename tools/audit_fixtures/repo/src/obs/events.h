@@ -1,0 +1,15 @@
+// Fixture for HYG002: a miniature event-kind enum. The kinds here agree
+// with this fixture repo's events.cpp wire names; the deliberate drift
+// lives in events.cpp (declared field count) and tools/trace_inspect.py
+// (missing kind).
+#pragma once
+
+namespace fixture {
+
+enum class EventKind : unsigned char {
+  kAlpha = 0,
+  kBetaGamma,
+  kCount
+};
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture for CON001: a contract header whose poison list is missing the
+// required identifier 'getenv' — the rule must fire 1x here. Everything
+// it does poison is in the audit's recognized banned set, so no
+// unknown-identifier finding fires.
+#pragma once
+
+#if defined(ARBMIS_CONTRACTS_POISON) && defined(__GNUC__)
+#pragma GCC poison rand srand random_device mt19937
+#endif

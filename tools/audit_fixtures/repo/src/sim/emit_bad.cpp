@@ -1,0 +1,11 @@
+// Fixture for HYG002: a make_event call site passing three values where
+// the 'alpha' schema declares two fields — the rule must fire 1x here.
+#include "obs/events.h"
+
+namespace fixture {
+
+void emit_too_wide() {
+  emit(make_event(EventKind::kAlpha, 0, "", 1, 2, 3));
+}
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+# Fixture for HYG002: the offline validator's embedded schema table,
+# deliberately missing the 'beta_gamma' kind — the rule must fire 1x on
+# this file.
+
+EVENT_SCHEMAS = {
+    "alpha": (["x", "y"], None),
+}
