@@ -1,0 +1,203 @@
+// Experiment P3: out-of-core graph storage (graph/storage/) — .gr write
+// throughput, mmap vs buffered load throughput, and the end-to-end cost of
+// running arb_mis off the mapped file instead of the in-memory Graph, with
+// the storage-independence contract checked inline: every mapped run's
+// observable output must hash identically to the in-memory run's.
+//
+// Prints a table and writes machine-readable results to
+// results/BENCH_mmap_graph.json (path via --json). The JSON carries a
+// gbench-style top-level "benchmarks" array (name + items_per_second), so
+// tools/bench_gate.py gates rows from this file directly; the gated row
+// loads the checked-in data/corpus_small.gr corpus in a loop. Exits
+// nonzero on any equivalence mismatch so run_benches.sh fails loudly.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <limits>
+
+#include "bench_common.h"
+#include "core/arb_mis.h"
+#include "graph/storage/gr_writer.h"
+#include "graph/storage/mapped_graph.h"
+
+namespace {
+
+using namespace arbmis;
+
+double time_best_ms(std::uint64_t reps, const std::function<void()>& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint64_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+std::uint64_t hash_mis(const mis::MisResult& r) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const mis::MisState s : r.state) {
+    h = util::mix64(h, static_cast<std::uint64_t>(s));
+  }
+  h = util::mix64(h, r.stats.rounds);
+  h = util::mix64(h, r.stats.messages);
+  h = util::mix64(h, r.stats.payload_bits);
+  return h;
+}
+
+struct CaseResult {
+  std::string name;
+  std::uint64_t items = 0;  ///< edges processed per rep
+  double ms = 0.0;
+  bool identical = true;  ///< rows without an equivalence leg stay true
+  double items_per_second() const {
+    return ms > 0.0 ? static_cast<double>(items) / (ms / 1000.0) : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::BenchOptions::parse(argc, argv);
+  const std::uint64_t reps = options.quick ? 2 : 3;
+  const std::string json_path = options.json_out.empty()
+                                    ? "results/BENCH_mmap_graph.json"
+                                    : options.json_out;
+  std::vector<graph::NodeId> sizes = {65536};
+  if (!options.quick) sizes.push_back(262144);
+
+  bench::print_header(
+      "P3", "binary .gr storage — write/load throughput, mapped == memory");
+  std::cout << "best of " << reps << " reps per cell\n\n";
+
+  std::vector<CaseResult> cases;
+  bool all_identical = true;
+
+  for (const graph::NodeId n : sizes) {
+    util::Rng rng(options.seed);
+    const graph::Graph g = graph::gen::hubbed_forest_union(n, 2, 64, rng);
+    const std::uint64_t m = g.num_edges();
+    const std::string path =
+        "/tmp/arbmis_bench_" + std::to_string(n) + ".gr";
+    const std::string suffix = "_n" + std::to_string(n);
+
+    {
+      CaseResult c{"write_gr" + suffix, m, 0.0, true};
+      c.ms = time_best_ms(reps, [&] { graph::storage::write_gr(path, g); });
+      cases.push_back(c);
+    }
+    {
+      CaseResult c{"mmap_load_verify" + suffix, m, 0.0, true};
+      c.ms = time_best_ms(reps, [&] {
+        const auto mapped = graph::storage::MappedGraph::open(path);
+        if (mapped.num_edges() != m) std::abort();
+      });
+      cases.push_back(c);
+    }
+    {
+      graph::storage::GrMapOptions open_options;
+      open_options.verify_structure = false;
+      CaseResult c{"mmap_load_noverify" + suffix, m, 0.0, true};
+      c.ms = time_best_ms(reps, [&] {
+        const auto mapped =
+            graph::storage::MappedGraph::open(path, open_options);
+        if (mapped.num_edges() != m) std::abort();
+      });
+      cases.push_back(c);
+    }
+    {
+      graph::storage::GrMapOptions open_options;
+      open_options.mode = graph::storage::GrMapMode::kBuffered;
+      CaseResult c{"buffered_load_verify" + suffix, m, 0.0, true};
+      c.ms = time_best_ms(reps, [&] {
+        const auto mapped =
+            graph::storage::MappedGraph::open(path, open_options);
+        if (mapped.num_edges() != m) std::abort();
+      });
+      cases.push_back(c);
+    }
+    {
+      // End-to-end: the full pipeline off each storage backend; the mapped
+      // run must reproduce the in-memory bytes.
+      const auto mapped = graph::storage::MappedGraph::open(path);
+      std::uint64_t memory_hash = 0;
+      std::uint64_t mapped_hash = 0;
+      CaseResult mem{"arb_mis_memory" + suffix, m, 0.0, true};
+      mem.ms = time_best_ms(reps, [&] {
+        memory_hash =
+            hash_mis(core::arb_mis(g, {.alpha = 2}, options.seed).mis);
+      });
+      cases.push_back(mem);
+      CaseResult disk{"arb_mis_mapped" + suffix, m, 0.0, true};
+      disk.ms = time_best_ms(reps, [&] {
+        mapped_hash =
+            hash_mis(core::arb_mis(mapped, {.alpha = 2}, options.seed).mis);
+      });
+      disk.identical = mapped_hash == memory_hash;
+      all_identical = all_identical && disk.identical;
+      cases.push_back(disk);
+    }
+    std::remove(path.c_str());
+  }
+
+  {
+    // The gated perf-smoke row: the checked-in corpus, loaded (mmap +
+    // full verification) in a loop so the per-open cost amortizes to a
+    // stable figure. items/s counts edges loaded across the whole loop.
+    constexpr std::uint64_t kLoops = 1000;
+    const std::string corpus = "data/corpus_small.gr";
+    const auto probe = graph::storage::MappedGraph::open(corpus);
+    CaseResult c{"corpus_small_mmap_x1000", probe.num_edges() * kLoops, 0.0,
+                 true};
+    c.ms = time_best_ms(reps, [&] {
+      for (std::uint64_t i = 0; i < kLoops; ++i) {
+        const auto mapped = graph::storage::MappedGraph::open(corpus);
+        if (mapped.num_nodes() != probe.num_nodes()) std::abort();
+      }
+    });
+    cases.push_back(c);
+  }
+
+  util::Table table({"case", "edges", "best_ms", "edges_per_s", "identical"});
+  table.set_double_precision(3);
+  for (const CaseResult& c : cases) {
+    table.row()
+        .cell(c.name)
+        .cell(c.items)
+        .cell(c.ms)
+        .cell(c.items_per_second())
+        .cell(c.identical ? "yes" : "NO");
+  }
+  bench::emit(table, options);
+
+  std::cout << "\nequivalence: "
+            << (all_identical ? "mapped == memory on all rows" : "MISMATCH")
+            << "\n";
+
+  std::ofstream json(json_path);
+  if (json) {
+    json << "{\n"
+         << "  \"bench\": \"mmap_graph\",\n"
+         << "  \"reps\": " << reps << ",\n"
+         << "  \"seed\": " << options.seed << ",\n"
+         << "  \"identical\": " << (all_identical ? "true" : "false")
+         << ",\n"
+         << "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const CaseResult& c = cases[i];
+      json << "    {\"name\": \"" << c.name << "\", \"edges\": " << c.items
+           << ", \"best_ms\": " << c.ms
+           << ", \"items_per_second\": " << c.items_per_second()
+           << ", \"identical\": " << (c.identical ? "true" : "false") << "}"
+           << (i + 1 < cases.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  } else {
+    std::cout << "could not open " << json_path << " for writing\n";
+  }
+  return all_identical ? 0 : 1;
+}

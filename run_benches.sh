@@ -47,6 +47,7 @@ BENCHES=(
   bench_sim_parallel        # P1
   bench_sim_arena           # P2
   bench_fault_tolerance     # R1
+  bench_mmap_graph          # P3
   bench_micro               # M1
 )
 
@@ -75,6 +76,10 @@ for name in "${BENCHES[@]}"; do
       ;;
     bench_sim_parallel)
       timeout 3000 "$bin" --json results/BENCH_sim_parallel.json "$@" \
+        > "results/${name}.txt" 2>&1
+      ;;
+    bench_mmap_graph)
+      timeout 3000 "$bin" --json results/BENCH_mmap_graph.json "$@" \
         > "results/${name}.txt" 2>&1
       ;;
     *)

@@ -18,7 +18,7 @@ namespace {
 using mis::MisState;
 
 /// Runs `finisher` on a subgraph and returns its labeling.
-mis::MisResult run_finisher(const graph::Graph& sub, Finisher finisher,
+mis::MisResult run_finisher(graph::GraphView sub, Finisher finisher,
                             graph::NodeId alpha, std::uint64_t seed) {
   switch (finisher) {
     case Finisher::kMetivier:
@@ -41,7 +41,7 @@ mis::MisResult run_finisher(const graph::Graph& sub, Finisher finisher,
 /// Runs a finisher stage on the nodes where stage_mask is set and the
 /// global state is still undecided; merges the results and flushes
 /// coverage. Returns the stage's run stats (+1 flush round).
-sim::RunStats run_stage(const graph::Graph& g,
+sim::RunStats run_stage(graph::GraphView g,
                         std::vector<MisState>& state,
                         const std::vector<std::uint8_t>& stage_mask,
                         Finisher finisher, graph::NodeId alpha,
@@ -80,7 +80,7 @@ void emit_phase(std::string_view name, std::uint64_t index,
 
 }  // namespace
 
-ArbMisResult arb_mis(const graph::Graph& g, const ArbMisOptions& options,
+ArbMisResult arb_mis(graph::GraphView g, const ArbMisOptions& options,
                      std::uint64_t seed) {
   ArbMisResult result;
   result.mis.state.assign(g.num_nodes(), MisState::kUndecided);

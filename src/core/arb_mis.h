@@ -89,7 +89,7 @@ struct ArbMisResult {
 };
 
 /// Runs the full pipeline. Seeds of the stages derive from `seed`.
-ArbMisResult arb_mis(const graph::Graph& g, const ArbMisOptions& options,
+ArbMisResult arb_mis(graph::GraphView g, const ArbMisOptions& options,
                      std::uint64_t seed);
 
 }  // namespace arbmis::core

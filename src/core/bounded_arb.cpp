@@ -4,7 +4,7 @@
 
 namespace arbmis::core {
 
-BoundedArbIndependentSet::BoundedArbIndependentSet(const graph::Graph& g,
+BoundedArbIndependentSet::BoundedArbIndependentSet(graph::GraphView g,
                                                    Params params)
     : params_(params),
       rounds_per_scale_(3 * params.iterations_per_scale + 2),
@@ -223,7 +223,7 @@ std::vector<std::uint8_t> BoundedArbIndependentSet::Result::remaining_mask()
 }
 
 BoundedArbIndependentSet::Result BoundedArbIndependentSet::run(
-    const graph::Graph& g, Params params, std::uint64_t seed,
+    graph::GraphView g, Params params, std::uint64_t seed,
     const sim::Network::RoundObserver& observer) {
   BoundedArbIndependentSet algorithm(g, params);
   sim::Network net(g, seed);

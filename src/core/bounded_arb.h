@@ -63,7 +63,7 @@ struct SchedulePoint {
 
 class BoundedArbIndependentSet : public sim::Algorithm {
  public:
-  BoundedArbIndependentSet(const graph::Graph& g, Params params);
+  BoundedArbIndependentSet(graph::GraphView g, Params params);
 
   std::string_view name() const override { return "bounded_arb"; }
   void on_start(sim::NodeContext& ctx) override;
@@ -108,7 +108,7 @@ class BoundedArbIndependentSet : public sim::Algorithm {
   };
 
   /// Runs the fixed schedule on a fresh network.
-  static Result run(const graph::Graph& g, Params params, std::uint64_t seed,
+  static Result run(graph::GraphView g, Params params, std::uint64_t seed,
                     const sim::Network::RoundObserver& observer = {});
 
  private:

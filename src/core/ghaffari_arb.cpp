@@ -6,7 +6,7 @@
 
 namespace arbmis::core {
 
-GhaffariArbResult ghaffari_arb_mis(const graph::Graph& g, std::uint64_t seed,
+GhaffariArbResult ghaffari_arb_mis(graph::GraphView g, std::uint64_t seed,
                                    GhaffariArbOptions options) {
   GhaffariArbResult result;
   result.mis.state.assign(g.num_nodes(), mis::MisState::kUndecided);

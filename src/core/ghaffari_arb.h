@@ -31,7 +31,7 @@ struct GhaffariArbOptions {
   bool skip_reduction = false;
 };
 
-GhaffariArbResult ghaffari_arb_mis(const graph::Graph& g, std::uint64_t seed,
+GhaffariArbResult ghaffari_arb_mis(graph::GraphView g, std::uint64_t seed,
                                    GhaffariArbOptions options = {});
 
 }  // namespace arbmis::core

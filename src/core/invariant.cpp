@@ -4,9 +4,9 @@
 
 namespace arbmis::core {
 
-InvariantAuditor::InvariantAuditor(const graph::Graph& g,
+InvariantAuditor::InvariantAuditor(graph::GraphView g,
                                    const BoundedArbIndependentSet& algorithm)
-    : graph_(&g), algorithm_(&algorithm) {}
+    : graph_(g), algorithm_(&algorithm) {}
 
 sim::Network::RoundObserver InvariantAuditor::observer() {
   return [this](const sim::Network& net, std::uint32_t round) {
@@ -18,7 +18,7 @@ sim::Network::RoundObserver InvariantAuditor::observer() {
 
 void InvariantAuditor::audit_scale(const sim::Network& net,
                                    std::uint32_t scale) {
-  const graph::Graph& g = *graph_;
+  graph::GraphView g = graph_;
   const Params& params = algorithm_->params();
   // Active = still in VIB = not halted. (Nodes that went bad or joined in
   // this very round have already halted when the observer fires.)

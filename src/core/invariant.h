@@ -24,7 +24,7 @@ namespace arbmis::core {
 
 class InvariantAuditor {
  public:
-  InvariantAuditor(const graph::Graph& g,
+  InvariantAuditor(graph::GraphView g,
                    const BoundedArbIndependentSet& algorithm);
 
   /// Observer to pass into BoundedArbIndependentSet::run.
@@ -46,7 +46,7 @@ class InvariantAuditor {
  private:
   void audit_scale(const sim::Network& net, std::uint32_t scale);
 
-  const graph::Graph* graph_;
+  graph::GraphView graph_;
   const BoundedArbIndependentSet* algorithm_;
   std::vector<ScaleAudit> audits_;
 };

@@ -7,7 +7,7 @@
 
 namespace arbmis::core {
 
-LwTreeMisResult lw_tree_mis(const graph::Graph& g, std::uint64_t seed,
+LwTreeMisResult lw_tree_mis(graph::GraphView g, std::uint64_t seed,
                             LwTreeMisOptions options) {
   LwTreeMisResult result;
 

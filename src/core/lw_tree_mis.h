@@ -40,7 +40,7 @@ struct LwTreeMisResult {
 
 /// Works on any graph (the finish is always correct); the round-complexity
 /// claim is for trees / bounded-arboricity inputs.
-LwTreeMisResult lw_tree_mis(const graph::Graph& g, std::uint64_t seed,
+LwTreeMisResult lw_tree_mis(graph::GraphView g, std::uint64_t seed,
                             LwTreeMisOptions options = {});
 
 }  // namespace arbmis::core

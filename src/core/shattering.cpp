@@ -7,7 +7,7 @@
 
 namespace arbmis::core {
 
-ShatteringStats shattering_stats(const graph::Graph& g,
+ShatteringStats shattering_stats(graph::GraphView g,
                                  std::span<const std::uint8_t> mask) {
   ShatteringStats stats;
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {

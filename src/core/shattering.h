@@ -28,7 +28,7 @@ struct ShatteringStats {
 };
 
 /// Component statistics of the subgraph induced by mask (1 = in set).
-ShatteringStats shattering_stats(const graph::Graph& g,
+ShatteringStats shattering_stats(graph::GraphView g,
                                  std::span<const std::uint8_t> mask);
 
 }  // namespace arbmis::core

@@ -6,7 +6,7 @@
 
 namespace arbmis::core {
 
-ArbMisResult tree_independent_set(const graph::Graph& g, std::uint64_t seed,
+ArbMisResult tree_independent_set(graph::GraphView g, std::uint64_t seed,
                                   TreeMisOptions options) {
   if (!graph::is_forest(g)) {
     throw std::invalid_argument(

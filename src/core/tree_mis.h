@@ -24,7 +24,7 @@ struct TreeMisOptions {
 /// Runs the tree MIS pipeline on a forest. Throws std::invalid_argument
 /// if `g` contains a cycle — this entry point is the *tree* algorithm;
 /// for general bounded-arboricity graphs call arb_mis() directly.
-ArbMisResult tree_independent_set(const graph::Graph& g, std::uint64_t seed,
+ArbMisResult tree_independent_set(graph::GraphView g, std::uint64_t seed,
                                   TreeMisOptions options = {});
 
 }  // namespace arbmis::core

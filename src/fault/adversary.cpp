@@ -12,7 +12,7 @@ namespace {
 void iid_crashes(double rate, const AdversaryView& view, util::Rng& rng,
                  std::vector<graph::NodeId>& out) {
   if (rate <= 0.0) return;
-  const graph::NodeId n = view.graph->num_nodes();
+  const graph::NodeId n = view.graph.num_nodes();
   for (graph::NodeId v = 0; v < n; ++v) {
     if (view.halted[v] != 0 || view.down[v] != 0) continue;
     if (rng.bernoulli(rate)) out.push_back(v);
@@ -53,7 +53,7 @@ void BurstyAdversary::pick_crashes(std::uint32_t round,
   iid_crashes(options_.crash_rate, view, rng, out);
 }
 
-void AdaptiveAdversary::bind(const graph::Graph& g) {
+void AdaptiveAdversary::bind(graph::GraphView g) {
   const graph::NodeId n = g.num_nodes();
   targeted_.assign(n, 0);
   if (n == 0) return;
@@ -89,12 +89,12 @@ void AdaptiveAdversary::pick_crashes(std::uint32_t round,
   if (round % options_.crash_period != 0) return;
   // Highest-degree node that is still running; ties break to the lowest
   // id. Pure function of the barrier snapshot — no coin needed.
-  const graph::NodeId n = view.graph->num_nodes();
+  const graph::NodeId n = view.graph.num_nodes();
   graph::NodeId best = n;
   graph::NodeId best_degree = 0;
   for (graph::NodeId v = 0; v < n; ++v) {
     if (view.halted[v] != 0 || view.down[v] != 0) continue;
-    const graph::NodeId d = view.graph->degree(v);
+    const graph::NodeId d = view.graph.degree(v);
     if (best == n || d > best_degree) {
       best = v;
       best_degree = d;

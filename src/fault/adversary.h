@@ -38,7 +38,7 @@ struct MessageOdds {
 /// Read-only barrier snapshot an adversary may react to. Everything here
 /// is deterministic, so reacting to it preserves run determinism.
 struct AdversaryView {
-  const graph::Graph* graph = nullptr;
+  graph::GraphView graph{};
   std::span<const std::uint8_t> halted;  ///< 1 = halted
   std::span<const std::uint8_t> down;    ///< 1 = currently crashed
 };
@@ -71,7 +71,7 @@ class Adversary {
 
   /// Called once by FaultPlan's constructor; degree-aware adversaries
   /// precompute their target sets here.
-  virtual void bind(const graph::Graph& g) { (void)g; }
+  virtual void bind(graph::GraphView g) { (void)g; }
 
   /// Called by FaultPlan::begin_run; stateful adversaries (crash budgets)
   /// reset here so a plan replays identically run after run.
@@ -163,7 +163,7 @@ class AdaptiveAdversary final : public Adversary {
   std::uint32_t recovery_delay() const override {
     return options_.recovery_delay;
   }
-  void bind(const graph::Graph& g) override;
+  void bind(graph::GraphView g) override;
   void begin_run() override { crashes_spent_ = 0; }
 
   bool targeted(graph::NodeId v) const noexcept {

@@ -6,9 +6,9 @@
 
 namespace arbmis::fault {
 
-FaultPlan::FaultPlan(const graph::Graph& g, std::uint64_t seed,
+FaultPlan::FaultPlan(graph::GraphView g, std::uint64_t seed,
                      Adversary& adversary)
-    : graph_(&g),
+    : graph_(g),
       adversary_(&adversary),
       message_key_(util::Rng(seed).child(kMessageStream).next()),
       event_rng_(util::Rng(seed).child(kEventStream)) {
@@ -31,7 +31,7 @@ void FaultPlan::begin_run() {
 sim::RoundFaultEvents FaultPlan::begin_round(
     std::uint32_t round, std::span<const std::uint8_t> halted) {
   sim::RoundFaultEvents events;
-  const graph::NodeId n = graph_->num_nodes();
+  const graph::NodeId n = graph_.num_nodes();
   // Recoveries due at this barrier resolve before new crashes, so a node
   // can in principle recover and be re-crashed at the same barrier only
   // via an explicit adversary pick.

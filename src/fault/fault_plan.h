@@ -47,7 +47,7 @@ class FaultPlan final : public sim::FaultInjector {
  public:
   /// The adversary is borrowed and must outlive the plan; its bind() hook
   /// runs here so degree-aware strategies can precompute against `g`.
-  FaultPlan(const graph::Graph& g, std::uint64_t seed, Adversary& adversary);
+  FaultPlan(graph::GraphView g, std::uint64_t seed, Adversary& adversary);
 
   // FaultInjector hooks (called by sim::Network; see sim/fault_hooks.h).
   void begin_run() override;
@@ -80,7 +80,7 @@ class FaultPlan final : public sim::FaultInjector {
   double coin(std::uint64_t edge_slot, std::uint32_t round,
               std::uint64_t salt) const noexcept;
 
-  const graph::Graph* graph_;
+  graph::GraphView graph_;
   Adversary* adversary_;
   std::uint64_t message_key_ = 0;
   util::Rng event_rng_;

@@ -16,7 +16,7 @@ struct Residual {
   std::vector<graph::NodeId> to_input;
 };
 
-Residual induced_subgraph(const graph::Graph& g,
+Residual induced_subgraph(graph::GraphView g,
                           const std::vector<std::uint8_t>& keep) {
   const graph::NodeId n = g.num_nodes();
   Residual res;
@@ -40,7 +40,7 @@ Residual induced_subgraph(const graph::Graph& g,
 }  // namespace
 
 MisDriver shatter_driver(graph::NodeId alpha, core::PracticalTuning tuning) {
-  return [alpha, tuning](const graph::Graph& g, sim::Network& net,
+  return [alpha, tuning](graph::GraphView g, sim::Network& net,
                          std::uint32_t max_rounds, sim::RunStats& stats) {
     std::vector<mis::MisState> labels(g.num_nodes(),
                                       mis::MisState::kUndecided);
@@ -86,7 +86,7 @@ MisDriver shatter_driver(graph::NodeId alpha, core::PracticalTuning tuning) {
   };
 }
 
-ResilientResult resilient_mis(const graph::Graph& g, std::uint64_t seed,
+ResilientResult resilient_mis(graph::GraphView g, std::uint64_t seed,
                               Adversary& adversary, const MisDriver& driver,
                               const ResilientOptions& options) {
   const graph::NodeId n = g.num_nodes();

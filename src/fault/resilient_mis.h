@@ -38,14 +38,14 @@ namespace arbmis::fault {
 /// wired to the attempt's fault plan) and return per-node labels indexed
 /// by g's ids (kUndecided allowed). `stats` receives the attempt's stats.
 using MisDriver = std::function<std::vector<mis::MisState>(
-    const graph::Graph& g, sim::Network& net, std::uint32_t max_rounds,
+    graph::GraphView g, sim::Network& net, std::uint32_t max_rounds,
     sim::RunStats& stats)>;
 
 /// Driver for any sim::Algorithm constructible from a const Graph& with a
 /// states() accessor — LubyBMis, GhaffariMis, MetivierMis.
 template <typename Algo>
 MisDriver algorithm_driver() {
-  return [](const graph::Graph& g, sim::Network& net,
+  return [](graph::GraphView g, sim::Network& net,
             std::uint32_t max_rounds, sim::RunStats& stats) {
     Algo algo(g);
     stats = net.run(algo, max_rounds);
@@ -97,7 +97,7 @@ struct ResilientResult {
 
 /// Runs `driver` to a certified MIS on `g` under the faults `adversary`
 /// injects (attempt k uses a FaultPlan seeded from (seed, k)).
-ResilientResult resilient_mis(const graph::Graph& g, std::uint64_t seed,
+ResilientResult resilient_mis(graph::GraphView g, std::uint64_t seed,
                               Adversary& adversary, const MisDriver& driver,
                               const ResilientOptions& options = {});
 

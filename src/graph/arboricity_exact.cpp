@@ -17,7 +17,7 @@ constexpr std::uint32_t kUnplaced = ~std::uint32_t{0};
 /// indices.
 class ForestPartitioner {
  public:
-  ForestPartitioner(const Graph& g, NodeId k)
+  ForestPartitioner(GraphView g, NodeId k)
       : g_(g),
         k_(k),
         edges_(g.edges()),
@@ -163,7 +163,7 @@ class ForestPartitioner {
     }
   }
 
-  const Graph& g_;
+  GraphView g_;
   NodeId k_;
   std::vector<Edge> edges_;
   std::vector<std::uint32_t> forest_of_;
@@ -173,7 +173,7 @@ class ForestPartitioner {
 
 }  // namespace
 
-std::optional<ForestPartition> partition_into_forests(const Graph& g,
+std::optional<ForestPartition> partition_into_forests(GraphView g,
                                                       NodeId k) {
   if (g.num_edges() == 0) {
     ForestPartition empty;
@@ -192,7 +192,7 @@ std::optional<ForestPartition> partition_into_forests(const Graph& g,
   return result;
 }
 
-NodeId exact_arboricity(const Graph& g) {
+NodeId exact_arboricity(GraphView g) {
   if (g.num_edges() == 0) return 0;
   NodeId lo = std::max<NodeId>(
       static_cast<NodeId>(density_lower_bound(g)), 1);
@@ -208,7 +208,7 @@ NodeId exact_arboricity(const Graph& g) {
   return lo;
 }
 
-ArboricityCertificate exact_arboricity_certified(const Graph& g) {
+ArboricityCertificate exact_arboricity_certified(GraphView g) {
   ArboricityCertificate certificate;
   certificate.arboricity = exact_arboricity(g);
   if (certificate.arboricity > 0) {

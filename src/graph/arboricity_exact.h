@@ -29,11 +29,11 @@ namespace arbmis::graph {
 
 /// Partitions g's edges into at most k forests, or nullopt if impossible
 /// (i.e. k < arboricity(g)).
-std::optional<ForestPartition> partition_into_forests(const Graph& g,
+std::optional<ForestPartition> partition_into_forests(GraphView g,
                                                       NodeId k);
 
 /// Exact arboricity (0 for edgeless graphs).
-NodeId exact_arboricity(const Graph& g);
+NodeId exact_arboricity(GraphView g);
 
 /// Exact arboricity together with a certifying partition.
 struct ArboricityCertificate {
@@ -41,6 +41,6 @@ struct ArboricityCertificate {
   ForestPartition forests;
 };
 
-ArboricityCertificate exact_arboricity_certified(const Graph& g);
+ArboricityCertificate exact_arboricity_certified(GraphView g);
 
 }  // namespace arbmis::graph

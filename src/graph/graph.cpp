@@ -7,12 +7,22 @@ namespace arbmis::graph {
 Graph::Graph(NodeId n) : num_nodes_(n), offsets_(n + 1, 0) {}
 
 bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
+  return GraphView(*this).has_edge(u, v);
+}
+
+NodeId Graph::port_of(NodeId v, NodeId w) const {
+  return GraphView(*this).port_of(v, w);
+}
+
+std::vector<Edge> Graph::edges() const { return GraphView(*this).edges(); }
+
+bool GraphView::has_edge(NodeId u, NodeId v) const noexcept {
   if (u >= num_nodes_ || v >= num_nodes_) return false;
   const auto nbrs = neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }
 
-NodeId Graph::port_of(NodeId v, NodeId w) const {
+NodeId GraphView::port_of(NodeId v, NodeId w) const {
   const auto nbrs = neighbors(v);
   const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), w);
   if (it == nbrs.end() || *it != w) {
@@ -21,7 +31,7 @@ NodeId Graph::port_of(NodeId v, NodeId w) const {
   return static_cast<NodeId>(it - nbrs.begin());
 }
 
-std::vector<Edge> Graph::edges() const {
+std::vector<Edge> GraphView::edges() const {
   std::vector<Edge> out;
   out.reserve(num_edges());
   for (NodeId u = 0; u < num_nodes_; ++u) {

@@ -24,6 +24,8 @@ struct Edge {
   friend auto operator<=>(const Edge&, const Edge&) = default;
 };
 
+class GraphView;
+
 class Graph {
  public:
   /// Empty graph with n isolated nodes.
@@ -57,10 +59,81 @@ class Graph {
 
  private:
   friend class Builder;
+  friend class GraphView;
   NodeId num_nodes_ = 0;
   NodeId max_degree_ = 0;
   std::vector<std::uint64_t> offsets_;  // size n+1
   std::vector<NodeId> adjacency_;       // size 2m, sorted per node
+};
+
+/// Non-owning CSR view — the storage seam every graph consumer runs
+/// through. A GraphView is four words (n, Δ, offsets pointer, adjacency
+/// pointer) and is passed by value; it exposes exactly the read surface of
+/// Graph, so the simulator, the algorithms, the fault planner, and the
+/// verifier are oblivious to whether the bytes behind it live in an
+/// in-memory Graph or an mmap-mapped .gr file (graph/storage/
+/// mapped_graph.h). Construction from Graph is implicit by design: every
+/// `const Graph&` call site keeps compiling unchanged. The view does not
+/// own or extend the lifetime of the underlying storage — the Graph or
+/// MappedGraph must outlive it, exactly like a std::span.
+class GraphView {
+ public:
+  /// Empty view (n = 0): valid, no storage behind it.
+  constexpr GraphView() noexcept = default;
+
+  /// Implicit by design — this conversion is the seam that lets Graph
+  /// call sites flow into GraphView consumers unchanged.
+  // NOLINTNEXTLINE(google-explicit-constructor): the implicit conversion IS the storage seam
+  GraphView(const Graph& g) noexcept
+      : num_nodes_(g.num_nodes_),
+        max_degree_(g.max_degree_),
+        offsets_(g.offsets_.data()),
+        adjacency_(g.adjacency_.data()) {}
+
+  /// Raw-CSR constructor (used by storage::MappedGraph). `offsets` must
+  /// have n+1 monotone entries with offsets[0] == 0; `adjacency` must hold
+  /// offsets[n] node ids, sorted within each node's range.
+  GraphView(NodeId n, NodeId max_degree, const std::uint64_t* offsets,
+            const NodeId* adjacency) noexcept
+      : num_nodes_(n),
+        max_degree_(max_degree),
+        offsets_(offsets),
+        adjacency_(adjacency) {}
+
+  NodeId num_nodes() const noexcept { return num_nodes_; }
+  /// Number of undirected edges.
+  std::uint64_t num_edges() const noexcept {
+    return offsets_ == nullptr ? 0 : offsets_[num_nodes_] / 2;
+  }
+
+  /// Sorted neighbors of v.
+  std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return {adjacency_ + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  NodeId degree(NodeId v) const noexcept {
+    return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  NodeId max_degree() const noexcept { return max_degree_; }
+
+  /// True if {u, v} is an edge (binary search; O(log deg)).
+  bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  /// Port of neighbor w at node v, i.e. the index of w in neighbors(v).
+  /// Throws std::invalid_argument if w is not adjacent to v.
+  NodeId port_of(NodeId v, NodeId w) const;
+
+  /// All edges, each reported once with u < v, sorted. Materializes a
+  /// vector — O(m) memory; prefer neighbors() iteration on mapped graphs.
+  std::vector<Edge> edges() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  NodeId max_degree_ = 0;
+  const std::uint64_t* offsets_ = nullptr;  // n+1 entries
+  const NodeId* adjacency_ = nullptr;       // offsets_[n] entries
 };
 
 /// Accumulates edges and finalizes into a Graph. Rejects self-loops and

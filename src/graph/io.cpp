@@ -1,12 +1,13 @@
 #include "graph/io.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 namespace arbmis::graph {
 
-void write_edge_list(std::ostream& out, const Graph& g) {
+void write_edge_list(std::ostream& out, GraphView g) {
   out << "# arbmis edge list: n m, then one 'u v' per undirected edge\n";
   out << g.num_nodes() << ' ' << g.num_edges() << '\n';
   for (const Edge& e : g.edges()) {
@@ -40,8 +41,12 @@ Graph read_edge_list(std::istream& in) {
   if (!(header >> n >> m)) {
     throw std::invalid_argument("read_edge_list: malformed header");
   }
-  if (n > ~NodeId{0}) {
-    throw std::invalid_argument("read_edge_list: node count too large");
+  // Compare in 64 bits: `~NodeId{0}` would promote to int -1 and then
+  // convert back to a huge uint64, making the check pass for every n.
+  if (n > std::numeric_limits<NodeId>::max()) {
+    throw std::invalid_argument(
+        "read_edge_list: node count " + std::to_string(n) +
+        " exceeds the 32-bit NodeId space");
   }
   Builder builder(static_cast<NodeId>(n));
   for (std::uint64_t i = 0; i < m; ++i) {
@@ -63,7 +68,7 @@ Graph read_edge_list(std::istream& in) {
   return builder.build();
 }
 
-void save_graph(const std::string& path, const Graph& g) {
+void save_graph(const std::string& path, GraphView g) {
   std::ofstream out(path);
   if (!out) {
     throw std::runtime_error("save_graph: cannot open " + path);
@@ -79,7 +84,7 @@ Graph load_graph(const std::string& path) {
   return read_edge_list(in);
 }
 
-void write_dot(std::ostream& out, const Graph& g,
+void write_dot(std::ostream& out, GraphView g,
                std::span<const std::uint8_t> highlight) {
   out << "graph arbmis {\n  node [shape=circle];\n";
   for (NodeId v = 0; v < g.num_nodes(); ++v) {

@@ -15,7 +15,7 @@
 namespace arbmis::graph {
 
 /// Writes the header + edge list (with a comment header line).
-void write_edge_list(std::ostream& out, const Graph& g);
+void write_edge_list(std::ostream& out, GraphView g);
 
 /// Parses the format above. Throws std::invalid_argument on malformed
 /// input (bad header, edge count mismatch, out-of-range endpoints,
@@ -24,12 +24,12 @@ Graph read_edge_list(std::istream& in);
 
 /// File convenience wrappers; throw std::runtime_error when the file
 /// cannot be opened.
-void save_graph(const std::string& path, const Graph& g);
+void save_graph(const std::string& path, GraphView g);
 Graph load_graph(const std::string& path);
 
 /// Graphviz DOT export (undirected). `highlight[v] != 0` fills node v —
 /// handy for eyeballing MIS outputs and bad sets; pass {} for none.
-void write_dot(std::ostream& out, const Graph& g,
+void write_dot(std::ostream& out, GraphView g,
                std::span<const std::uint8_t> highlight = {});
 
 }  // namespace arbmis::graph

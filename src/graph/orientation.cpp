@@ -7,7 +7,7 @@
 
 namespace arbmis::graph {
 
-Orientation::Orientation(const Graph& g,
+Orientation::Orientation(GraphView g,
                          std::vector<std::vector<NodeId>> parents)
     : parents_(std::move(parents)), children_(g.num_nodes()) {
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -41,7 +41,7 @@ bool Orientation::is_acyclic() const {
   return seen == n;
 }
 
-Orientation degeneracy_orientation(const Graph& g) {
+Orientation degeneracy_orientation(GraphView g) {
   const CoreDecomposition cores = core_decomposition(g);
   std::vector<std::vector<NodeId>> parents(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -52,7 +52,7 @@ Orientation degeneracy_orientation(const Graph& g) {
   return Orientation(g, std::move(parents));
 }
 
-Orientation id_orientation(const Graph& g) {
+Orientation id_orientation(GraphView g) {
   std::vector<std::vector<NodeId>> parents(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     for (NodeId w : g.neighbors(v)) {
@@ -72,7 +72,7 @@ std::uint64_t ForestPartition::num_edges() const noexcept {
   return total;
 }
 
-ForestPartition forests_from_orientation(const Graph& g,
+ForestPartition forests_from_orientation(GraphView g,
                                          const Orientation& orientation) {
   ForestPartition out;
   out.forest_parent.assign(orientation.max_out_degree(),
@@ -86,7 +86,7 @@ ForestPartition forests_from_orientation(const Graph& g,
   return out;
 }
 
-bool valid_forest_partition(const Graph& g, const ForestPartition& partition) {
+bool valid_forest_partition(GraphView g, const ForestPartition& partition) {
   const NodeId n = g.num_nodes();
   // Every (v, parent) pair must be a real edge, and each edge must be
   // covered exactly once.

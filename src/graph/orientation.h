@@ -22,7 +22,7 @@ namespace arbmis::graph {
 /// out-neighbors of v. children(v) is the inverse view.
 class Orientation {
  public:
-  Orientation(const Graph& g, std::vector<std::vector<NodeId>> parents);
+  Orientation(GraphView g, std::vector<std::vector<NodeId>> parents);
 
   NodeId num_nodes() const noexcept {
     return static_cast<NodeId>(parents_.size());
@@ -56,11 +56,11 @@ class Orientation {
 /// the later one; each node then has at most `degeneracy(g)` parents. This
 /// is the orientation the paper's analysis assumes (with α replaced by the
 /// degeneracy, which is < 2α).
-Orientation degeneracy_orientation(const Graph& g);
+Orientation degeneracy_orientation(GraphView g);
 
 /// Orients every edge from the smaller id to the larger id; out-degree can
 /// be large, but the orientation is trivially acyclic. Used in tests.
-Orientation id_orientation(const Graph& g);
+Orientation id_orientation(GraphView g);
 
 /// A partition of the edge set into rooted forests. forest_parent[f][v] is
 /// v's parent in forest f, or kNoParent.
@@ -82,11 +82,11 @@ struct ForestPartition {
 /// to forest i. Yields exactly max_out_degree() forests, each a forest
 /// because every node has <= 1 parent per index and the orientation is
 /// acyclic. Requires an acyclic orientation.
-ForestPartition forests_from_orientation(const Graph& g,
+ForestPartition forests_from_orientation(GraphView g,
                                          const Orientation& orientation);
 
 /// Checks that `partition` covers each edge of g exactly once and that each
 /// forest is acyclic with in-tree parent pointers. Used by tests.
-bool valid_forest_partition(const Graph& g, const ForestPartition& partition);
+bool valid_forest_partition(GraphView g, const ForestPartition& partition);
 
 }  // namespace arbmis::graph

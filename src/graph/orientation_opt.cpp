@@ -98,7 +98,7 @@ struct ChargingNetwork {
   std::vector<Edge> edges;
   bool feasible = false;
 
-  ChargingNetwork(const Graph& g, NodeId k)
+  ChargingNetwork(GraphView g, NodeId k)
       : dinic(static_cast<std::uint32_t>(g.num_edges() + g.num_nodes() + 2)),
         edges(g.edges()) {
     const auto m = static_cast<std::uint32_t>(edges.size());
@@ -130,13 +130,13 @@ struct ChargingNetwork {
 
 }  // namespace
 
-bool has_orientation_with_outdegree(const Graph& g, NodeId k) {
+bool has_orientation_with_outdegree(GraphView g, NodeId k) {
   if (g.num_edges() == 0) return true;
   if (k == 0) return false;
   return ChargingNetwork(g, k).feasible;
 }
 
-NodeId pseudoarboricity(const Graph& g) {
+NodeId pseudoarboricity(GraphView g) {
   if (g.num_edges() == 0) return 0;
   // p is at least the global density ceil(m/n) and at most the degeneracy.
   NodeId lo = static_cast<NodeId>(
@@ -154,7 +154,7 @@ NodeId pseudoarboricity(const Graph& g) {
   return lo;
 }
 
-Orientation min_outdegree_orientation(const Graph& g) {
+Orientation min_outdegree_orientation(GraphView g) {
   const NodeId p = pseudoarboricity(g);
   std::vector<std::vector<NodeId>> parents(g.num_nodes());
   if (g.num_edges() > 0) {
@@ -172,7 +172,7 @@ Orientation min_outdegree_orientation(const Graph& g) {
   return Orientation(g, std::move(parents));
 }
 
-TightArboricityBounds tight_arboricity_bounds(const Graph& g) {
+TightArboricityBounds tight_arboricity_bounds(GraphView g) {
   TightArboricityBounds bounds;
   bounds.pseudoarboricity = pseudoarboricity(g);
   const ArboricityBounds basic = arboricity_bounds(g);

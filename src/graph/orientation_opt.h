@@ -23,15 +23,15 @@
 namespace arbmis::graph {
 
 /// True iff g admits an orientation with max out-degree <= k.
-bool has_orientation_with_outdegree(const Graph& g, NodeId k);
+bool has_orientation_with_outdegree(GraphView g, NodeId k);
 
 /// Exact pseudoarboricity p(G) (0 for edgeless graphs).
-NodeId pseudoarboricity(const Graph& g);
+NodeId pseudoarboricity(GraphView g);
 
 /// An orientation achieving out-degree p(G). Note: unlike the degeneracy
 /// orientation it need not be acyclic — the read-k counting arguments
 /// only need the parent bound, not acyclicity.
-Orientation min_outdegree_orientation(const Graph& g);
+Orientation min_outdegree_orientation(GraphView g);
 
 /// Convenience: [density lower bound, degeneracy] refined with the exact
 /// pseudoarboricity sandwich p <= α <= p+1.
@@ -42,6 +42,6 @@ struct TightArboricityBounds {
   bool exact() const noexcept { return lower == upper; }
 };
 
-TightArboricityBounds tight_arboricity_bounds(const Graph& g);
+TightArboricityBounds tight_arboricity_bounds(GraphView g);
 
 }  // namespace arbmis::graph

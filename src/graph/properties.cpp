@@ -13,7 +13,7 @@ NodeId Components::largest() const noexcept {
 
 namespace {
 
-Components components_impl(const Graph& g, const std::uint8_t* in_set) {
+Components components_impl(GraphView g, const std::uint8_t* in_set) {
   const NodeId n = g.num_nodes();
   Components out;
   out.label.assign(n, kNoComponent);
@@ -44,15 +44,15 @@ Components components_impl(const Graph& g, const std::uint8_t* in_set) {
 
 }  // namespace
 
-Components connected_components(const Graph& g) {
+Components connected_components(GraphView g) {
   return components_impl(g, nullptr);
 }
 
-Components induced_components(const Graph& g, std::span<const std::uint8_t> in_set) {
+Components induced_components(GraphView g, std::span<const std::uint8_t> in_set) {
   return components_impl(g, in_set.data());
 }
 
-std::vector<NodeId> bfs_distances(const Graph& g, NodeId source) {
+std::vector<NodeId> bfs_distances(GraphView g, NodeId source) {
   std::vector<NodeId> dist(g.num_nodes(), kUnreachable);
   std::queue<NodeId> queue;
   dist[source] = 0;
@@ -69,14 +69,14 @@ std::vector<NodeId> bfs_distances(const Graph& g, NodeId source) {
   return dist;
 }
 
-bool is_forest(const Graph& g) {
+bool is_forest(GraphView g) {
   const Components comps = connected_components(g);
   // A forest has exactly n - (#components) edges.
   return g.num_edges() ==
          static_cast<std::uint64_t>(g.num_nodes()) - comps.count;
 }
 
-CoreDecomposition core_decomposition(const Graph& g) {
+CoreDecomposition core_decomposition(GraphView g) {
   const NodeId n = g.num_nodes();
   CoreDecomposition out;
   out.core.assign(n, 0);
@@ -136,19 +136,19 @@ CoreDecomposition core_decomposition(const Graph& g) {
   return out;
 }
 
-NodeId degeneracy(const Graph& g) { return core_decomposition(g).degeneracy; }
+NodeId degeneracy(GraphView g) { return core_decomposition(g).degeneracy; }
 
-std::uint64_t density_lower_bound(const Graph& g) {
+std::uint64_t density_lower_bound(GraphView g) {
   if (g.num_nodes() < 2) return 0;
   const std::uint64_t denom = g.num_nodes() - 1;
   return (g.num_edges() + denom - 1) / denom;
 }
 
-ArboricityBounds arboricity_bounds(const Graph& g) {
+ArboricityBounds arboricity_bounds(GraphView g) {
   return {density_lower_bound(g), degeneracy(g)};
 }
 
-NodeId eccentricity(const Graph& g, NodeId source) {
+NodeId eccentricity(GraphView g, NodeId source) {
   NodeId ecc = 0;
   for (NodeId d : bfs_distances(g, source)) {
     if (d != kUnreachable) ecc = std::max(ecc, d);
@@ -156,7 +156,7 @@ NodeId eccentricity(const Graph& g, NodeId source) {
   return ecc;
 }
 
-std::optional<NodeId> diameter(const Graph& g) {
+std::optional<NodeId> diameter(GraphView g) {
   if (g.num_nodes() == 0) return std::nullopt;
   NodeId best = 0;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {

@@ -32,19 +32,19 @@ struct Components {
   NodeId largest() const noexcept;
 };
 
-Components connected_components(const Graph& g);
+Components connected_components(GraphView g);
 
 /// Components of the subgraph induced by the nodes where `in_set` is true.
 /// Nodes outside the set get label == kNoComponent.
 inline constexpr NodeId kNoComponent = ~NodeId{0};
-Components induced_components(const Graph& g, std::span<const std::uint8_t> in_set);
+Components induced_components(GraphView g, std::span<const std::uint8_t> in_set);
 
 /// BFS distances from `source`; unreachable nodes get kUnreachable.
 inline constexpr NodeId kUnreachable = ~NodeId{0};
-std::vector<NodeId> bfs_distances(const Graph& g, NodeId source);
+std::vector<NodeId> bfs_distances(GraphView g, NodeId source);
 
 /// True if the graph has no cycle (i.e. it is a forest).
-bool is_forest(const Graph& g);
+bool is_forest(GraphView g);
 
 /// Degeneracy ordering (Matula–Beck, O(n + m)).
 struct CoreDecomposition {
@@ -58,13 +58,13 @@ struct CoreDecomposition {
   NodeId degeneracy = 0;
 };
 
-CoreDecomposition core_decomposition(const Graph& g);
+CoreDecomposition core_decomposition(GraphView g);
 
-NodeId degeneracy(const Graph& g);
+NodeId degeneracy(GraphView g);
 
 /// Whole-graph Nash-Williams density lower bound: ceil(m / (n - 1)).
 /// Zero for graphs with fewer than two nodes.
-std::uint64_t density_lower_bound(const Graph& g);
+std::uint64_t density_lower_bound(GraphView g);
 
 /// Arboricity sandwich computed in one pass.
 struct ArboricityBounds {
@@ -72,13 +72,13 @@ struct ArboricityBounds {
   std::uint64_t upper = 0;  ///< degeneracy
 };
 
-ArboricityBounds arboricity_bounds(const Graph& g);
+ArboricityBounds arboricity_bounds(GraphView g);
 
 /// Eccentricity of `source` (max BFS distance in its component).
-NodeId eccentricity(const Graph& g, NodeId source);
+NodeId eccentricity(GraphView g, NodeId source);
 
 /// Exact diameter of the largest component via all-source BFS; intended for
 /// small graphs in tests. Returns nullopt for empty graphs.
-std::optional<NodeId> diameter(const Graph& g);
+std::optional<NodeId> diameter(GraphView g);
 
 }  // namespace arbmis::graph

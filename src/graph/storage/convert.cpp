@@ -1,0 +1,172 @@
+#include "graph/storage/convert.h"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace arbmis::graph::storage {
+
+namespace {
+
+[[noreturn]] void fail_line(std::uint64_t line_no, const std::string& what) {
+  throw std::invalid_argument("gr_convert: line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+constexpr std::string_view kSpace = " \t";
+
+/// Strict decimal parse of one token; the whole token must be consumed.
+std::uint64_t parse_id(std::string_view token, std::uint64_t line_no) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    fail_line(line_no, "vertex id '" + std::string(token) + "' overflows");
+  }
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    fail_line(line_no, "malformed vertex id '" + std::string(token) + "'");
+  }
+  if (value > std::uint64_t{0xffffffffu}) {
+    fail_line(line_no, "vertex id " + std::to_string(value) +
+                           " does not fit in 32 bits");
+  }
+  return value;
+}
+
+}  // namespace
+
+ConvertResult convert_edge_list(std::istream& in,
+                                const ConvertOptions& options) {
+  ConvertResult result;
+  ConvertStats& stats = result.stats;
+
+  // Pass 1: parse every line into (a) the multiset of endpoint ids that
+  // appeared (self-loops included — a vertex mentioned only by a dropped
+  // self-loop is still a vertex) and (b) the raw edge pairs.
+  std::vector<NodeId> ids;
+  std::vector<std::pair<NodeId, NodeId>> raw_edges;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++stats.lines_total;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
+
+    const auto first = line.find_first_not_of(kSpace);
+    if (first == std::string::npos || line[first] == '#' ||
+        line[first] == '%') {
+      ++stats.lines_comment;
+      continue;
+    }
+
+    // Exactly two whitespace-separated tokens; anything else fails loudly
+    // rather than guessing which pair was meant.
+    std::string_view rest = std::string_view(line).substr(first);
+    std::string_view tokens[2];
+    for (auto& token : tokens) {
+      if (rest.empty()) {
+        fail_line(stats.lines_total,
+                  "expected 'u v', got only " +
+                      std::to_string(&token - &tokens[0]) + " token(s)");
+      }
+      const auto end = rest.find_first_of(kSpace);
+      token = rest.substr(0, end);
+      rest = end == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(end);
+      const auto next = rest.find_first_not_of(kSpace);
+      rest = next == std::string_view::npos ? std::string_view{}
+                                            : rest.substr(next);
+    }
+    if (!rest.empty()) {
+      fail_line(stats.lines_total,
+                "trailing token '" + std::string(rest.substr(0, 32)) +
+                    "' after 'u v'");
+    }
+
+    const auto u =
+        static_cast<NodeId>(parse_id(tokens[0], stats.lines_total));
+    const auto v =
+        static_cast<NodeId>(parse_id(tokens[1], stats.lines_total));
+    ++stats.edges_input;
+    ids.push_back(u);
+    ids.push_back(v);
+    if (u == v) {
+      ++stats.self_loops_dropped;
+      continue;
+    }
+    raw_edges.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  if (in.bad()) {
+    throw std::invalid_argument("gr_convert: read error on input stream");
+  }
+
+  // Compact the ids that appeared to dense 0..n-1. Sorted-vector +
+  // lower_bound keeps the mapping deterministic (DET004: no unordered
+  // containers in semantic code).
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  const auto n = static_cast<NodeId>(ids.size());
+  const auto compact = [&ids](NodeId original) {
+    return static_cast<NodeId>(
+        std::lower_bound(ids.begin(), ids.end(), original) - ids.begin());
+  };
+
+  for (auto& [u, v] : raw_edges) {
+    u = compact(u);
+    v = compact(v);
+  }
+  std::sort(raw_edges.begin(), raw_edges.end());
+  raw_edges.erase(std::unique(raw_edges.begin(), raw_edges.end()),
+                  raw_edges.end());
+  stats.edges_kept = raw_edges.size();
+  stats.duplicates_dropped =
+      stats.edges_input - stats.self_loops_dropped - stats.edges_kept;
+
+  // Optional degree-ordered renumbering: descending degree, ties by
+  // ascending compacted id — the order the out-of-core round loop wants
+  // high-traffic vertices in.
+  std::vector<NodeId> order;  // order[new_id] = compacted id
+  if (options.degree_order) {
+    std::vector<NodeId> degree(n, 0);
+    for (const auto& [u, v] : raw_edges) {
+      ++degree[u];
+      ++degree[v];
+    }
+    order.resize(n);
+    for (NodeId v = 0; v < n; ++v) order[v] = v;
+    std::stable_sort(order.begin(), order.end(),
+                     [&degree](NodeId a, NodeId b) {
+                       return degree[a] != degree[b] ? degree[a] > degree[b]
+                                                     : a < b;
+                     });
+    std::vector<NodeId> new_id(n, 0);  // compacted id -> new id
+    for (NodeId v = 0; v < n; ++v) new_id[order[v]] = v;
+    for (auto& [u, v] : raw_edges) {
+      u = new_id[u];
+      v = new_id[v];
+      if (u > v) std::swap(u, v);
+    }
+    result.degree_ordered = true;
+  }
+
+  // new_to_old maps through to the ORIGINAL input-text ids; elide it only
+  // when it is the identity (dense input, no reordering) — then the file
+  // needs no permutation section.
+  result.new_to_old.resize(n);
+  bool identity = true;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId compacted = options.degree_order ? order[v] : v;
+    result.new_to_old[v] = ids[compacted];
+    identity = identity && result.new_to_old[v] == v;
+  }
+  if (identity && !options.degree_order) result.new_to_old.clear();
+
+  Builder builder(n);
+  for (const auto& [u, v] : raw_edges) builder.add_edge(u, v);
+  result.graph = builder.build();
+  return result;
+}
+
+}  // namespace arbmis::graph::storage

@@ -1,0 +1,59 @@
+// Edge-list-to-.gr conversion (the library behind tools/gr_convert.cpp).
+//
+// Input is tools-grade edge-list text — SNAP dumps, experiment exports,
+// hand-written graphs: one "u v" pair per line, '#' or '%' comment lines,
+// blank lines, CRLF endings, arbitrary (sparse, out-of-order) vertex ids up
+// to 2^32 - 1. The converter compacts the ids that actually appear to a
+// dense 0..n-1 numbering, drops self-loops, deduplicates repeated edges,
+// and (optionally) renumbers vertices in degree order. Anything else — a
+// third token on a line, a non-numeric token, an id that does not fit in
+// 32 bits — is a hard error, never a silently dropped edge: the stats
+// struct accounts for every input line, and tests/test_fuzz.cpp holds the
+// converter to that accounting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace arbmis::graph::storage {
+
+struct ConvertOptions {
+  /// Renumber vertices by descending degree (ties by ascending compacted
+  /// id). The output file gets the degree-ordered flag and a permutation
+  /// section mapping new ids back to ORIGINAL input-text ids.
+  bool degree_order = false;
+};
+
+/// Per-conversion accounting: every input line lands in exactly one bucket
+/// (comment/blank, kept edge, dropped self-loop, dropped duplicate) or the
+/// conversion throws.
+struct ConvertStats {
+  std::uint64_t lines_total = 0;       ///< all lines read, including the last unterminated one
+  std::uint64_t lines_comment = 0;     ///< '#'/'%' comments and blank lines
+  std::uint64_t edges_input = 0;       ///< well-formed "u v" lines
+  std::uint64_t self_loops_dropped = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t edges_kept = 0;        ///< edges in the output graph (m)
+};
+
+struct ConvertResult {
+  Graph graph;  ///< compacted (and possibly degree-ordered) graph
+  /// new_to_old[v] = the id node v carried in the INPUT TEXT (not an
+  /// intermediate compacted id). Empty iff the mapping is the identity —
+  /// the input already used dense 0..n-1 ids and no reordering happened —
+  /// in which case no permutation section belongs in the file.
+  std::vector<NodeId> new_to_old;
+  bool degree_ordered = false;
+  ConvertStats stats;
+};
+
+/// Parses edge-list text from `in` (see the header comment for the accepted
+/// grammar). Throws std::invalid_argument naming the 1-based line number on
+/// any malformed line; malformed input is never partially converted.
+ConvertResult convert_edge_list(std::istream& in,
+                                const ConvertOptions& options = {});
+
+}  // namespace arbmis::graph::storage

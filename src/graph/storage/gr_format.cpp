@@ -1,0 +1,119 @@
+#include "graph/storage/gr_format.h"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace arbmis::graph::storage {
+
+namespace {
+
+void put_u32(unsigned char* out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xffu);
+  }
+}
+
+void put_u64(unsigned char* out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xffu);
+  }
+}
+
+std::uint32_t get_u32(const unsigned char* in) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t get_u64(const unsigned char* in) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return value;
+}
+
+[[noreturn]] void fail(const std::string& source, const std::string& what) {
+  throw std::runtime_error("gr: " + source + ": " + what);
+}
+
+}  // namespace
+
+std::uint64_t GrHeader::expected_file_bytes() const noexcept {
+  std::uint64_t bytes = kGrHeaderBytes;
+  bytes += (num_nodes + 1) * sizeof(std::uint64_t);  // offsets
+  bytes += 2 * num_edges * sizeof(NodeId);           // adjacency
+  if (has_permutation()) bytes += num_nodes * sizeof(NodeId);
+  return bytes;
+}
+
+std::array<unsigned char, kGrHeaderBytes> encode_gr_header(
+    const GrHeader& header) {
+  std::array<unsigned char, kGrHeaderBytes> out{};
+  std::memcpy(out.data(), kGrMagic.data(), kGrMagic.size());
+  put_u32(out.data() + 8, header.version);
+  put_u32(out.data() + 12, header.flags);
+  put_u64(out.data() + 16, header.num_nodes);
+  put_u64(out.data() + 24, header.num_edges);
+  put_u64(out.data() + 32, header.max_degree);
+  put_u64(out.data() + 40, 0);  // reserved
+  return out;
+}
+
+GrHeader decode_gr_header(const unsigned char* bytes,
+                          const std::string& source) {
+  if (std::memcmp(bytes, kGrMagic.data(), kGrMagic.size()) != 0) {
+    fail(source, "wrong magic (not an arbmis .gr file)");
+  }
+  GrHeader header;
+  header.version = get_u32(bytes + 8);
+  header.flags = get_u32(bytes + 12);
+  header.num_nodes = get_u64(bytes + 16);
+  header.num_edges = get_u64(bytes + 24);
+  header.max_degree = get_u64(bytes + 32);
+  const std::uint64_t reserved = get_u64(bytes + 40);
+
+  if (header.version != kGrVersion) {
+    fail(source, "unsupported version " + std::to_string(header.version) +
+                     " (this build reads version " +
+                     std::to_string(kGrVersion) + ")");
+  }
+  if ((header.flags & ~kGrFlagKnownMask) != 0) {
+    fail(source, "unknown flag bits 0x" + std::to_string(header.flags) +
+                     " (file written by a newer tool?)");
+  }
+  if (reserved != 0) {
+    fail(source, "nonzero reserved header word");
+  }
+  constexpr std::uint64_t kMaxNodes = std::numeric_limits<NodeId>::max();
+  if (header.num_nodes > kMaxNodes) {
+    fail(source, "node count " + std::to_string(header.num_nodes) +
+                     " exceeds the 32-bit NodeId space");
+  }
+  // 2m adjacency entries must be indexable and every endpoint must name a
+  // valid node; an edge needs two distinct endpoints, so m is bounded by
+  // n*(n-1)/2 — but the cheap necessary conditions below are what a
+  // hostile header can violate without reading the arrays.
+  if (header.num_edges > kMaxNodes * (kMaxNodes / 2)) {
+    fail(source, "edge count " + std::to_string(header.num_edges) +
+                     " is not representable");
+  }
+  if (header.num_nodes == 0 && header.num_edges != 0) {
+    fail(source, "edges without nodes");
+  }
+  if (header.max_degree > (header.num_nodes == 0 ? 0 : header.num_nodes - 1)) {
+    fail(source, "max_degree " + std::to_string(header.max_degree) +
+                     " exceeds n-1");
+  }
+  if (header.degree_ordered() && !header.has_permutation()) {
+    fail(source,
+         "degree-ordered flag without a permutation section (original ids "
+         "would be unrecoverable)");
+  }
+  return header;
+}
+
+}  // namespace arbmis::graph::storage

@@ -1,0 +1,84 @@
+// On-disk binary CSR graph format (".gr"), version 1.
+//
+// The format is the out-of-core twin of graph::Graph: the same offsets +
+// adjacency arrays, laid out so an mmap of the file IS a valid GraphView
+// with zero parsing — load time is one header validation, not an O(m)
+// rebuild. docs/STORAGE.md is the full specification; the byte layout:
+//
+//   offset  size        field
+//   ------  ----------  --------------------------------------------------
+//   0       8           magic "ARBMISGR"
+//   8       4           version (u32, little-endian) = 1
+//   12      4           flags (u32): bit 0 = degree-ordered renumbering,
+//                                    bit 1 = permutation section present
+//   16      8           n (u64)  number of nodes
+//   24      8           m (u64)  number of undirected edges
+//   32      8           max_degree (u64)
+//   40      8           reserved (u64, must be 0)
+//   48      (n+1)*8     offsets (u64 each): offsets[0] = 0, offsets[n] = 2m
+//   ...     2m*4        adjacency (u32 node ids, sorted within each node)
+//   [...    n*4         new->original id permutation, iff flags bit 1]
+//
+// Every multi-byte field is little-endian and naturally aligned (the
+// header is 48 bytes, so the u64 offsets start 8-aligned and everything
+// after stays 4-aligned) — the two properties that make the mmap view
+// legal. The file size is exactly determined by the header; a shorter or
+// longer file is rejected as corrupt.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace arbmis::graph::storage {
+
+/// "ARBMISGR" — eight bytes, no terminator on disk.
+inline constexpr std::array<char, 8> kGrMagic = {'A', 'R', 'B', 'M',
+                                                 'I', 'S', 'G', 'R'};
+inline constexpr std::uint32_t kGrVersion = 1;
+inline constexpr std::size_t kGrHeaderBytes = 48;
+
+/// Header flag bits (kGrFlagKnownMask rejects files from the future).
+inline constexpr std::uint32_t kGrFlagDegreeOrdered = 1u << 0;
+inline constexpr std::uint32_t kGrFlagHasPermutation = 1u << 1;
+inline constexpr std::uint32_t kGrFlagKnownMask =
+    kGrFlagDegreeOrdered | kGrFlagHasPermutation;
+
+struct GrHeader {
+  std::uint32_t version = kGrVersion;
+  std::uint32_t flags = 0;
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t max_degree = 0;
+
+  bool degree_ordered() const noexcept {
+    return (flags & kGrFlagDegreeOrdered) != 0;
+  }
+  bool has_permutation() const noexcept {
+    return (flags & kGrFlagHasPermutation) != 0;
+  }
+
+  /// Exact file size this header mandates (header + offsets + adjacency
+  /// [+ permutation]).
+  std::uint64_t expected_file_bytes() const noexcept;
+};
+
+/// Serializes `header` into a kGrHeaderBytes buffer (explicit little-endian
+/// byte order, independent of the host).
+std::array<unsigned char, kGrHeaderBytes> encode_gr_header(
+    const GrHeader& header);
+
+/// Parses and validates the fixed-size header. Throws std::runtime_error
+/// with a "gr:"-prefixed message on wrong magic, unsupported version,
+/// unknown flags, nonzero reserved word, or an n/m/max_degree combination
+/// that cannot be a valid CSR graph (n or ids beyond the 32-bit NodeId
+/// space, max_degree > n, permutation flag inconsistencies).
+/// `bytes` must point at kGrHeaderBytes bytes; `source` names the file in
+/// error messages.
+GrHeader decode_gr_header(const unsigned char* bytes,
+                          const std::string& source);
+
+}  // namespace arbmis::graph::storage

@@ -1,0 +1,32 @@
+// Streaming writer for the binary .gr CSR format (gr_format.h).
+//
+// The writer takes any GraphView — an in-memory Graph, or a MappedGraph
+// being re-written — and emits the file in one sequential pass with O(1)
+// extra memory beyond a fixed IO buffer: offsets are accumulated from the
+// per-node degrees while streaming, adjacency is copied span by span.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/storage/gr_format.h"
+
+namespace arbmis::graph::storage {
+
+struct GrWriteOptions {
+  /// new_to_old[new_id] = id the node carried before renumbering. Empty =
+  /// identity (no permutation section is written). When non-empty its size
+  /// must equal g.num_nodes().
+  std::span<const NodeId> new_to_old;
+  /// Set the degree-ordered header flag (requires new_to_old; the writer
+  /// does not itself reorder — gr_convert does, see convert.h).
+  bool degree_ordered = false;
+};
+
+/// Writes `g` to `path` in .gr v1 format. Throws std::runtime_error on IO
+/// failure or inconsistent options.
+void write_gr(const std::string& path, GraphView g,
+              const GrWriteOptions& options = {});
+
+}  // namespace arbmis::graph::storage

@@ -1,0 +1,268 @@
+#include "graph/storage/mapped_graph.h"
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ARBMIS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define ARBMIS_HAVE_MMAP 0
+#endif
+
+namespace arbmis::graph::storage {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("gr: " + path + ": " + what);
+}
+
+/// Mandatory cheap checks beyond the header: the file must be exactly the
+/// size the header mandates (catches truncation AND trailing garbage).
+void check_file_size(const std::string& path, const GrHeader& header,
+                     std::uint64_t actual_bytes) {
+  const std::uint64_t expected = header.expected_file_bytes();
+  if (actual_bytes < expected) {
+    fail(path, "truncated: header mandates " + std::to_string(expected) +
+                   " bytes, file has " + std::to_string(actual_bytes));
+  }
+  if (actual_bytes > expected) {
+    fail(path, std::to_string(actual_bytes - expected) +
+                   " trailing bytes beyond the " + std::to_string(expected) +
+                   " the header mandates");
+  }
+}
+
+/// O(m log Δ) structural proof of the CSR arrays (GrMapOptions::
+/// verify_structure): monotone offsets bracketed by [0, 2m], strictly
+/// sorted in-range neighbor lists (sorted ⇒ no duplicate edge; strict ⇒
+/// no self-loop via the in-list id check), symmetric adjacency, and an
+/// honest max_degree — everything GraphView consumers assume.
+void verify_structure(const std::string& path, const GrHeader& header,
+                      const std::uint64_t* offsets, const NodeId* adjacency) {
+  const auto n = static_cast<NodeId>(header.num_nodes);
+  const std::uint64_t two_m = 2 * header.num_edges;
+  if (offsets[0] != 0) fail(path, "offsets[0] != 0");
+  if (offsets[n] != two_m) {
+    fail(path, "offsets[n] = " + std::to_string(offsets[n]) +
+                   " does not equal 2m = " + std::to_string(two_m));
+  }
+  std::uint64_t max_degree = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint64_t begin = offsets[v];
+    const std::uint64_t end = offsets[v + 1];
+    if (end < begin || end > two_m) {
+      fail(path, "offsets not monotone at node " + std::to_string(v));
+    }
+    max_degree = std::max(max_degree, end - begin);
+    NodeId prev = 0;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const NodeId w = adjacency[i];
+      if (w >= n) {
+        fail(path, "neighbor " + std::to_string(w) + " of node " +
+                       std::to_string(v) + " is out of range (n = " +
+                       std::to_string(n) + ")");
+      }
+      if (w == v) {
+        fail(path, "self-loop at node " + std::to_string(v));
+      }
+      if (i > begin && w <= prev) {
+        fail(path, "neighbor list of node " + std::to_string(v) +
+                       " is not strictly sorted");
+      }
+      prev = w;
+    }
+  }
+  if (max_degree != header.max_degree) {
+    fail(path, "header max_degree " + std::to_string(header.max_degree) +
+                   " does not match actual " + std::to_string(max_degree));
+  }
+  // Symmetry: every (v, w) must have its (w, v) mirror. Binary search in
+  // w's (already proven sorted) list.
+  const GraphView view(n, static_cast<NodeId>(header.max_degree), offsets,
+                       adjacency);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId w : view.neighbors(v)) {
+      if (w > v) break;  // each unordered pair checked once, from the v > w side
+      const auto mirror = view.neighbors(w);
+      if (!std::binary_search(mirror.begin(), mirror.end(), v)) {
+        fail(path, "asymmetric adjacency: " + std::to_string(w) + " -> " +
+                       std::to_string(v) + " has no mirror");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+MappedGraph MappedGraph::open(const std::string& path, GrMapOptions options) {
+  if constexpr (std::endian::native != std::endian::little) {
+    fail(path,
+         "the mmap loader requires a little-endian host (the on-disk "
+         "arrays are reinterpreted in place)");
+  }
+  MappedGraph g;
+
+#if ARBMIS_HAVE_MMAP
+  const bool try_mmap = options.mode != GrMapMode::kBuffered;
+#else
+  const bool try_mmap = false;
+  if (options.mode == GrMapMode::kMmap) {
+    fail(path, "mmap requested but unavailable on this platform");
+  }
+#endif
+
+  const unsigned char* data = nullptr;
+  std::uint64_t size = 0;
+
+#if ARBMIS_HAVE_MMAP
+  if (try_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg): two-argument O_RDONLY open, no vararg mode
+    if (fd < 0) {
+      fail(path, "cannot open: " + std::string(std::strerror(errno)));
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      fail(path, "fstat failed: " + err);
+    }
+    const auto file_bytes = static_cast<std::uint64_t>(st.st_size);
+    if (file_bytes < kGrHeaderBytes) {
+      ::close(fd);
+      fail(path, "truncated: " + std::to_string(file_bytes) +
+                     " bytes is smaller than the " +
+                     std::to_string(kGrHeaderBytes) + "-byte header");
+    }
+    void* base = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The fd is not needed once the mapping exists (or failed).
+    ::close(fd);
+    if (base == MAP_FAILED) {
+      if (options.mode == GrMapMode::kMmap) {
+        fail(path, "mmap failed: " + std::string(std::strerror(errno)));
+      }
+      // kAuto: fall through to the buffered path below.
+    } else {
+      // Streaming access pattern hint; advisory, so failure is ignored.
+      ::madvise(base, file_bytes, MADV_SEQUENTIAL);
+      g.map_base_ = base;
+      g.map_length_ = file_bytes;
+      data = static_cast<const unsigned char*>(base);
+      size = file_bytes;
+    }
+  }
+#endif
+
+  if (data == nullptr) {
+    // Buffered fallback: one sequential read of the whole file.
+    std::ifstream in(path, std::ios::binary);
+    if (!in) fail(path, "cannot open");
+    in.seekg(0, std::ios::end);
+    const std::streamoff end = in.tellg();
+    if (end < 0) fail(path, "cannot determine file size");
+    in.seekg(0, std::ios::beg);
+    const auto file_bytes = static_cast<std::uint64_t>(end);
+    if (file_bytes < kGrHeaderBytes) {
+      fail(path, "truncated: " + std::to_string(file_bytes) +
+                     " bytes is smaller than the " +
+                     std::to_string(kGrHeaderBytes) + "-byte header");
+    }
+    g.buffer_.resize(file_bytes);
+    in.read(reinterpret_cast<char*>(g.buffer_.data()),
+            static_cast<std::streamsize>(file_bytes));
+    if (!in || static_cast<std::uint64_t>(in.gcount()) != file_bytes) {
+      fail(path, "short read");
+    }
+    data = g.buffer_.data();
+    size = file_bytes;
+  }
+
+  try {
+    g.header_ = decode_gr_header(data, path);
+    check_file_size(path, g.header_, size);
+  } catch (...) {
+    g.reset();
+    throw;
+  }
+
+  // The header is 48 bytes and mmap regions are page-aligned, so the u64
+  // offsets array starts 8-aligned and the u32 arrays after it 4-aligned;
+  // the buffered path inherits the vector allocation's alignment, which
+  // is at least alignof(std::max_align_t).
+  const unsigned char* cursor = data + kGrHeaderBytes;
+  g.offsets_ = reinterpret_cast<const std::uint64_t*>(cursor);
+  cursor += (g.header_.num_nodes + 1) * sizeof(std::uint64_t);
+  g.adjacency_ = reinterpret_cast<const NodeId*>(cursor);
+  cursor += 2 * g.header_.num_edges * sizeof(NodeId);
+  g.permutation_ = g.header_.has_permutation()
+                       ? reinterpret_cast<const NodeId*>(cursor)
+                       : nullptr;
+
+  if (options.verify_structure) {
+    try {
+      verify_structure(path, g.header_, g.offsets_, g.adjacency_);
+      // The permutation must be a bijection onto original ids only when the
+      // numbering is dense; converter-written files may map to sparse
+      // original ids, so only the cheap width check applies here.
+    } catch (...) {
+      g.reset();
+      throw;
+    }
+  }
+  return g;
+}
+
+void MappedGraph::reset() noexcept {
+#if ARBMIS_HAVE_MMAP
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, map_length_);
+  }
+#endif
+  map_base_ = nullptr;
+  map_length_ = 0;
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  offsets_ = nullptr;
+  adjacency_ = nullptr;
+  permutation_ = nullptr;
+  header_ = GrHeader{};
+}
+
+MappedGraph::MappedGraph(MappedGraph&& other) noexcept
+    : header_(other.header_),
+      map_base_(std::exchange(other.map_base_, nullptr)),
+      map_length_(std::exchange(other.map_length_, 0)),
+      buffer_(std::move(other.buffer_)),
+      offsets_(std::exchange(other.offsets_, nullptr)),
+      adjacency_(std::exchange(other.adjacency_, nullptr)),
+      permutation_(std::exchange(other.permutation_, nullptr)) {
+  other.header_ = GrHeader{};
+}
+
+MappedGraph& MappedGraph::operator=(MappedGraph&& other) noexcept {
+  if (this != &other) {
+    reset();
+    header_ = other.header_;
+    map_base_ = std::exchange(other.map_base_, nullptr);
+    map_length_ = std::exchange(other.map_length_, 0);
+    buffer_ = std::move(other.buffer_);
+    offsets_ = std::exchange(other.offsets_, nullptr);
+    adjacency_ = std::exchange(other.adjacency_, nullptr);
+    permutation_ = std::exchange(other.permutation_, nullptr);
+    other.header_ = GrHeader{};
+  }
+  return *this;
+}
+
+MappedGraph::~MappedGraph() { reset(); }
+
+}  // namespace arbmis::graph::storage

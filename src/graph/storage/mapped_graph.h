@@ -1,0 +1,115 @@
+// Read-only, out-of-core graph storage: MappedGraph opens a binary .gr
+// file (gr_format.h) and exposes it through the same graph::GraphView seam
+// the in-memory Graph converts to — so the simulator, the algorithms, the
+// fault planner, and the verifier run off either storage unmodified, and
+// byte-identically (tests/test_parallel_equivalence.cpp MappedEquivalence
+// and the mapped golden pins in tests/test_determinism.cpp are the proof).
+//
+// Backends:
+//   * mmap (the default where available): the offsets/adjacency arrays are
+//     the page cache's copy of the file — opening a 10^8-edge graph costs
+//     one header validation, memory use is whatever the kernel keeps
+//     resident, and madvise(MADV_SEQUENTIAL) tells it the CSR sweep access
+//     pattern the round loop produces.
+//   * buffered (the fallback, and forceable via GrMapMode::kBuffered): the
+//     whole file is read into one heap allocation. Used when mmap is
+//     unavailable (non-POSIX host, mmap() failure on an exotic
+//     filesystem) — behavior is identical, only residency differs.
+//
+// Validation: the header and exact file size are always checked (a
+// truncated or padded file never constructs). GrMapOptions::verify_structure
+// (default on) additionally proves the CSR arrays well-formed — monotone
+// offsets, sorted in-range neighbor lists, no self-loops, symmetric
+// adjacency, honest max_degree — one O(m log Δ) pass, so a corrupt body
+// fails at open() instead of as an out-of-bounds read mid-simulation.
+// Out-of-core sweeps that trust the producer can turn it off; the view
+// itself stays bounds-checked at the file level either way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/storage/gr_format.h"
+
+namespace arbmis::graph::storage {
+
+enum class GrMapMode : std::uint8_t {
+  kAuto,      ///< mmap where available, buffered reads otherwise
+  kMmap,      ///< require mmap; open() throws if it is unavailable
+  kBuffered,  ///< force the buffered-read fallback
+};
+
+struct GrMapOptions {
+  GrMapMode mode = GrMapMode::kAuto;
+  /// Full structural verification of the CSR arrays at open() (see the
+  /// header comment). Always performed on top of the mandatory header and
+  /// file-size checks.
+  bool verify_structure = true;
+};
+
+class MappedGraph {
+ public:
+  /// Opens and validates `path`. Throws std::runtime_error ("gr:"-prefixed)
+  /// on any open, size, header, or structural failure.
+  static MappedGraph open(const std::string& path, GrMapOptions options = {});
+
+  MappedGraph(MappedGraph&& other) noexcept;
+  MappedGraph& operator=(MappedGraph&& other) noexcept;
+  MappedGraph(const MappedGraph&) = delete;
+  MappedGraph& operator=(const MappedGraph&) = delete;
+  ~MappedGraph();
+
+  /// The storage seam: a MappedGraph is usable anywhere a Graph is.
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design — this conversion is the storage seam
+  operator GraphView() const noexcept { return view(); }
+  GraphView view() const noexcept {
+    return {static_cast<NodeId>(header_.num_nodes),
+            static_cast<NodeId>(header_.max_degree), offsets_, adjacency_};
+  }
+
+  NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(header_.num_nodes);
+  }
+  std::uint64_t num_edges() const noexcept { return header_.num_edges; }
+  NodeId max_degree() const noexcept {
+    return static_cast<NodeId>(header_.max_degree);
+  }
+  const GrHeader& header() const noexcept { return header_; }
+
+  /// True when the bytes behind view() are an mmap of the file (false =
+  /// buffered-read fallback).
+  bool mmap_backed() const noexcept { return map_base_ != nullptr; }
+
+  /// True when the file's vertex numbering is degree-ordered (header flag).
+  bool degree_ordered() const noexcept { return header_.degree_ordered(); }
+
+  /// new->original id permutation saved by the converter; empty when the
+  /// file carries none (numbering == original numbering). Entry v is the
+  /// id node v had in the source edge list — map MIS outputs through it.
+  std::span<const NodeId> permutation() const noexcept {
+    return header_.has_permutation()
+               ? std::span<const NodeId>(permutation_, header_.num_nodes)
+               : std::span<const NodeId>();
+  }
+
+ private:
+  MappedGraph() = default;
+
+  void reset() noexcept;  ///< unmap / free, return to empty state
+
+  GrHeader header_{};
+  // Exactly one of (map_base_, buffer_) owns the bytes; data_ points into
+  // whichever it is.
+  void* map_base_ = nullptr;
+  std::size_t map_length_ = 0;
+  std::vector<unsigned char> buffer_;
+  const std::uint64_t* offsets_ = nullptr;
+  const NodeId* adjacency_ = nullptr;
+  const NodeId* permutation_ = nullptr;
+};
+
+}  // namespace arbmis::graph::storage

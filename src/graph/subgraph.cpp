@@ -6,7 +6,7 @@ namespace arbmis::graph {
 
 namespace {
 
-Subgraph build_from_nodes(const Graph& g, std::vector<NodeId> nodes) {
+Subgraph build_from_nodes(GraphView g, std::vector<NodeId> nodes) {
   std::sort(nodes.begin(), nodes.end());
   Subgraph out;
   out.to_original = std::move(nodes);
@@ -30,7 +30,7 @@ Subgraph build_from_nodes(const Graph& g, std::vector<NodeId> nodes) {
 
 }  // namespace
 
-Subgraph induced_subgraph(const Graph& g, std::span<const std::uint8_t> mask) {
+Subgraph induced_subgraph(GraphView g, std::span<const std::uint8_t> mask) {
   std::vector<NodeId> nodes;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (mask[v]) nodes.push_back(v);
@@ -38,7 +38,7 @@ Subgraph induced_subgraph(const Graph& g, std::span<const std::uint8_t> mask) {
   return build_from_nodes(g, std::move(nodes));
 }
 
-Subgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes) {
+Subgraph induced_subgraph(GraphView g, std::span<const NodeId> nodes) {
   return build_from_nodes(g, std::vector<NodeId>(nodes.begin(), nodes.end()));
 }
 

@@ -26,10 +26,10 @@ struct Subgraph {
 };
 
 /// Subgraph induced by the nodes with mask[v] == true.
-Subgraph induced_subgraph(const Graph& g, std::span<const std::uint8_t> mask);
+Subgraph induced_subgraph(GraphView g, std::span<const std::uint8_t> mask);
 
 /// Subgraph induced by an explicit node list (need not be sorted; must not
 /// contain duplicates).
-Subgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes);
+Subgraph induced_subgraph(GraphView g, std::span<const NodeId> nodes);
 
 }  // namespace arbmis::graph

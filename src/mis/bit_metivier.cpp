@@ -2,7 +2,7 @@
 
 namespace arbmis::mis {
 
-BitMetivierMis::BitMetivierMis(const graph::Graph& g)
+BitMetivierMis::BitMetivierMis(graph::GraphView g)
     : state_(g.num_nodes(), MisState::kUndecided),
       phase_parity_(g.num_nodes(), 0),
       ports_(g.num_nodes()),
@@ -201,7 +201,7 @@ void BitMetivierMis::on_round(sim::NodeContext& ctx,
   if (was_settled) maybe_advance_phase(ctx);
 }
 
-BitMetivierMis::Result BitMetivierMis::run(const graph::Graph& g,
+BitMetivierMis::Result BitMetivierMis::run(graph::GraphView g,
                                            std::uint64_t seed,
                                            std::uint32_t max_rounds) {
   BitMetivierMis algorithm(g);

@@ -38,7 +38,7 @@ namespace arbmis::mis {
 
 class BitMetivierMis : public sim::Algorithm {
  public:
-  explicit BitMetivierMis(const graph::Graph& g);
+  explicit BitMetivierMis(graph::GraphView g);
 
   std::string_view name() const override { return "bit_metivier"; }
   void on_start(sim::NodeContext& ctx) override;
@@ -61,7 +61,7 @@ class BitMetivierMis : public sim::Algorithm {
     double bits_per_channel = 0.0;  ///< semantic_bits / m
   };
 
-  static Result run(const graph::Graph& g, std::uint64_t seed,
+  static Result run(graph::GraphView g, std::uint64_t seed,
                     std::uint32_t max_rounds = 1 << 22);
 
  private:

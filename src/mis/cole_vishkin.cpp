@@ -29,9 +29,9 @@ std::uint32_t ColeVishkin::total_rounds(graph::NodeId n, Mode mode) noexcept {
   return rounds;
 }
 
-ColeVishkin::ColeVishkin(const graph::Graph& g,
+ColeVishkin::ColeVishkin(graph::GraphView g,
                          std::span<const graph::NodeId> parent, Mode mode)
-    : graph_(&g),
+    : graph_(g),
       mode_(mode),
       reduction_rounds_(reduction_iterations(g.num_nodes())),
       final_round_(total_rounds(g.num_nodes(), mode)),
@@ -100,7 +100,7 @@ void ColeVishkin::on_round(sim::NodeContext& ctx,
     // Child discovery: every kHello came from a child.
     for (const sim::Message& m : inbox) {
       if (m.tag == kHello) {
-        child_ports_[v].push_back(graph_->port_of(v, m.src));
+        child_ports_[v].push_back(graph_.port_of(v, m.src));
       }
     }
     send_color_to_children(ctx, color_[v]);
@@ -181,7 +181,7 @@ void ColeVishkin::on_round(sim::NodeContext& ctx,
   }
 }
 
-ColeVishkin::Result ColeVishkin::run(const graph::Graph& g,
+ColeVishkin::Result ColeVishkin::run(graph::GraphView g,
                                      std::span<const graph::NodeId> parent,
                                      Mode mode, std::uint64_t seed) {
   ColeVishkin algorithm(g, parent, mode);

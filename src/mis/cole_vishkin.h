@@ -36,7 +36,7 @@ class ColeVishkin : public sim::Algorithm {
   /// `parent[v]` is the global id of v's parent, or graph::kNoParent.
   /// Throws std::invalid_argument if a parent pointer is not a graph edge
   /// or the pointers contain a cycle.
-  ColeVishkin(const graph::Graph& g, std::span<const graph::NodeId> parent,
+  ColeVishkin(graph::GraphView g, std::span<const graph::NodeId> parent,
               Mode mode);
 
   std::string_view name() const override { return "cole_vishkin"; }
@@ -61,7 +61,7 @@ class ColeVishkin : public sim::Algorithm {
     std::vector<MisState> state;  // empty in kColorOnly mode
     sim::RunStats stats;
   };
-  static Result run(const graph::Graph& g,
+  static Result run(graph::GraphView g,
                     std::span<const graph::NodeId> parent, Mode mode,
                     std::uint64_t seed = 0);
 
@@ -71,7 +71,7 @@ class ColeVishkin : public sim::Algorithm {
   void send_color_to_children(sim::NodeContext& ctx, std::uint64_t color);
   std::uint64_t parent_color(std::span<const sim::Message> inbox) const;
 
-  const graph::Graph* graph_;
+  graph::GraphView graph_;
   Mode mode_;
   std::uint32_t reduction_rounds_;
   std::uint32_t final_round_;

@@ -4,7 +4,7 @@
 
 namespace arbmis::mis {
 
-ColorSweepMis::ColorSweepMis(const graph::Graph& g,
+ColorSweepMis::ColorSweepMis(graph::GraphView g,
                              std::vector<std::uint64_t> colors,
                              std::uint64_t num_classes)
     : colors_(std::move(colors)),

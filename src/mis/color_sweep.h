@@ -18,7 +18,7 @@ class ColorSweepMis : public sim::Algorithm {
   /// `colors[v]` must be in [0, num_classes) and proper on g's edges;
   /// properness is the caller's contract (violations surface as verifier
   /// failures, which is what the tests assert).
-  ColorSweepMis(const graph::Graph& g, std::vector<std::uint64_t> colors,
+  ColorSweepMis(graph::GraphView g, std::vector<std::uint64_t> colors,
                 std::uint64_t num_classes);
 
   std::string_view name() const override { return "color_sweep"; }

@@ -6,7 +6,7 @@
 
 namespace arbmis::mis {
 
-std::uint64_t finalize_partial(const graph::Graph& g,
+std::uint64_t finalize_partial(graph::GraphView g,
                                std::vector<MisState>& state) {
   std::uint64_t flushed = 0;
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -29,7 +29,7 @@ std::uint32_t degree_reduction_budget(graph::NodeId n, double c) noexcept {
   return static_cast<std::uint32_t>(std::ceil(c * std::sqrt(log_n * log_log_n)));
 }
 
-DegreeReductionResult degree_reduction(const graph::Graph& g,
+DegreeReductionResult degree_reduction(graph::GraphView g,
                                        std::uint32_t round_budget,
                                        std::uint64_t seed) {
   DegreeReductionResult result;

@@ -28,7 +28,7 @@ namespace arbmis::mis {
 
 /// Marks as kCovered every undecided node adjacent to a kInMis node.
 /// Returns the number of nodes flushed.
-std::uint64_t finalize_partial(const graph::Graph& g,
+std::uint64_t finalize_partial(graph::GraphView g,
                                std::vector<MisState>& state);
 
 struct DegreeReductionResult {
@@ -46,7 +46,7 @@ std::uint32_t degree_reduction_budget(graph::NodeId n,
                                       double c = 6.0) noexcept;
 
 /// Runs the budgeted competition and packages the residual graph data.
-DegreeReductionResult degree_reduction(const graph::Graph& g,
+DegreeReductionResult degree_reduction(graph::GraphView g,
                                        std::uint32_t round_budget,
                                        std::uint64_t seed);
 

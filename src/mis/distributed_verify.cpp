@@ -2,7 +2,7 @@
 
 namespace arbmis::mis {
 
-DistributedMisCheck::DistributedMisCheck(const graph::Graph& g,
+DistributedMisCheck::DistributedMisCheck(graph::GraphView g,
                                          std::vector<MisState> state)
     : state_(std::move(state)), local_ok_(g.num_nodes(), 0) {
   if (state_.size() != g.num_nodes()) {
@@ -40,7 +40,7 @@ void DistributedMisCheck::on_round(sim::NodeContext& ctx,
 }
 
 DistributedMisCheck::Result DistributedMisCheck::run(
-    const graph::Graph& g, std::vector<MisState> state, std::uint64_t seed) {
+    graph::GraphView g, std::vector<MisState> state, std::uint64_t seed) {
   DistributedMisCheck algorithm(g, std::move(state));
   sim::Network net(g, seed);
   Result result;

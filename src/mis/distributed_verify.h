@@ -22,7 +22,7 @@ namespace arbmis::mis {
 class DistributedMisCheck : public sim::Algorithm {
  public:
   /// `state` is the labeling to verify (indexed by node id).
-  DistributedMisCheck(const graph::Graph& g, std::vector<MisState> state);
+  DistributedMisCheck(graph::GraphView g, std::vector<MisState> state);
 
   std::string_view name() const override { return "distributed_mis_check"; }
   void on_start(sim::NodeContext& ctx) override;
@@ -40,7 +40,7 @@ class DistributedMisCheck : public sim::Algorithm {
     sim::RunStats stats;
   };
 
-  static Result run(const graph::Graph& g, std::vector<MisState> state,
+  static Result run(graph::GraphView g, std::vector<MisState> state,
                     std::uint64_t seed = 0);
 
  private:

@@ -4,9 +4,9 @@
 
 namespace arbmis::mis {
 
-ForestDecomposition::ForestDecomposition(const graph::Graph& g,
+ForestDecomposition::ForestDecomposition(graph::GraphView g,
                                          Options options)
-    : graph_(&g),
+    : graph_(g),
       threshold_(static_cast<graph::NodeId>(std::ceil(
           (2.0 + options.eps) * static_cast<double>(options.alpha)))),
       level_(g.num_nodes(), kUnassigned),
@@ -37,7 +37,7 @@ void ForestDecomposition::on_round(sim::NodeContext& ctx,
         ++active_neighbors;
         break;
       case kLevel: {
-        const graph::NodeId port = graph_->port_of(v, m.src);
+        const graph::NodeId port = graph_.port_of(v, m.src);
         if (neighbor_level_[v][port] == kUnassigned) {
           neighbor_level_[v][port] = static_cast<graph::NodeId>(m.payload);
           ++neighbor_levels_heard_[v];
@@ -63,7 +63,7 @@ void ForestDecomposition::on_round(sim::NodeContext& ctx,
 }
 
 graph::Orientation ForestDecomposition::orientation() const {
-  const graph::Graph& g = *graph_;
+  graph::GraphView g = graph_;
   std::vector<std::vector<graph::NodeId>> parents(g.num_nodes());
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     const auto nbrs = g.neighbors(v);
@@ -82,7 +82,7 @@ graph::Orientation ForestDecomposition::orientation() const {
   return graph::Orientation(g, std::move(parents));
 }
 
-ForestDecomposition::Result ForestDecomposition::run(const graph::Graph& g,
+ForestDecomposition::Result ForestDecomposition::run(graph::GraphView g,
                                                      Options options,
                                                      std::uint64_t seed,
                                                      std::uint32_t max_rounds) {

@@ -37,7 +37,7 @@ class ForestDecomposition : public sim::Algorithm {
     double eps = 2.0;
   };
 
-  ForestDecomposition(const graph::Graph& g, Options options);
+  ForestDecomposition(graph::GraphView g, Options options);
 
   std::string_view name() const override { return "forest_decomposition"; }
   void on_start(sim::NodeContext& ctx) override;
@@ -62,14 +62,14 @@ class ForestDecomposition : public sim::Algorithm {
   };
 
   /// Runs to completion and packages levels + orientation + forests.
-  static Result run(const graph::Graph& g, Options options,
+  static Result run(graph::GraphView g, Options options,
                     std::uint64_t seed = 0,
                     std::uint32_t max_rounds = 1 << 20);
 
  private:
   enum Tag : std::uint32_t { kActive = 1, kLevel = 2 };
 
-  const graph::Graph* graph_;
+  graph::GraphView graph_;
   graph::NodeId threshold_;
   std::vector<graph::NodeId> level_;
   std::vector<graph::NodeId> neighbor_levels_heard_;

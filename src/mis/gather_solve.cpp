@@ -11,9 +11,9 @@ namespace {
 constexpr graph::NodeId kEndMarker = ~graph::NodeId{0};
 }
 
-GatherSolveMis::GatherSolveMis(const graph::Graph& g,
+GatherSolveMis::GatherSolveMis(graph::GraphView g,
                                std::vector<graph::NodeId> parent)
-    : graph_(&g),
+    : graph_(g),
       parent_(std::move(parent)),
       parent_port_(g.num_nodes(), graph::kNoParent),
       child_ports_(g.num_nodes()),
@@ -105,7 +105,7 @@ void GatherSolveMis::on_round(sim::NodeContext& ctx,
   for (const sim::Message& m : inbox) {
     switch (m.tag) {
       case kHello:
-        child_ports_[v].push_back(graph_->port_of(v, m.src));
+        child_ports_[v].push_back(graph_.port_of(v, m.src));
         ++children_pending_[v];
         break;
       case kEdgeUp:
@@ -170,7 +170,7 @@ void GatherSolveMis::on_round(sim::NodeContext& ctx,
   }
 }
 
-MisResult GatherSolveMis::run(const graph::Graph& g, std::uint64_t seed,
+MisResult GatherSolveMis::run(graph::GraphView g, std::uint64_t seed,
                               std::uint32_t rooting_budget,
                               std::uint32_t max_rounds) {
   if (rooting_budget == 0) rooting_budget = g.num_nodes() + 2;

@@ -35,7 +35,7 @@ class GatherSolveMis : public sim::Algorithm {
  public:
   /// `parent[v]`: BFS-tree parent from a stabilized rooting (kNoParent
   /// for component leaders). The tree must span each component.
-  GatherSolveMis(const graph::Graph& g,
+  GatherSolveMis(graph::GraphView g,
                  std::vector<graph::NodeId> parent);
 
   std::string_view name() const override { return "gather_solve"; }
@@ -47,7 +47,7 @@ class GatherSolveMis : public sim::Algorithm {
 
   /// Full pipeline: BFS rooting (round budget = rooting_budget, use the
   /// component-size bound; 0 = n), then gather/solve/scatter.
-  static MisResult run(const graph::Graph& g, std::uint64_t seed,
+  static MisResult run(graph::GraphView g, std::uint64_t seed,
                        std::uint32_t rooting_budget = 0,
                        std::uint32_t max_rounds = 1 << 24);
 
@@ -66,7 +66,7 @@ class GatherSolveMis : public sim::Algorithm {
 
   void solve_locally(graph::NodeId leader);
 
-  const graph::Graph* graph_;
+  graph::GraphView graph_;
   std::vector<graph::NodeId> parent_;
   std::vector<graph::NodeId> parent_port_;
   std::vector<std::vector<graph::NodeId>> child_ports_;

@@ -4,7 +4,7 @@
 
 namespace arbmis::mis {
 
-GhaffariMis::GhaffariMis(const graph::Graph& g)
+GhaffariMis::GhaffariMis(graph::GraphView g)
     : state_(g.num_nodes(), MisState::kUndecided),
       phase_(g.num_nodes(), Phase::kSumDesires),
       desire_exponent_(g.num_nodes(), 1),
@@ -83,7 +83,7 @@ void GhaffariMis::on_round(sim::NodeContext& ctx,
   }
 }
 
-MisResult GhaffariMis::run(const graph::Graph& g, std::uint64_t seed,
+MisResult GhaffariMis::run(graph::GraphView g, std::uint64_t seed,
                            std::uint32_t max_rounds) {
   GhaffariMis algorithm(g);
   sim::Network net(g, seed);

@@ -26,7 +26,7 @@ namespace arbmis::mis {
 
 class GhaffariMis : public sim::Algorithm {
  public:
-  explicit GhaffariMis(const graph::Graph& g);
+  explicit GhaffariMis(graph::GraphView g);
 
   std::string_view name() const override { return "ghaffari"; }
   void on_start(sim::NodeContext& ctx) override;
@@ -35,7 +35,7 @@ class GhaffariMis : public sim::Algorithm {
 
   const std::vector<MisState>& states() const noexcept { return state_; }
 
-  static MisResult run(const graph::Graph& g, std::uint64_t seed,
+  static MisResult run(graph::GraphView g, std::uint64_t seed,
                        std::uint32_t max_rounds = 1 << 20);
 
  private:

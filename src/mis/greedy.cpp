@@ -4,7 +4,7 @@
 
 namespace arbmis::mis {
 
-MisResult greedy_mis(const graph::Graph& g,
+MisResult greedy_mis(graph::GraphView g,
                      std::span<const graph::NodeId> order) {
   MisResult result;
   result.state.assign(g.num_nodes(), MisState::kUndecided);
@@ -20,13 +20,13 @@ MisResult greedy_mis(const graph::Graph& g,
   return result;
 }
 
-MisResult greedy_mis(const graph::Graph& g) {
+MisResult greedy_mis(graph::GraphView g) {
   std::vector<graph::NodeId> order(g.num_nodes());
   std::iota(order.begin(), order.end(), graph::NodeId{0});
   return greedy_mis(g, order);
 }
 
-MisResult greedy_mis_random(const graph::Graph& g, util::Rng& rng) {
+MisResult greedy_mis_random(graph::GraphView g, util::Rng& rng) {
   std::vector<graph::NodeId> order(g.num_nodes());
   std::iota(order.begin(), order.end(), graph::NodeId{0});
   for (graph::NodeId i = g.num_nodes(); i > 1; --i) {

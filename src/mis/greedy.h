@@ -13,13 +13,13 @@
 namespace arbmis::mis {
 
 /// Greedy MIS scanning nodes in the given order (a permutation of [0, n)).
-MisResult greedy_mis(const graph::Graph& g,
+MisResult greedy_mis(graph::GraphView g,
                      std::span<const graph::NodeId> order);
 
 /// Greedy MIS in node-id order.
-MisResult greedy_mis(const graph::Graph& g);
+MisResult greedy_mis(graph::GraphView g);
 
 /// Greedy MIS over a uniformly random permutation.
-MisResult greedy_mis_random(const graph::Graph& g, util::Rng& rng);
+MisResult greedy_mis_random(graph::GraphView g, util::Rng& rng);
 
 }  // namespace arbmis::mis

@@ -100,7 +100,7 @@ LinialSchedule LinialSchedule::compute(std::uint64_t n,
   return schedule;
 }
 
-LinialMis::LinialMis(const graph::Graph& g, Options options)
+LinialMis::LinialMis(graph::GraphView g, Options options)
     : options_(options),
       schedule_(LinialSchedule::compute(g.num_nodes(),
                                         options.max_degree)),
@@ -192,7 +192,7 @@ void LinialMis::on_round(sim::NodeContext& ctx,
   }
 }
 
-MisResult LinialMis::run(const graph::Graph& g, graph::NodeId max_degree,
+MisResult LinialMis::run(graph::GraphView g, graph::NodeId max_degree,
                          std::uint64_t seed, std::uint32_t max_rounds) {
   LinialMis algorithm(g, Options{.max_degree = max_degree});
   sim::Network net(g, seed);

@@ -54,7 +54,7 @@ class LinialMis : public sim::Algorithm {
     bool color_only = false;
   };
 
-  LinialMis(const graph::Graph& g, Options options);
+  LinialMis(graph::GraphView g, Options options);
 
   std::string_view name() const override { return "linial"; }
   void on_start(sim::NodeContext& ctx) override;
@@ -68,7 +68,7 @@ class LinialMis : public sim::Algorithm {
   }
   const std::vector<MisState>& states() const noexcept { return state_; }
 
-  static MisResult run(const graph::Graph& g, graph::NodeId max_degree,
+  static MisResult run(graph::GraphView g, graph::NodeId max_degree,
                        std::uint64_t seed = 0,
                        std::uint32_t max_rounds = 1 << 24);
 

@@ -2,7 +2,7 @@
 
 namespace arbmis::mis {
 
-LubyBMis::LubyBMis(const graph::Graph& g)
+LubyBMis::LubyBMis(graph::GraphView g)
     : state_(g.num_nodes(), MisState::kUndecided),
       phase_(g.num_nodes(), Phase::kCountDegree),
       residual_degree_(g.num_nodes(), 0),
@@ -79,7 +79,7 @@ void LubyBMis::on_round(sim::NodeContext& ctx,
   }
 }
 
-MisResult LubyBMis::run(const graph::Graph& g, std::uint64_t seed,
+MisResult LubyBMis::run(graph::GraphView g, std::uint64_t seed,
                         std::uint32_t max_rounds) {
   LubyBMis algorithm(g);
   sim::Network net(g, seed);

@@ -27,7 +27,7 @@ namespace arbmis::mis {
 
 class LubyBMis : public sim::Algorithm {
  public:
-  explicit LubyBMis(const graph::Graph& g);
+  explicit LubyBMis(graph::GraphView g);
 
   std::string_view name() const override { return "luby_b"; }
   void on_start(sim::NodeContext& ctx) override;
@@ -36,7 +36,7 @@ class LubyBMis : public sim::Algorithm {
 
   const std::vector<MisState>& states() const noexcept { return state_; }
 
-  static MisResult run(const graph::Graph& g, std::uint64_t seed,
+  static MisResult run(graph::GraphView g, std::uint64_t seed,
                        std::uint32_t max_rounds = 1 << 20);
 
  private:

@@ -8,7 +8,7 @@ std::uint64_t MatchingResult::num_matched_edges() const noexcept {
   return endpoints / 2;
 }
 
-bool verify_maximal_matching(const graph::Graph& g,
+bool verify_maximal_matching(graph::GraphView g,
                              const MatchingResult& result) {
   const auto& partner = result.partner;
   if (partner.size() != g.num_nodes()) return false;
@@ -29,8 +29,8 @@ bool verify_maximal_matching(const graph::Graph& g,
   return true;
 }
 
-IsraeliItaiMatching::IsraeliItaiMatching(const graph::Graph& g)
-    : graph_(&g),
+IsraeliItaiMatching::IsraeliItaiMatching(graph::GraphView g)
+    : graph_(g),
       partner_(g.num_nodes(), kUnmatched),
       is_sender_(g.num_nodes(), false) {}
 
@@ -50,7 +50,7 @@ void IsraeliItaiMatching::on_round(sim::NodeContext& ctx,
       std::vector<graph::NodeId> active_ports;
       for (const sim::Message& m : inbox) {
         if (m.tag == kAlive) {
-          active_ports.push_back(graph_->port_of(v, m.src));
+          active_ports.push_back(graph_.port_of(v, m.src));
         }
       }
       if (active_ports.empty()) {
@@ -75,7 +75,7 @@ void IsraeliItaiMatching::on_round(sim::NodeContext& ctx,
       const sim::Message& chosen =
           *proposals[ctx.rng().below(proposals.size())];
       partner_[v] = chosen.src;
-      ctx.send(graph_->port_of(v, chosen.src), kAccept, 0);
+      ctx.send(graph_.port_of(v, chosen.src), kAccept, 0);
       ctx.halt();
       return;
     }
@@ -93,7 +93,7 @@ void IsraeliItaiMatching::on_round(sim::NodeContext& ctx,
   }
 }
 
-MatchingResult IsraeliItaiMatching::run(const graph::Graph& g,
+MatchingResult IsraeliItaiMatching::run(graph::GraphView g,
                                         std::uint64_t seed,
                                         std::uint32_t max_rounds) {
   IsraeliItaiMatching algorithm(g);

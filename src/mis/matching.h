@@ -42,12 +42,12 @@ struct MatchingResult {
 
 /// Checks symmetry (partner of my partner is me), edge validity, and
 /// maximality (no edge with both endpoints unmatched).
-bool verify_maximal_matching(const graph::Graph& g,
+bool verify_maximal_matching(graph::GraphView g,
                              const MatchingResult& result);
 
 class IsraeliItaiMatching : public sim::Algorithm {
  public:
-  explicit IsraeliItaiMatching(const graph::Graph& g);
+  explicit IsraeliItaiMatching(graph::GraphView g);
 
   std::string_view name() const override { return "israeli_itai"; }
   void on_start(sim::NodeContext& ctx) override;
@@ -58,13 +58,13 @@ class IsraeliItaiMatching : public sim::Algorithm {
     return partner_;
   }
 
-  static MatchingResult run(const graph::Graph& g, std::uint64_t seed,
+  static MatchingResult run(graph::GraphView g, std::uint64_t seed,
                             std::uint32_t max_rounds = 1 << 20);
 
  private:
   enum Tag : std::uint32_t { kAlive = 1, kPropose = 2, kAccept = 3 };
 
-  const graph::Graph* graph_;
+  graph::GraphView graph_;
   std::vector<graph::NodeId> partner_;
   std::vector<std::uint8_t> is_sender_;  // byte-wide: written concurrently per node
 };

@@ -5,7 +5,7 @@
 
 namespace arbmis::mis {
 
-MetivierMis::MetivierMis(const graph::Graph& g, Options options)
+MetivierMis::MetivierMis(graph::GraphView g, Options options)
     : options_(options),
       state_(g.num_nodes(), MisState::kUndecided),
       my_priority_(g.num_nodes(), 0) {}
@@ -66,7 +66,7 @@ void MetivierMis::on_round(sim::NodeContext& ctx,
   start_iteration(ctx);
 }
 
-MisResult MetivierMis::run(const graph::Graph& g, std::uint64_t seed,
+MisResult MetivierMis::run(graph::GraphView g, std::uint64_t seed,
                            Options options, std::uint32_t max_rounds) {
   MetivierMis algorithm(g, options);
   sim::Network net(g, seed);
@@ -76,7 +76,7 @@ MisResult MetivierMis::run(const graph::Graph& g, std::uint64_t seed,
   return result;
 }
 
-MisResult luby_a_mis(const graph::Graph& g, std::uint64_t seed,
+MisResult luby_a_mis(graph::GraphView g, std::uint64_t seed,
                      std::uint32_t max_rounds) {
   // Priorities from {1, ..., n^4}, computed with saturation: at n = 2^16
   // the product is exactly 2^64 and plain multiplication wraps to 0,

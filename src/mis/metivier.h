@@ -40,7 +40,7 @@ class MetivierMis : public sim::Algorithm {
  public:
   using Options = MetivierOptions;
 
-  explicit MetivierMis(const graph::Graph& g, Options options = {});
+  explicit MetivierMis(graph::GraphView g, Options options = {});
 
   std::string_view name() const override { return "metivier"; }
   void on_start(sim::NodeContext& ctx) override;
@@ -50,7 +50,7 @@ class MetivierMis : public sim::Algorithm {
   const std::vector<MisState>& states() const noexcept { return state_; }
 
   /// Runs to completion on a fresh network and packages the result.
-  static MisResult run(const graph::Graph& g, std::uint64_t seed,
+  static MisResult run(graph::GraphView g, std::uint64_t seed,
                        Options options = {},
                        std::uint32_t max_rounds = 1 << 20);
 
@@ -66,7 +66,7 @@ class MetivierMis : public sim::Algorithm {
 
 /// Convenience wrapper running Luby's Algorithm A: MetivierMis with integer
 /// priorities from {1, ..., n^4}.
-MisResult luby_a_mis(const graph::Graph& g, std::uint64_t seed,
+MisResult luby_a_mis(graph::GraphView g, std::uint64_t seed,
                      std::uint32_t max_rounds = 1 << 20);
 
 }  // namespace arbmis::mis

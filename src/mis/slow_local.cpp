@@ -2,7 +2,7 @@
 
 namespace arbmis::mis {
 
-ElectionMis::ElectionMis(const graph::Graph& g)
+ElectionMis::ElectionMis(graph::GraphView g)
     : state_(g.num_nodes(), MisState::kUndecided) {}
 
 void ElectionMis::on_start(sim::NodeContext& ctx) {
@@ -40,7 +40,7 @@ void ElectionMis::on_round(sim::NodeContext& ctx,
   ctx.broadcast(kCandidate, v);
 }
 
-MisResult ElectionMis::run(const graph::Graph& g, std::uint64_t seed,
+MisResult ElectionMis::run(graph::GraphView g, std::uint64_t seed,
                            std::uint32_t max_rounds) {
   ElectionMis algorithm(g);
   sim::Network net(g, seed);

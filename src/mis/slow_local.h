@@ -18,7 +18,7 @@ namespace arbmis::mis {
 
 class ElectionMis : public sim::Algorithm {
  public:
-  explicit ElectionMis(const graph::Graph& g);
+  explicit ElectionMis(graph::GraphView g);
 
   std::string_view name() const override { return "election"; }
   void on_start(sim::NodeContext& ctx) override;
@@ -27,7 +27,7 @@ class ElectionMis : public sim::Algorithm {
 
   const std::vector<MisState>& states() const noexcept { return state_; }
 
-  static MisResult run(const graph::Graph& g, std::uint64_t seed = 0,
+  static MisResult run(graph::GraphView g, std::uint64_t seed = 0,
                        std::uint32_t max_rounds = 1 << 24);
 
  private:

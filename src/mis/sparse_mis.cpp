@@ -9,7 +9,7 @@
 
 namespace arbmis::mis {
 
-SparseMisResult sparse_mis(const graph::Graph& g, SparseMisOptions options,
+SparseMisResult sparse_mis(graph::GraphView g, SparseMisOptions options,
                            std::uint64_t seed) {
   SparseMisResult result;
   sim::Network net(g, seed);

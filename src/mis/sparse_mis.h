@@ -41,7 +41,7 @@ struct SparseMisResult {
 /// summed into mis.stats). Throws std::invalid_argument if the forest
 /// decomposition stalls, which certifies options.alpha was below the true
 /// arboricity.
-SparseMisResult sparse_mis(const graph::Graph& g, SparseMisOptions options,
+SparseMisResult sparse_mis(graph::GraphView g, SparseMisOptions options,
                            std::uint64_t seed = 0);
 
 }  // namespace arbmis::mis

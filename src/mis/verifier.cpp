@@ -27,7 +27,7 @@ std::string Verification::describe() const {
   return out.str();
 }
 
-Verification verify_mask(const graph::Graph& g, std::span<const std::uint8_t> in_mis) {
+Verification verify_mask(graph::GraphView g, std::span<const std::uint8_t> in_mis) {
   Verification result;
   result.independent = true;
   result.maximal = true;
@@ -49,7 +49,7 @@ Verification verify_mask(const graph::Graph& g, std::span<const std::uint8_t> in
   return result;
 }
 
-Verification verify(const graph::Graph& g, const MisResult& result) {
+Verification verify(graph::GraphView g, const MisResult& result) {
   const auto mask = result.mis_mask();
   Verification v = verify_mask(g, mask);
   for (graph::NodeId node = 0; node < g.num_nodes(); ++node) {
@@ -74,7 +74,7 @@ Verification verify(const graph::Graph& g, const MisResult& result) {
   return v;
 }
 
-bool is_independent(const graph::Graph& g, std::span<const std::uint8_t> in_mis) {
+bool is_independent(graph::GraphView g, std::span<const std::uint8_t> in_mis) {
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     if (!in_mis[v]) continue;
     for (graph::NodeId w : g.neighbors(v)) {
@@ -84,7 +84,7 @@ bool is_independent(const graph::Graph& g, std::span<const std::uint8_t> in_mis)
   return true;
 }
 
-bool is_proper_coloring(const graph::Graph& g,
+bool is_proper_coloring(graph::GraphView g,
                         std::span<const std::uint64_t> colors) {
   if (colors.size() != g.num_nodes()) return false;
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {

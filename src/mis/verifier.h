@@ -27,17 +27,17 @@ struct Verification {
 };
 
 /// Full check of a labeled result.
-Verification verify(const graph::Graph& g, const MisResult& result);
+Verification verify(graph::GraphView g, const MisResult& result);
 
 /// Check of a bare membership mask (independence + maximality only).
-Verification verify_mask(const graph::Graph& g, std::span<const std::uint8_t> in_mis);
+Verification verify_mask(graph::GraphView g, std::span<const std::uint8_t> in_mis);
 
 /// Independence of a set within the subgraph induced by `active` (used by
 /// pipeline stages that produce partial independent sets).
-bool is_independent(const graph::Graph& g, std::span<const std::uint8_t> in_mis);
+bool is_independent(graph::GraphView g, std::span<const std::uint8_t> in_mis);
 
 /// True iff `colors` is a proper coloring of g (adjacent nodes differ).
-bool is_proper_coloring(const graph::Graph& g,
+bool is_proper_coloring(graph::GraphView g,
                         std::span<const std::uint64_t> colors);
 
 }  // namespace arbmis::mis

@@ -13,7 +13,7 @@ void draw_priorities(std::vector<double>& r, util::Rng& rng) {
   for (double& x : r) x = rng.uniform01();
 }
 
-std::uint64_t max_degree_of(const graph::Graph& g,
+std::uint64_t max_degree_of(graph::GraphView g,
                             std::span<const graph::NodeId> members) {
   std::uint64_t max_degree = 0;
   for (graph::NodeId v : members) {
@@ -24,7 +24,7 @@ std::uint64_t max_degree_of(const graph::Graph& g,
 
 }  // namespace
 
-EventEstimate estimate_event1(const graph::Graph& g,
+EventEstimate estimate_event1(graph::GraphView g,
                               const graph::Orientation& orientation,
                               std::span<const graph::NodeId> members,
                               std::uint64_t alpha, std::uint64_t trials,
@@ -62,7 +62,7 @@ EventEstimate estimate_event1(const graph::Graph& g,
   return estimate;
 }
 
-EventEstimate estimate_event2(const graph::Graph& g,
+EventEstimate estimate_event2(graph::GraphView g,
                               const graph::Orientation& orientation,
                               std::span<const graph::NodeId> members,
                               std::uint64_t alpha, std::uint64_t trials,
@@ -108,7 +108,7 @@ EventEstimate estimate_event2(const graph::Graph& g,
   return estimate;
 }
 
-EventEstimate estimate_event3(const graph::Graph& g,
+EventEstimate estimate_event3(graph::GraphView g,
                               std::span<const graph::NodeId> members,
                               std::uint64_t alpha, std::uint64_t trials,
                               util::Rng& rng) {

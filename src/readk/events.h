@@ -37,7 +37,7 @@ struct EventEstimate {
 
 /// Event (1): P(∃ x in M : r(x) > max over children). paper_bound is the
 /// Theorem 3.1 lower bound computed from (|M|, max degree in M, α).
-EventEstimate estimate_event1(const graph::Graph& g,
+EventEstimate estimate_event1(graph::GraphView g,
                               const graph::Orientation& orientation,
                               std::span<const graph::NodeId> members,
                               std::uint64_t alpha, std::uint64_t trials,
@@ -46,7 +46,7 @@ EventEstimate estimate_event1(const graph::Graph& g,
 /// Event (2): P(#{u in M : r(u) > all parents} > |M|/(2α)). paper_bound is
 /// the Theorem 3.2 style failure bound (reported as success bound
 /// 1 - exp(...)), computed with rho = max degree (all nodes competitive).
-EventEstimate estimate_event2(const graph::Graph& g,
+EventEstimate estimate_event2(graph::GraphView g,
                               const graph::Orientation& orientation,
                               std::span<const graph::NodeId> members,
                               std::uint64_t alpha, std::uint64_t trials,
@@ -56,7 +56,7 @@ EventEstimate estimate_event2(const graph::Graph& g,
 /// full Métivier iteration on the whole graph. paper_bound reports the
 /// Theorem 3.3 target fraction via mean_metric comparison and the success
 /// probability against 1 - 1/Δ³.
-EventEstimate estimate_event3(const graph::Graph& g,
+EventEstimate estimate_event3(graph::GraphView g,
                               std::span<const graph::NodeId> members,
                               std::uint64_t alpha, std::uint64_t trials,
                               util::Rng& rng);

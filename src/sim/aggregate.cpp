@@ -7,11 +7,11 @@
 
 namespace arbmis::sim {
 
-GlobalAggregate::GlobalAggregate(const graph::Graph& g,
+GlobalAggregate::GlobalAggregate(graph::GraphView g,
                                  std::vector<graph::NodeId> parent,
                                  std::vector<std::uint64_t> value,
                                  AggregateOp op)
-    : graph_(&g),
+    : graph_(g),
       op_(op),
       parent_(std::move(parent)),
       parent_port_(g.num_nodes(), graph::kNoParent),
@@ -60,7 +60,7 @@ void GlobalAggregate::on_round(NodeContext& ctx,
   for (const Message& m : inbox) {
     switch (m.tag) {
       case kHello:
-        child_ports_[v].push_back(graph_->port_of(v, m.src));
+        child_ports_[v].push_back(graph_.port_of(v, m.src));
         ++children_pending_[v];
         break;
       case kUp:
@@ -94,7 +94,7 @@ void GlobalAggregate::on_round(NodeContext& ctx,
   }
 }
 
-GlobalAggregate::Result GlobalAggregate::run(const graph::Graph& g,
+GlobalAggregate::Result GlobalAggregate::run(graph::GraphView g,
                                              std::vector<std::uint64_t> value,
                                              AggregateOp op,
                                              std::uint64_t seed,

@@ -24,7 +24,7 @@ class GlobalAggregate : public Algorithm {
  public:
   /// `parent` from a stabilized BfsRooting; `value[v]` is each node's
   /// contribution.
-  GlobalAggregate(const graph::Graph& g, std::vector<graph::NodeId> parent,
+  GlobalAggregate(graph::GraphView g, std::vector<graph::NodeId> parent,
                   std::vector<std::uint64_t> value, AggregateOp op);
 
   std::string_view name() const override { return "global_aggregate"; }
@@ -43,7 +43,7 @@ class GlobalAggregate : public Algorithm {
 
   /// Full pipeline (rooting + convergecast + broadcast).
   /// rooting_budget = 0 uses n + 2.
-  static Result run(const graph::Graph& g, std::vector<std::uint64_t> value,
+  static Result run(graph::GraphView g, std::vector<std::uint64_t> value,
                     AggregateOp op, std::uint64_t seed = 0,
                     std::uint32_t rooting_budget = 0);
 
@@ -52,7 +52,7 @@ class GlobalAggregate : public Algorithm {
 
   std::uint64_t combine(std::uint64_t a, std::uint64_t b) const noexcept;
 
-  const graph::Graph* graph_;
+  graph::GraphView graph_;
   AggregateOp op_;
   std::vector<graph::NodeId> parent_;
   std::vector<graph::NodeId> parent_port_;

@@ -6,8 +6,8 @@
 
 namespace arbmis::sim {
 
-BfsRooting::BfsRooting(const graph::Graph& g)
-    : graph_(&g),
+BfsRooting::BfsRooting(graph::GraphView g)
+    : graph_(g),
       last_improvement_round_(g.num_nodes(), 0),
       best_(g.num_nodes()),
       distance_(g.num_nodes(), 0),
@@ -49,7 +49,7 @@ void BfsRooting::on_round(NodeContext& ctx,
   // sends) makes rounds free in practice, and the budget ends the run.
 }
 
-bool bfs_forest_consistent(const graph::Graph& g,
+bool bfs_forest_consistent(graph::GraphView g,
                            std::span<const graph::NodeId> parent,
                            std::span<const graph::NodeId> root,
                            std::span<const graph::NodeId> distance) {
@@ -73,7 +73,7 @@ bool bfs_forest_consistent(const graph::Graph& g,
   return true;
 }
 
-BfsRooting::Result BfsRooting::run(const graph::Graph& g, std::uint64_t seed,
+BfsRooting::Result BfsRooting::run(graph::GraphView g, std::uint64_t seed,
                                    std::uint32_t round_budget) {
   BfsRooting algorithm(g);
   Network net(g, seed);

@@ -27,7 +27,7 @@ namespace arbmis::sim {
 
 class BfsRooting : public Algorithm {
  public:
-  explicit BfsRooting(const graph::Graph& g);
+  explicit BfsRooting(graph::GraphView g);
 
   std::string_view name() const override { return "bfs_rooting"; }
   void on_start(NodeContext& ctx) override;
@@ -61,7 +61,7 @@ class BfsRooting : public Algorithm {
 
   /// Runs with the given round budget (>= component diameter + 1 to
   /// stabilize; n always suffices).
-  static Result run(const graph::Graph& g, std::uint64_t seed,
+  static Result run(graph::GraphView g, std::uint64_t seed,
                     std::uint32_t round_budget);
 
  private:
@@ -72,7 +72,7 @@ class BfsRooting : public Algorithm {
     return (static_cast<std::uint64_t>(root) << 32) | distance;
   }
 
-  const graph::Graph* graph_;
+  graph::GraphView graph_;
   // Per-node slots, maxed post-run: callbacks must not update a shared
   // aggregate (see the thread-safety contract in sim/algorithm.h).
   std::vector<std::uint32_t> last_improvement_round_;
@@ -82,7 +82,7 @@ class BfsRooting : public Algorithm {
 };
 
 /// Centralized audit used by Result::stabilized and the tests.
-bool bfs_forest_consistent(const graph::Graph& g,
+bool bfs_forest_consistent(graph::GraphView g,
                            std::span<const graph::NodeId> parent,
                            std::span<const graph::NodeId> root,
                            std::span<const graph::NodeId> distance);

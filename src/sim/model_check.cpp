@@ -51,7 +51,7 @@ std::string ModelCheckReport::summary() const {
   return out.str();
 }
 
-ModelChecker::ModelChecker(const graph::Graph& g, ModelCheckOptions options,
+ModelChecker::ModelChecker(graph::GraphView g, ModelCheckOptions options,
                            std::uint32_t allowed_messages_per_edge)
     : options_(options), num_nodes_(g.num_nodes()) {
   if (!options_.enabled) return;

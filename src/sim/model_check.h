@@ -138,7 +138,7 @@ class ModelChecker {
   static constexpr graph::NodeId kNoNode = ~graph::NodeId{0};
 
   ModelChecker() = default;
-  ModelChecker(const graph::Graph& g, ModelCheckOptions options,
+  ModelChecker(graph::GraphView g, ModelCheckOptions options,
                std::uint32_t allowed_messages_per_edge);
 
   bool enabled() const noexcept { return options_.enabled; }

@@ -55,9 +55,9 @@ void RunStats::absorb(const RunStats& other) noexcept {
   all_halted = all_halted && other.all_halted;
 }
 
-Network::Network(const graph::Graph& g, std::uint64_t seed,
+Network::Network(graph::GraphView g, std::uint64_t seed,
                  NetworkOptions options)
-    : graph_(&g),
+    : graph_(g),
       options_(options),
       seed_(seed),
       fault_(options.fault),
@@ -103,7 +103,7 @@ void Network::deliver(graph::NodeId target, const Message& msg) {
   ++in_flight_next_;
   if (use_arena_) {
     std::uint32_t& count = inbox_count_next_[target];
-    if (count < graph_->degree(target)) [[likely]] {
+    if (count < graph_.degree(target)) [[likely]] {
       arena_next_[edge_offset_[target] + count] = msg;
     } else {
       // Past one-per-directed-edge capacity: fault duplicates, or a run
@@ -123,7 +123,7 @@ std::span<const Message> Network::current_inbox(graph::NodeId v,
   if (!use_arena_) return inbox_[v];
   const std::uint32_t count = inbox_count_cur_[v];
   const std::uint64_t base = edge_offset_[v];
-  const graph::NodeId cap = graph_->degree(v);
+  const graph::NodeId cap = graph_.degree(v);
   if (count <= cap) [[likely]] {
     return std::span<const Message>(arena_cur_.data() + base, count);
   }
@@ -140,7 +140,7 @@ std::span<const Message> Network::current_inbox(graph::NodeId v,
 
 void Network::do_send(ExecLane* lane, graph::NodeId from, graph::NodeId port,
                       std::uint32_t tag, std::uint64_t payload) {
-  const auto nbrs = graph_->neighbors(from);
+  const auto nbrs = graph_.neighbors(from);
   if (port >= nbrs.size()) {
     throw std::logic_error("send: port out of range");
   }
@@ -245,7 +245,7 @@ void Network::step_node(Algorithm& algorithm, graph::NodeId v,
 
 void Network::run_phase(Algorithm& algorithm) {
   if (num_threads_ == 0) {
-    const graph::NodeId n = graph_->num_nodes();
+    const graph::NodeId n = graph_.num_nodes();
     for (graph::NodeId v = 0; v < n; ++v) {
       if (halted_[v] != 0) continue;
       if (fault_ != nullptr && fault_->is_down(v)) continue;
@@ -257,7 +257,7 @@ void Network::run_phase(Algorithm& algorithm) {
 }
 
 void Network::run_phase_parallel(Algorithm& algorithm) {
-  const graph::NodeId n = graph_->num_nodes();
+  const graph::NodeId n = graph_.num_nodes();
   const std::uint32_t t = num_threads_;
   // Shard non-halted nodes into contiguous ranges of near-equal alive
   // count: shard s owns alive indices [alive*s/t, alive*(s+1)/t).
@@ -330,10 +330,10 @@ void Network::run_phase_parallel(Algorithm& algorithm) {
 RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
                       const RoundObserver& observer) {
   OBS_SCOPE("net.run");
-  const graph::NodeId n = graph_->num_nodes();
+  const graph::NodeId n = graph_.num_nodes();
   if (obs::sink() != nullptr) {
     obs::emit(obs::make_event(obs::EventKind::kRunBegin, /*round=*/0,
-                              algorithm.name(), n, graph_->num_edges(), seed_,
+                              algorithm.name(), n, graph_.num_edges(), seed_,
                               max_rounds, options_.enforce_congest ? 1 : 0));
   }
   // Reset per-run state; RNG streams intentionally persist across runs.
@@ -506,17 +506,17 @@ void Network::flush_round_accounting(std::uint64_t messages_before,
 }
 
 graph::NodeId NodeContext::degree() const noexcept {
-  return net_->graph_->degree(id_);
+  return net_->graph_.degree(id_);
 }
 
 std::span<const graph::NodeId> NodeContext::neighbors() const noexcept {
-  return net_->graph_->neighbors(id_);
+  return net_->graph_.neighbors(id_);
 }
 
 std::uint32_t NodeContext::round() const noexcept { return net_->round_; }
 
 graph::NodeId NodeContext::network_size() const noexcept {
-  return net_->graph_->num_nodes();
+  return net_->graph_.num_nodes();
 }
 
 void NodeContext::send(graph::NodeId port, std::uint32_t tag,

@@ -240,10 +240,10 @@ struct RoundDelta {
 
 class Network {
  public:
-  Network(const graph::Graph& g, std::uint64_t seed,
+  Network(graph::GraphView g, std::uint64_t seed,
           NetworkOptions options = {});
 
-  const graph::Graph& graph() const noexcept { return *graph_; }
+  graph::GraphView graph() const noexcept { return graph_; }
   std::uint32_t round() const noexcept { return round_; }
   bool halted(graph::NodeId v) const noexcept { return halted_[v] != 0; }
   graph::NodeId num_halted() const noexcept { return num_halted_; }
@@ -268,7 +268,7 @@ class Network {
   /// Staged messages for v that exceeded its per-directed-edge slot
   /// capacity and sit in the overflow side buffer (0 on the normal path).
   std::uint32_t staged_overflow_size(graph::NodeId v) const noexcept {
-    const std::uint32_t cap = graph_->degree(v);
+    const std::uint32_t cap = graph_.degree(v);
     return use_arena_ && inbox_count_next_[v] > cap
                ? inbox_count_next_[v] - cap
                : 0;
@@ -328,7 +328,7 @@ class Network {
   void flush_round_accounting(std::uint64_t messages_before,
                               RoundFaultEvents events);
 
-  const graph::Graph* graph_;
+  graph::GraphView graph_;
   NetworkOptions options_;
   std::uint64_t seed_ = 0;  ///< base RNG seed (telemetry run_begin events)
   FaultInjector* fault_ = nullptr;  ///< non-owning; nullptr = fault-free

@@ -3,7 +3,9 @@
 // pipeline runs on randomly generated structures.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <sstream>
 
 #include "core/arb_mis.h"
 #include "fault/adversary.h"
@@ -11,6 +13,9 @@
 #include "graph/generators.h"
 #include "graph/properties.h"
 #include "fault/fault_plan.h"
+#include "graph/storage/convert.h"
+#include "graph/storage/gr_writer.h"
+#include "graph/storage/mapped_graph.h"
 #include "graph/subgraph.h"
 #include "mis/luby.h"
 #include "mis/matching.h"
@@ -220,6 +225,147 @@ TEST_P(Fuzz, MisAndMatchingCoexistOnSameGraph) {
       mis::verify(g, mis::MetivierMis::run(g, GetParam())).ok());
   EXPECT_TRUE(mis::verify_maximal_matching(
       g, mis::IsraeliItaiMatching::run(g, GetParam())));
+}
+
+// ---------------------------------------------------------------------------
+// Converter fuzz: random edge-list text — sparse out-of-order ids,
+// duplicates in both orders, self-loops, '#'/'%' comments, blank lines,
+// CRLF endings, erratic whitespace — through convert_edge_list and a full
+// .gr disk round trip, differentially against an in-process reference
+// adjacency built from the same lines. The stats struct must account for
+// every input line exactly: edges are deduplicated and self-loops dropped
+// *with a count*, never silently.
+// ---------------------------------------------------------------------------
+
+TEST_P(Fuzz, ConverterMatchesReferenceOnRandomEdgeListText) {
+  util::Rng rng(GetParam() + 900);
+  // Sparse id universe, including ids near the top of the 32-bit space.
+  std::vector<graph::NodeId> universe;
+  const std::uint64_t universe_size = 4 + rng.below(40);
+  for (std::uint64_t i = 0; i < universe_size; ++i) {
+    universe.push_back(rng.below(2) != 0
+                           ? static_cast<graph::NodeId>(rng.below(1000))
+                           : static_cast<graph::NodeId>(
+                                 0xffffffffu - rng.below(1000)));
+  }
+
+  std::ostringstream text;
+  std::set<std::pair<graph::NodeId, graph::NodeId>> reference;
+  std::set<graph::NodeId> mentioned;
+  std::uint64_t self_loops = 0;
+  std::uint64_t edge_lines = 0;
+  std::uint64_t comment_lines = 0;
+  const std::uint64_t lines = 30 + rng.below(120);
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    const std::string eol = rng.below(3) == 0 ? "\r\n" : "\n";
+    const std::uint64_t kind = rng.below(10);
+    if (kind == 0) {
+      text << "# comment " << i << eol;
+      ++comment_lines;
+      continue;
+    }
+    if (kind == 1) {
+      text << (rng.below(2) != 0 ? "% comment" : "   ") << eol;
+      ++comment_lines;
+      continue;
+    }
+    graph::NodeId u = universe[rng.below(universe.size())];
+    graph::NodeId v = rng.below(4) == 0  // bias toward repeats
+                          ? u
+                          : universe[rng.below(universe.size())];
+    if (rng.below(2) != 0) std::swap(u, v);  // both orders appear
+    const std::string pad1 = rng.below(3) == 0 ? "  " : " ";
+    const std::string lead = rng.below(4) == 0 ? "\t" : "";
+    text << lead << u << pad1 << v << (rng.below(5) == 0 ? " " : "") << eol;
+    ++edge_lines;
+    mentioned.insert(u);
+    mentioned.insert(v);
+    if (u == v) {
+      ++self_loops;
+    } else {
+      reference.insert({std::min(u, v), std::max(u, v)});
+    }
+  }
+
+  std::istringstream in(text.str());
+  const graph::storage::ConvertResult result =
+      graph::storage::convert_edge_list(in);
+
+  // Exact line accounting: nothing is silently dropped.
+  EXPECT_EQ(result.stats.lines_total, lines);
+  EXPECT_EQ(result.stats.lines_comment, comment_lines);
+  EXPECT_EQ(result.stats.edges_input, edge_lines);
+  EXPECT_EQ(result.stats.self_loops_dropped, self_loops);
+  EXPECT_EQ(result.stats.edges_kept, reference.size());
+  EXPECT_EQ(result.stats.duplicates_dropped,
+            edge_lines - self_loops - reference.size());
+
+  // Structural agreement with the reference adjacency, mapped back to
+  // original ids (identity when the converter elides the permutation).
+  ASSERT_EQ(result.graph.num_nodes(), mentioned.size());
+  std::set<std::pair<graph::NodeId, graph::NodeId>> recovered;
+  const auto original = [&](graph::NodeId v) {
+    return result.new_to_old.empty() ? v : result.new_to_old[v];
+  };
+  for (const graph::Edge& e : result.graph.edges()) {
+    const graph::NodeId u = original(e.u);
+    const graph::NodeId v = original(e.v);
+    recovered.insert({std::min(u, v), std::max(u, v)});
+  }
+  EXPECT_EQ(recovered, reference);
+
+  // Disk round trip: written file reloads to the identical graph.
+  const std::string path = ::testing::TempDir() + "arbmis_convfuzz_" +
+                           std::to_string(GetParam()) + ".gr";
+  graph::storage::GrWriteOptions write_options;
+  write_options.new_to_old = result.new_to_old;
+  write_options.degree_ordered = result.degree_ordered;
+  graph::storage::write_gr(path, result.graph, write_options);
+  const graph::storage::MappedGraph mapped =
+      graph::storage::MappedGraph::open(path);
+  ASSERT_EQ(mapped.num_nodes(), result.graph.num_nodes());
+  ASSERT_EQ(mapped.num_edges(), result.graph.num_edges());
+  for (graph::NodeId v = 0; v < result.graph.num_nodes(); ++v) {
+    const auto want = result.graph.neighbors(v);
+    const auto got = mapped.view().neighbors(v);
+    ASSERT_TRUE(std::equal(want.begin(), want.end(), got.begin(), got.end()))
+        << "neighbor mismatch at node " << v;
+  }
+}
+
+TEST_P(Fuzz, ConverterFailsLoudlyOnMalformedLines) {
+  util::Rng rng(GetParam() + 1700);
+  // A valid prefix...
+  std::ostringstream text;
+  const std::uint64_t good_lines = 1 + rng.below(20);
+  for (std::uint64_t i = 0; i < good_lines; ++i) {
+    text << rng.below(50) << ' ' << rng.below(50) << '\n';
+  }
+  // ...then one malformed line: the converter must throw an error naming
+  // this exact 1-based line number, never silently drop or truncate it.
+  const std::vector<std::string> malformed = {
+      "1 2 3",           // extra token
+      "7",               // missing endpoint
+      "a b",             // non-numeric
+      "3 4x",            // trailing junk inside a token
+      "4294967296 0",    // id does not fit in 32 bits
+      "99999999999999999999 1",  // overflows even uint64
+      "5 -1",            // negative
+  };
+  const std::string& bad = malformed[rng.below(malformed.size())];
+  text << bad << '\n';
+
+  std::istringstream in(text.str());
+  try {
+    graph::storage::convert_edge_list(in);
+    FAIL() << "converter accepted malformed line '" << bad << "'";
+  } catch (const std::invalid_argument& e) {
+    const std::string expected =
+        "line " + std::to_string(good_lines + 1) + ":";
+    EXPECT_NE(std::string(e.what()).find(expected), std::string::npos)
+        << "error '" << e.what() << "' does not name line "
+        << good_lines + 1;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,

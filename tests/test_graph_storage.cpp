@@ -1,0 +1,310 @@
+// Tests for the binary .gr on-disk format (src/graph/storage/): writer ↔
+// mmap-loader round trips across generator families, both load backends,
+// the header/corruption rejection surface, and permutation semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/storage/convert.h"
+#include "graph/storage/gr_format.h"
+#include "graph/storage/gr_writer.h"
+#include "graph/storage/mapped_graph.h"
+
+namespace arbmis::graph::storage {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "arbmis_" + name + ".gr";
+}
+
+/// Full structural equality between the original graph and a loaded view.
+void expect_same_graph(GraphView expected, GraphView actual) {
+  ASSERT_EQ(actual.num_nodes(), expected.num_nodes());
+  ASSERT_EQ(actual.num_edges(), expected.num_edges());
+  EXPECT_EQ(actual.max_degree(), expected.max_degree());
+  for (NodeId v = 0; v < expected.num_nodes(); ++v) {
+    const auto want = expected.neighbors(v);
+    const auto got = actual.neighbors(v);
+    ASSERT_EQ(got.size(), want.size()) << "degree mismatch at node " << v;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "neighbor " << i << " of node " << v;
+    }
+  }
+}
+
+TEST(GraphStorage, RoundTripMatrix) {
+  // 4 generator families x 3 seeds; every graph goes disk -> mmap -> view
+  // and must come back structurally identical under BOTH load backends.
+  using Family = std::function<Graph(std::uint64_t)>;
+  const std::vector<std::pair<std::string, Family>> families = {
+      {"gnp",
+       [](std::uint64_t seed) {
+         util::Rng rng(seed);
+         return gen::gnp(300, 0.02, rng);
+       }},
+      {"hubbed_forest",
+       [](std::uint64_t seed) {
+         util::Rng rng(seed);
+         return gen::hubbed_forest_union(400, 2, 4, rng);
+       }},
+      {"power_law",
+       [](std::uint64_t seed) {
+         util::Rng rng(seed);
+         return gen::chung_lu_power_law(300, 2.5, 4.0, rng);
+       }},
+      {"random_tree",
+       [](std::uint64_t seed) {
+         util::Rng rng(seed);
+         return gen::random_tree(500, rng);
+       }},
+  };
+  for (const auto& [name, make] : families) {
+    for (const std::uint64_t seed : {1u, 7u, 42u}) {
+      SCOPED_TRACE(name + " seed " + std::to_string(seed));
+      const Graph g = make(seed);
+      const std::string path =
+          temp_path(name + "_" + std::to_string(seed));
+      write_gr(path, g);
+
+      const MappedGraph mapped = MappedGraph::open(path);
+      expect_same_graph(g, mapped);
+      EXPECT_FALSE(mapped.degree_ordered());
+      EXPECT_TRUE(mapped.permutation().empty());
+
+      GrMapOptions buffered;
+      buffered.mode = GrMapMode::kBuffered;
+      const MappedGraph fallback = MappedGraph::open(path, buffered);
+      EXPECT_FALSE(fallback.mmap_backed());
+      expect_same_graph(g, fallback);
+    }
+  }
+}
+
+TEST(GraphStorage, EmptyGraphRoundTrips) {
+  const std::string path = temp_path("empty");
+  write_gr(path, Graph(0));
+  const MappedGraph mapped = MappedGraph::open(path);
+  EXPECT_EQ(mapped.num_nodes(), 0u);
+  EXPECT_EQ(mapped.num_edges(), 0u);
+  EXPECT_EQ(mapped.max_degree(), 0u);
+  EXPECT_EQ(mapped.view().num_edges(), 0u);
+}
+
+TEST(GraphStorage, SingleNodeRoundTrips) {
+  const std::string path = temp_path("single");
+  write_gr(path, Graph(1));
+  const MappedGraph mapped = MappedGraph::open(path);
+  EXPECT_EQ(mapped.num_nodes(), 1u);
+  EXPECT_EQ(mapped.num_edges(), 0u);
+  EXPECT_TRUE(mapped.view().neighbors(0).empty());
+}
+
+TEST(GraphStorage, PermutationSectionRoundTrips) {
+  const Graph g = gen::star(5);  // node 0 is the hub
+  const std::vector<NodeId> new_to_old = {40, 10, 20, 30, 0};
+  const std::string path = temp_path("perm");
+  GrWriteOptions options;
+  options.new_to_old = new_to_old;
+  options.degree_ordered = true;
+  write_gr(path, g, options);
+
+  const MappedGraph mapped = MappedGraph::open(path);
+  EXPECT_TRUE(mapped.degree_ordered());
+  const auto perm = mapped.permutation();
+  ASSERT_EQ(perm.size(), new_to_old.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(perm[i], new_to_old[i]);
+  }
+  expect_same_graph(g, mapped);
+}
+
+TEST(GraphStorage, WriterRejectsInconsistentOptions) {
+  const Graph g = gen::path(4);
+  const std::string path = temp_path("badopts");
+  {
+    GrWriteOptions options;  // degree_ordered without a permutation
+    options.degree_ordered = true;
+    EXPECT_THROW(write_gr(path, g, options), std::runtime_error);
+  }
+  {
+    GrWriteOptions options;  // permutation of the wrong size
+    const std::vector<NodeId> wrong = {0, 1};
+    options.new_to_old = wrong;
+    EXPECT_THROW(write_gr(path, g, options), std::runtime_error);
+  }
+}
+
+// --- corruption / rejection surface ---------------------------------------
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// EXPECT that open() throws and that the message mentions `needle`.
+void expect_open_fails(const std::string& path, const std::string& needle) {
+  try {
+    const MappedGraph mapped = MappedGraph::open(path);
+    FAIL() << "open() accepted " << path << " (wanted error containing '"
+           << needle << "')";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual error: " << e.what();
+  }
+}
+
+TEST(GraphStorage, RejectsTruncatedFile) {
+  util::Rng rng(3);
+  const Graph g = gen::gnp(100, 0.05, rng);
+  const std::string path = temp_path("trunc");
+  write_gr(path, g);
+  auto bytes = read_file(path);
+
+  // Truncated mid-adjacency: header parses, size check must catch it.
+  auto cut = bytes;
+  cut.resize(bytes.size() - 17);
+  write_file(path, cut);
+  expect_open_fails(path, "truncated");
+
+  // Shorter than the header itself.
+  cut.resize(kGrHeaderBytes - 1);
+  write_file(path, cut);
+  expect_open_fails(path, "truncated");
+
+  // Trailing garbage is corruption too, not slack.
+  auto padded = bytes;
+  padded.push_back('\0');
+  write_file(path, padded);
+  expect_open_fails(path, "trailing");
+}
+
+TEST(GraphStorage, RejectsWrongMagicAndVersion) {
+  const std::string path = temp_path("magic");
+  write_gr(path, gen::path(4));
+  auto bytes = read_file(path);
+
+  auto wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  write_file(path, wrong_magic);
+  expect_open_fails(path, "magic");
+
+  auto wrong_version = bytes;
+  wrong_version[8] = 99;  // version u32 LE at offset 8
+  write_file(path, wrong_version);
+  expect_open_fails(path, "version");
+
+  auto unknown_flags = bytes;
+  unknown_flags[12] = 0x40;  // flags u32 LE at offset 12
+  write_file(path, unknown_flags);
+  expect_open_fails(path, "flag");
+
+  auto bad_reserved = bytes;
+  bad_reserved[40] = 1;
+  write_file(path, bad_reserved);
+  expect_open_fails(path, "reserved");
+}
+
+TEST(GraphStorage, RejectsCorruptBody) {
+  const std::string path = temp_path("body");
+  write_gr(path, gen::cycle(6));
+  const auto bytes = read_file(path);
+
+  // Flip one adjacency entry (offset 48 + 7*8 = offsets end) to an
+  // out-of-range id: structural verification must refuse it.
+  auto corrupt = bytes;
+  const std::size_t adjacency_start = kGrHeaderBytes + 7 * 8;
+  corrupt[adjacency_start] = 0x77;
+  corrupt[adjacency_start + 1] = 0x77;
+  write_file(path, corrupt);
+  expect_open_fails(path, "out of range");
+
+  // Break offsets monotonicity.
+  auto bad_offsets = bytes;
+  bad_offsets[kGrHeaderBytes + 8] = '\xff';  // offsets[1] low byte
+  write_file(path, bad_offsets);
+  EXPECT_THROW(MappedGraph::open(path), std::runtime_error);
+
+  // Introduce a self-loop: adjacency[0] (neighbor list of node 0) <- 0.
+  // cycle(6): node 0's neighbors are {1, 5}.
+  auto self_loop = bytes;
+  self_loop[adjacency_start] = 0;
+  write_file(path, self_loop);
+  expect_open_fails(path, "self-loop");
+}
+
+TEST(GraphStorage, RejectsMissingFile) {
+  expect_open_fails(::testing::TempDir() + "arbmis_does_not_exist.gr",
+                    "cannot open");
+}
+
+TEST(GraphStorage, ConverterMatchesIoReader) {
+  // The converter and the storage round trip agree with the plain-text
+  // io.cpp path on a shared workload.
+  util::Rng rng(9);
+  const Graph g = gen::hubbed_forest_union(200, 2, 4, rng);
+  std::stringstream text;
+  text << "# comment\n";
+  for (const Edge& e : g.edges()) text << e.u << ' ' << e.v << '\n';
+
+  const ConvertResult result = convert_edge_list(text);
+  expect_same_graph(g, result.graph);
+  EXPECT_TRUE(result.new_to_old.empty());  // dense input, identity mapping
+  EXPECT_EQ(result.stats.edges_kept, g.num_edges());
+  EXPECT_EQ(result.stats.self_loops_dropped, 0u);
+  EXPECT_EQ(result.stats.duplicates_dropped, 0u);
+
+  const std::string path = temp_path("converter");
+  write_gr(path, result.graph);
+  const MappedGraph mapped = MappedGraph::open(path);
+  expect_same_graph(g, mapped);
+}
+
+TEST(GraphStorage, DegreeOrderConversionIsConsistent) {
+  // Degree-ordered output: degrees are non-increasing in the new numbering
+  // and mapping every edge through new_to_old recovers the original edges.
+  // Spanning-forest union: no isolated nodes, so every node appears in the
+  // edge-list text and the converter preserves n exactly.
+  util::Rng rng(11);
+  const Graph g = gen::union_of_random_forests(150, 2, rng);
+  std::stringstream text;
+  for (const Edge& e : g.edges()) text << e.u << ' ' << e.v << '\n';
+
+  ConvertOptions options;
+  options.degree_order = true;
+  const ConvertResult result = convert_edge_list(text, options);
+  ASSERT_EQ(result.graph.num_nodes(), g.num_nodes());
+  ASSERT_EQ(result.graph.num_edges(), g.num_edges());
+  EXPECT_TRUE(result.degree_ordered);
+  ASSERT_EQ(result.new_to_old.size(), g.num_nodes());
+
+  for (NodeId v = 1; v < result.graph.num_nodes(); ++v) {
+    EXPECT_GE(result.graph.degree(v - 1), result.graph.degree(v))
+        << "degrees not non-increasing at " << v;
+  }
+  std::vector<Edge> recovered;
+  for (const Edge& e : result.graph.edges()) {
+    const NodeId u = result.new_to_old[e.u];
+    const NodeId v = result.new_to_old[e.v];
+    recovered.push_back({std::min(u, v), std::max(u, v)});
+  }
+  std::sort(recovered.begin(), recovered.end());
+  EXPECT_EQ(recovered, g.edges());
+}
+
+}  // namespace
+}  // namespace arbmis::graph::storage

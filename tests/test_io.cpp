@@ -61,6 +61,27 @@ TEST(Io, RejectsMalformedInput) {
   }
 }
 
+TEST(Io, RejectsNodeCountBeyondNodeIdSpace) {
+  // 2^32 does not fit in the 32-bit NodeId; the reader must reject it, not
+  // truncate it (the old `n > ~NodeId{0}` check promoted to int and never
+  // fired, silently wrapping n to 0).
+  {
+    std::stringstream in("4294967296 1\n0 1\n");
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("18446744073709551615 0\n");  // 2^64 - 1
+    EXPECT_THROW(read_edge_list(in), std::invalid_argument);
+  }
+  // In-range counts still parse (guard against an over-eager fix).
+  {
+    std::stringstream in("1000 0\n");
+    const Graph g = read_edge_list(in);
+    EXPECT_EQ(g.num_nodes(), 1000u);
+    EXPECT_EQ(g.num_edges(), 0u);
+  }
+}
+
 TEST(Io, FileSaveLoad) {
   util::Rng rng(5);
   const Graph g = gen::union_of_random_forests(60, 2, rng);

@@ -23,6 +23,8 @@
 #include "fault/fault_plan.h"
 #include "fault/resilient_mis.h"
 #include "graph/generators.h"
+#include "graph/storage/gr_writer.h"
+#include "graph/storage/mapped_graph.h"
 #include "mis/ghaffari.h"
 #include "mis/bit_metivier.h"
 #include "mis/luby.h"
@@ -99,7 +101,7 @@ void expect_identical(const RunRecord& serial, const RunRecord& parallel,
 /// Runs `algorithm` on a fresh network with the given worker count and
 /// records stats, outputs, halt rounds, and the checker report.
 template <typename Algo, typename Extract>
-RunRecord run_case(const graph::Graph& g, std::uint64_t seed,
+RunRecord run_case(graph::GraphView g, std::uint64_t seed,
                    std::uint32_t threads, Algo& algorithm,
                    std::uint32_t max_rounds, Extract&& extract,
                    sim::FaultInjector* fault = nullptr) {
@@ -616,6 +618,200 @@ TEST_P(ArenaEquivalence, FaultyLubyMatchesReferenceInboxes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ArenaEquivalence,
                          ::testing::Values(1, 7, 2024));
+
+// ---------------------------------------------------------------------------
+// Storage differential matrix: every algorithm must be oblivious to whether
+// its GraphView is backed by the in-memory Graph or by an mmap of the same
+// graph written to a binary .gr file (graph/storage/). The baseline is the
+// in-memory serial run; rows cover {in-memory, mapped} x threads {0, 2, 8},
+// expecting byte-identity of MIS outputs, RNG draw counts, telemetry event
+// streams, and the checker report — the same bar the executor matrix sets.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kStorageThreadCounts[] = {0, 2, 8};
+
+/// The in-memory graph plus the same graph reloaded from disk. The .gr
+/// write preserves node numbering and adjacency order exactly, so the two
+/// views expose identical CSR bytes — any divergence below is a storage
+/// bug, not a renumbering artifact.
+struct StorageCase {
+  graph::Graph memory;
+  graph::storage::MappedGraph mapped;
+};
+
+StorageCase make_storage_case(std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::Graph g = graph::gen::hubbed_forest_union(300, 2, 4, rng);
+  const std::string path = ::testing::TempDir() + "arbmis_equiv_" +
+                           std::to_string(seed) + ".gr";
+  graph::storage::write_gr(path, g);
+  return {std::move(g), graph::storage::MappedGraph::open(path)};
+}
+
+class MappedEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Baseline: in-memory serial. Rows: both storages at every thread count.
+template <typename RunWith>
+void expect_storage_independent(const std::string& algo,
+                                const StorageCase& sc, RunWith&& run_with) {
+  const RunRecord baseline = run_with(graph::GraphView(sc.memory), 0);
+  for (const std::uint32_t threads : kStorageThreadCounts) {
+    expect_identical(baseline, run_with(graph::GraphView(sc.memory), threads),
+                     algo + "/memory/t" + std::to_string(threads));
+    expect_identical(baseline, run_with(sc.mapped.view(), threads),
+                     algo + "/mapped/t" + std::to_string(threads));
+  }
+}
+
+TEST_P(MappedEquivalence, LubyIsStorageIndependent) {
+  const StorageCase sc = make_storage_case(GetParam());
+  expect_storage_independent(
+      "luby", sc, [&](graph::GraphView g, std::uint32_t threads) {
+        mis::LubyBMis algorithm(g);
+        return run_case(g, GetParam(), threads, algorithm, 1 << 20,
+                        [](const mis::LubyBMis& a) { return a.states(); });
+      });
+}
+
+TEST_P(MappedEquivalence, MetivierIsStorageIndependent) {
+  const StorageCase sc = make_storage_case(GetParam());
+  expect_storage_independent(
+      "metivier", sc, [&](graph::GraphView g, std::uint32_t threads) {
+        mis::MetivierMis algorithm(g);
+        return run_case(g, GetParam(), threads, algorithm, 1 << 20,
+                        [](const mis::MetivierMis& a) { return a.states(); });
+      });
+}
+
+TEST_P(MappedEquivalence, GhaffariIsStorageIndependent) {
+  const StorageCase sc = make_storage_case(GetParam());
+  expect_storage_independent(
+      "ghaffari", sc, [&](graph::GraphView g, std::uint32_t threads) {
+        mis::GhaffariMis algorithm(g);
+        return run_case(g, GetParam(), threads, algorithm, 1 << 20,
+                        [](const mis::GhaffariMis& a) { return a.states(); });
+      });
+}
+
+TEST_P(MappedEquivalence, BoundedArbIsStorageIndependent) {
+  const StorageCase sc = make_storage_case(GetParam());
+  const core::Params params =
+      core::Params::practical(2, sc.memory.max_degree());
+  expect_storage_independent(
+      "bounded_arb", sc, [&](graph::GraphView g, std::uint32_t threads) {
+        core::BoundedArbIndependentSet algorithm(g, params);
+        RunRecord record =
+            run_case(g, GetParam(), threads, algorithm, params.total_rounds(),
+                     [](const core::BoundedArbIndependentSet& a) {
+                       return a.outcomes();
+                     });
+        for (const auto& scale : algorithm.scale_stats()) {
+          record.output.push_back(scale.scale);
+          record.output.push_back(static_cast<std::uint32_t>(scale.joined));
+          record.output.push_back(static_cast<std::uint32_t>(scale.covered));
+          record.output.push_back(static_cast<std::uint32_t>(scale.bad));
+          record.output.push_back(
+              static_cast<std::uint32_t>(scale.active_after));
+        }
+        return record;
+      });
+}
+
+TEST_P(MappedEquivalence, BitMetivierIsStorageIndependent) {
+  const StorageCase sc = make_storage_case(GetParam());
+  const auto run_with = [&](graph::GraphView g, std::uint32_t threads) {
+    sim::ScopedNumThreads scoped(threads);
+    std::string events;
+    mis::BitMetivierMis::Result result = with_event_capture(
+        &events, [&] { return mis::BitMetivierMis::run(g, GetParam()); });
+    return std::make_pair(std::move(result), std::move(events));
+  };
+  const auto [baseline, baseline_events] =
+      run_with(graph::GraphView(sc.memory), 0);
+  EXPECT_TRUE(baseline.mis.stats.all_halted);
+  for (const std::uint32_t threads : kStorageThreadCounts) {
+    for (const bool mapped : {false, true}) {
+      const auto [row, row_events] = run_with(
+          mapped ? sc.mapped.view() : graph::GraphView(sc.memory), threads);
+      const std::string label = std::string("bit_metivier/") +
+                                (mapped ? "mapped" : "memory") + "/t" +
+                                std::to_string(threads);
+      EXPECT_EQ(baseline.mis.state, row.mis.state) << label;
+      EXPECT_EQ(baseline.semantic_bits, row.semantic_bits) << label;
+      EXPECT_EQ(baseline.mis.stats.rounds, row.mis.stats.rounds) << label;
+      EXPECT_EQ(baseline.mis.stats.messages, row.mis.stats.messages) << label;
+      EXPECT_EQ(baseline_events, row_events) << label;
+    }
+  }
+}
+
+TEST_P(MappedEquivalence, ArbMisPipelineIsStorageIndependent) {
+  const StorageCase sc = make_storage_case(GetParam());
+  const auto run_with = [&](graph::GraphView g, std::uint32_t threads) {
+    sim::ScopedNumThreads scoped(threads);
+    std::string events;
+    core::ArbMisResult result = with_event_capture(
+        &events, [&] { return core::arb_mis(g, {.alpha = 2}, GetParam()); });
+    return std::make_pair(std::move(result), std::move(events));
+  };
+  const auto [baseline, baseline_events] =
+      run_with(graph::GraphView(sc.memory), 0);
+  EXPECT_TRUE(baseline.mis.stats.all_halted);
+  for (const std::uint32_t threads : kStorageThreadCounts) {
+    for (const bool mapped : {false, true}) {
+      const auto [row, row_events] = run_with(
+          mapped ? sc.mapped.view() : graph::GraphView(sc.memory), threads);
+      const std::string label = std::string("arb_mis/") +
+                                (mapped ? "mapped" : "memory") + "/t" +
+                                std::to_string(threads);
+      EXPECT_EQ(baseline.mis.state, row.mis.state) << label;
+      EXPECT_EQ(baseline.mis.stats.rounds, row.mis.stats.rounds) << label;
+      EXPECT_EQ(baseline.mis.stats.messages, row.mis.stats.messages) << label;
+      EXPECT_EQ(baseline.mis.stats.payload_bits, row.mis.stats.payload_bits)
+          << label;
+      EXPECT_EQ(baseline_events, row_events) << label;
+    }
+  }
+}
+
+TEST_P(MappedEquivalence, FaultyLubyIsStorageIndependent) {
+  // The mapped+faulty row: fault plans are pure functions of
+  // (graph, seed, adversary), so a plan built against the mapped view must
+  // reproduce the in-memory run's ledger and down mask byte for byte.
+  const StorageCase sc = make_storage_case(GetParam());
+  const auto run_with = [&](graph::GraphView g, std::uint32_t threads) {
+    fault::IidAdversary adversary({.drop_rate = 0.2,
+                                   .duplicate_rate = 0.05,
+                                   .crash_rate = 0.01,
+                                   .recovery_delay = 3});
+    fault::FaultPlan plan(g, GetParam(), adversary);
+    mis::LubyBMis algorithm(g);
+    RunRecord record = run_case(
+        g, GetParam(), threads, algorithm, 512,
+        [](const mis::LubyBMis& a) { return a.states(); }, &plan);
+    std::vector<std::uint8_t> down;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      down.push_back(plan.is_down(v) ? 1 : 0);
+    }
+    return std::make_tuple(std::move(record), plan.ledger(), std::move(down));
+  };
+  const auto baseline = run_with(graph::GraphView(sc.memory), 0);
+  EXPECT_FALSE(std::get<1>(baseline).empty());
+  for (const std::uint32_t threads : kStorageThreadCounts) {
+    for (const bool mapped : {false, true}) {
+      const auto row = run_with(
+          mapped ? sc.mapped.view() : graph::GraphView(sc.memory), threads);
+      const std::string label = std::string("faulty_luby/") +
+                                (mapped ? "mapped" : "memory") + "/t" +
+                                std::to_string(threads);
+      expect_identical(std::get<0>(baseline), std::get<0>(row), label);
+      EXPECT_EQ(std::get<1>(baseline), std::get<1>(row)) << label;
+      EXPECT_EQ(std::get<2>(baseline), std::get<2>(row)) << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappedEquivalence, ::testing::Values(5, 99));
 
 }  // namespace
 }  // namespace arbmis

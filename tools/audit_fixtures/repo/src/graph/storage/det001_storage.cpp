@@ -1,0 +1,10 @@
+// Fixture: DET001 must fire 2x here — the graph/storage submodule
+// inherits graph's determinism regime (module key "graph/storage", DET
+// scans key on the first component): the <random> include and rand().
+#include <random>
+
+namespace fixture {
+
+int storage_draw() { return rand(); }
+
+}  // namespace fixture

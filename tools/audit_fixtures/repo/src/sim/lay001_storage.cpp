@@ -1,0 +1,10 @@
+// Fixture: LAY001 must fire 1x here — sim/ reaching into the sealed
+// graph/storage submodule, which no src module's layering row allows
+// (storage-backed graphs cross into src/ only as graph::GraphView).
+#include "graph/storage/mapped_graph.h"
+
+namespace fixture {
+
+int seam_breaker() { return 1; }
+
+}  // namespace fixture
