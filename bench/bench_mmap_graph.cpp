@@ -15,9 +15,11 @@
 #include <fstream>
 #include <functional>
 #include <limits>
+#include <sstream>
 
 #include "bench_common.h"
 #include "core/arb_mis.h"
+#include "graph/storage/convert.h"
 #include "graph/storage/gr_writer.h"
 #include "graph/storage/mapped_graph.h"
 
@@ -58,10 +60,128 @@ struct CaseResult {
   }
 };
 
+/// --large: the offline end-to-end record for a generated ~10^7-edge graph
+/// (ROADMAP item 1's stretch goal, run once and committed as
+/// results/BENCH_mmap_large.json rather than part of the default sweep).
+/// Pipeline mirrors real ingest: edge-list text -> convert (gr_convert's
+/// parser) -> write .gr -> mmap load with verification -> arb_mis solve
+/// off the mapped file; each stage timed once at full scale.
+int run_large(const bench::BenchOptions& options) {
+  const std::string json_path = options.json_out.empty()
+                                    ? "results/BENCH_mmap_large.json"
+                                    : options.json_out;
+  const graph::NodeId n = 2'500'000;
+  const graph::NodeId arboricity = 4;
+
+  bench::print_header(
+      "P3-large", "end-to-end convert/load/solve at ~10^7 edges");
+  util::Rng rng(options.seed);
+  const graph::Graph g = graph::gen::hubbed_forest_union(
+      n, arboricity, /*num_hubs=*/64, rng);
+  const std::uint64_t m = g.num_edges();
+  std::cout << "generated n=" << n << " m=" << m << " (arboricity <= "
+            << arboricity << ")\n";
+
+  // Untimed setup: materialize the edge-list text input gr_convert would
+  // see. Timing starts at the parse, the first stage a user actually runs.
+  const std::string text_path = "/tmp/arbmis_large_edges.txt";
+  const std::string gr_path = "/tmp/arbmis_large.gr";
+  {
+    std::ofstream text(text_path);
+    for (const auto [u, v] : g.edges()) text << u << ' ' << v << '\n';
+  }
+
+  std::vector<CaseResult> cases;
+  graph::storage::ConvertResult converted;
+  {
+    CaseResult c{"large_convert_text", m, 0.0, true};
+    c.ms = time_best_ms(1, [&] {
+      std::ifstream in(text_path);
+      converted = graph::storage::convert_edge_list(in, {});
+    });
+    cases.push_back(c);
+  }
+  const bool convert_identical =
+      converted.graph.num_nodes() == g.num_nodes() &&
+      converted.graph.num_edges() == m;
+  cases.back().identical = convert_identical;
+  {
+    CaseResult c{"large_write_gr", m, 0.0, true};
+    c.ms = time_best_ms(
+        1, [&] { graph::storage::write_gr(gr_path, converted.graph); });
+    cases.push_back(c);
+  }
+  {
+    CaseResult c{"large_mmap_load_verify", m, 0.0, true};
+    c.ms = time_best_ms(1, [&] {
+      const auto mapped = graph::storage::MappedGraph::open(gr_path);
+      if (mapped.num_edges() != m) std::abort();
+    });
+    cases.push_back(c);
+  }
+  bool solve_identical = true;
+  {
+    const auto mapped = graph::storage::MappedGraph::open(gr_path);
+    std::uint64_t memory_hash = 0;
+    std::uint64_t mapped_hash = 0;
+    CaseResult c{"large_arb_mis_mapped", m, 0.0, true};
+    c.ms = time_best_ms(1, [&] {
+      mapped_hash =
+          hash_mis(core::arb_mis(mapped, {.alpha = 2}, options.seed).mis);
+    });
+    memory_hash = hash_mis(
+        core::arb_mis(converted.graph, {.alpha = 2}, options.seed).mis);
+    solve_identical = mapped_hash == memory_hash;
+    c.identical = solve_identical;
+    cases.push_back(c);
+  }
+  std::remove(text_path.c_str());
+  std::remove(gr_path.c_str());
+
+  util::Table table({"case", "edges", "ms", "edges_per_s", "identical"});
+  table.set_double_precision(3);
+  for (const CaseResult& c : cases) {
+    table.row()
+        .cell(c.name)
+        .cell(c.items)
+        .cell(c.ms)
+        .cell(c.items_per_second())
+        .cell(c.identical ? "yes" : "NO");
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+
+  const bool all_ok = convert_identical && solve_identical;
+  std::ofstream json(json_path);
+  if (json) {
+    json << "{\n"
+         << "  \"bench\": \"mmap_graph_large\",\n"
+         << "  \"n\": " << n << ",\n"
+         << "  \"m\": " << m << ",\n"
+         << "  \"seed\": " << options.seed << ",\n"
+         << "  \"identical\": " << (all_ok ? "true" : "false") << ",\n"
+         << "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const CaseResult& c = cases[i];
+      json << "    {\"name\": \"" << c.name << "\", \"edges\": " << c.items
+           << ", \"best_ms\": " << c.ms
+           << ", \"items_per_second\": " << c.items_per_second()
+           << ", \"identical\": " << (c.identical ? "true" : "false") << "}"
+           << (i + 1 < cases.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::BenchOptions::parse(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--large") return run_large(options);
+  }
   const std::uint64_t reps = options.quick ? 2 : 3;
   const std::string json_path = options.json_out.empty()
                                     ? "results/BENCH_mmap_graph.json"

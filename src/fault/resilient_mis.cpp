@@ -174,4 +174,19 @@ ResilientResult resilient_mis(graph::GraphView g, std::uint64_t seed,
   return result;
 }
 
+CertifyReport certify_labels(graph::GraphView g,
+                             const std::vector<mis::MisState>& state,
+                             std::uint64_t seed) {
+  CertifyReport report;
+  if (state.size() != g.num_nodes()) return report;
+  for (const mis::MisState s : state) {
+    if (s == mis::MisState::kUndecided) return report;
+  }
+  const mis::DistributedMisCheck::Result check =
+      mis::DistributedMisCheck::run(g, state, seed);
+  report.rounds = check.stats.rounds;
+  report.certified = check.all_ok;
+  return report;
+}
+
 }  // namespace arbmis::fault

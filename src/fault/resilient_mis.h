@@ -101,4 +101,18 @@ ResilientResult resilient_mis(graph::GraphView g, std::uint64_t seed,
                               Adversary& adversary, const MisDriver& driver,
                               const ResilientOptions& options = {});
 
+struct CertifyReport {
+  bool certified = false;        ///< all local checks pass, no undecided
+  std::uint32_t rounds = 0;      ///< verifier rounds spent
+};
+
+/// Fault-free distributed certification of a complete labeling on `g`:
+/// every node's local DistributedMisCheck verdict passes and no node is
+/// kUndecided. This is the independent acceptance check the serving layer
+/// runs on the *full* graph after an incremental repair (docs/SERVING.md);
+/// it lives here so serve/ never needs to include mis/ directly.
+CertifyReport certify_labels(graph::GraphView g,
+                             const std::vector<mis::MisState>& state,
+                             std::uint64_t seed);
+
 }  // namespace arbmis::fault

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/rng.h"
+
 namespace arbmis::graph {
 
 Graph::Graph(NodeId n) : num_nodes_(n), offsets_(n + 1, 0) {}
@@ -94,6 +96,18 @@ Graph from_edges(NodeId n, std::span<const Edge> edges) {
   Builder b(n);
   for (const Edge& e : edges) b.add_edge(e.u, e.v);
   return b.build();
+}
+
+std::uint64_t content_hash(GraphView g) {
+  // Chain over (n, deg(0), adj(0)..., deg(1), adj(1)...). Degrees are
+  // included so the hash distinguishes graphs whose concatenated adjacency
+  // arrays coincide but whose offsets differ.
+  std::uint64_t h = util::mix64(0x41524247u /*"ARBG"*/, g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    h = util::mix64(h, g.degree(u));
+    for (const NodeId v : g.neighbors(u)) h = util::mix64(h, v);
+  }
+  return h;
 }
 
 }  // namespace arbmis::graph

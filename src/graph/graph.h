@@ -167,4 +167,10 @@ class Builder {
 /// Convenience: graph from an explicit edge list.
 Graph from_edges(NodeId n, std::span<const Edge> edges);
 
+/// Deterministic 64-bit structural hash of (n, adjacency). Two views hash
+/// equal iff they describe the same labeled graph, regardless of storage
+/// backend (in-memory Graph vs mmap-mapped .gr) — this is the cache-key
+/// component the serving layer uses (docs/SERVING.md). O(n + m).
+std::uint64_t content_hash(GraphView g);
+
 }  // namespace arbmis::graph

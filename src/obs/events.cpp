@@ -42,6 +42,14 @@ constexpr std::array<EventSchema, kNumKinds> kSchemas = {{
      3},
     {"log", "message", {"level"}, 1},
     {"lane_merge", nullptr, {"lane", "sends", "messages", "halts"}, 4},
+    {"request_begin", "op", {"request", "graph"}, 2},
+    {"request_end", nullptr, {"request", "status", "payload_bytes"}, 3},
+    {"cache_hit", nullptr, {"graph", "seed", "key_hash"}, 3},
+    {"cache_miss", nullptr, {"graph", "seed", "key_hash"}, 3},
+    {"repair_begin", nullptr, {"graph", "epoch", "residual", "full_recompute"},
+     4},
+    {"repair_certified", nullptr,
+     {"graph", "epoch", "certified", "committed", "rounds"}, 5},
 }};
 
 }  // namespace

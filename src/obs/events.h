@@ -44,6 +44,14 @@ enum class EventKind : std::uint8_t {
   kCertified,      ///< resilient_mis final certification verdict
   kLog,            ///< a util/log line routed into the stream
   kLaneMerge,      ///< executor detail: one lane folded at a barrier
+  // Serving-layer kinds (src/serve/; docs/SERVING.md). Appended after
+  // kLaneMerge so existing binary traces keep their kind bytes.
+  kRequestBegin,     ///< one service request accepted (text = op name)
+  kRequestEnd,       ///< the request's reply went out (status, bytes)
+  kCacheHit,         ///< compute served from the result cache
+  kCacheMiss,        ///< compute required a pipeline run
+  kRepairBegin,      ///< incremental repair starting on a residual
+  kRepairCertified,  ///< repair outcome after certification
   kCount
 };
 

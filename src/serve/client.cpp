@@ -1,0 +1,174 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace arbmis::serve {
+
+namespace {
+
+void throw_errno(const std::string& what) {
+  throw std::runtime_error("serve client: " + what + ": " +
+                           std::strerror(errno));
+}
+
+/// Re-throws a kError reply as ServeError; returns the frame otherwise.
+const Frame& check_reply(const Frame& reply, MsgType expected) {
+  if (reply.type == MsgType::kError) {
+    const auto err = parse_payload<ErrorReply>(reply);
+    throw ServeError(static_cast<ErrorCode>(err.code), err.message);
+  }
+  if (reply.type != expected) {
+    throw ProtocolError("unexpected reply type");
+  }
+  return reply;
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve client: bad host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("connect");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame Client::read_frame() {
+  Frame reply;
+  std::uint8_t buf[1 << 16];
+  while (!reader_.next(reply)) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw std::runtime_error("serve client: connection closed by server");
+    }
+    reader_.feed(buf, static_cast<std::size_t>(n));
+  }
+  return reply;
+}
+
+Frame Client::call(Frame request) {
+  request.request_id = next_request_id_++;
+  const std::vector<std::uint8_t> bytes = encode_frame(request);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return read_frame();
+}
+
+Frame Client::roundtrip_raw(const std::vector<std::uint8_t>& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return read_frame();
+}
+
+LoadGraphReply Client::load_inline(std::uint64_t graph_id,
+                                   graph::NodeId num_nodes,
+                                   std::vector<graph::Edge> edges) {
+  LoadGraphRequest m;
+  m.graph_id = graph_id;
+  m.num_nodes = num_nodes;
+  m.edges = std::move(edges);
+  const Frame reply = call(make_frame(MsgType::kLoadGraph, 0, m));
+  return parse_payload<LoadGraphReply>(
+      check_reply(reply, MsgType::kReplyLoadGraph));
+}
+
+LoadGraphReply Client::load_path(std::uint64_t graph_id,
+                                 const std::string& path) {
+  LoadGraphRequest m;
+  m.graph_id = graph_id;
+  m.from_path = true;
+  m.path = path;
+  const Frame reply = call(make_frame(MsgType::kLoadGraph, 0, m));
+  return parse_payload<LoadGraphReply>(
+      check_reply(reply, MsgType::kReplyLoadGraph));
+}
+
+ComputeMisReply Client::compute(std::uint64_t graph_id,
+                                const ComputeParams& params) {
+  const ComputeMisRequest m{graph_id, params};
+  const Frame reply = call(make_frame(MsgType::kComputeMis, 0, m));
+  return parse_payload<ComputeMisReply>(
+      check_reply(reply, MsgType::kReplyComputeMis));
+}
+
+QueryReply Client::query(std::uint64_t graph_id, const ComputeParams& params,
+                         std::vector<graph::NodeId> nodes) {
+  QueryRequest m;
+  m.graph_id = graph_id;
+  m.params = params;
+  m.nodes = std::move(nodes);
+  const Frame reply = call(make_frame(MsgType::kQuery, 0, m));
+  return parse_payload<QueryReply>(check_reply(reply, MsgType::kReplyQuery));
+}
+
+UpdateEdgesReply Client::update(std::uint64_t graph_id,
+                                const ComputeParams& params,
+                                std::vector<EdgeUpdate> ops) {
+  UpdateEdgesRequest m;
+  m.graph_id = graph_id;
+  m.params = params;
+  m.ops = std::move(ops);
+  const Frame reply = call(make_frame(MsgType::kUpdateEdges, 0, m));
+  return parse_payload<UpdateEdgesReply>(
+      check_reply(reply, MsgType::kReplyUpdateEdges));
+}
+
+VerifyReply Client::verify(std::uint64_t graph_id,
+                           const ComputeParams& params) {
+  const VerifyRequest m{graph_id, params};
+  const Frame reply = call(make_frame(MsgType::kVerify, 0, m));
+  return parse_payload<VerifyReply>(
+      check_reply(reply, MsgType::kReplyVerify));
+}
+
+StatsReply Client::stats() {
+  Frame request;
+  request.type = MsgType::kStats;
+  const Frame reply = call(std::move(request));
+  return parse_payload<StatsReply>(
+      check_reply(reply, MsgType::kReplyStats));
+}
+
+}  // namespace arbmis::serve

@@ -1,0 +1,309 @@
+// Wire protocol of the MIS serving daemon (docs/SERVING.md).
+//
+// Every message is one length-prefixed frame: a fixed 20-byte little-endian
+// header (magic "AMSP", protocol version, message type, request id, payload
+// length) followed by `payload_len` bytes of type-specific payload. Replies
+// echo the request id; the reply type is the request type + 128, and errors
+// use the dedicated kError type. All integers are little-endian and the
+// decoder is strict: unknown magic/version/type, truncated payloads, and
+// trailing payload bytes are all rejected with ProtocolError — a malformed
+// frame can never be half-read.
+//
+// Determinism contract: encode/decode are pure byte-for-byte inverses with
+// no timestamps, process ids, or other ambient state in any frame, so a
+// reply is a deterministic function of the request sequence alone.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace arbmis::serve {
+
+inline constexpr std::uint32_t kMagic = 0x50534D41u;  // "AMSP" little-endian
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+/// Hard cap on one frame's payload; a header announcing more is malformed.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 28;
+
+enum class MsgType : std::uint16_t {
+  kLoadGraph = 1,
+  kComputeMis = 2,
+  kQuery = 3,
+  kUpdateEdges = 4,
+  kVerify = 5,
+  kStats = 6,
+  kReplyLoadGraph = 129,
+  kReplyComputeMis = 130,
+  kReplyQuery = 131,
+  kReplyUpdateEdges = 132,
+  kReplyVerify = 133,
+  kReplyStats = 134,
+  kError = 255,
+};
+
+/// Reply type of a request type (request value + 128).
+constexpr MsgType reply_type(MsgType request) noexcept {
+  return static_cast<MsgType>(static_cast<std::uint16_t>(request) + 128);
+}
+
+/// Error codes carried by kError replies (and ServeError).
+enum class ErrorCode : std::uint32_t {
+  kBadRequest = 1,    ///< malformed payload, invalid ids, bad op
+  kUnknownGraph = 2,  ///< graph_id was never loaded
+  kUnsupported = 3,   ///< e.g. path load on a server without a loader
+  kInternal = 4,      ///< pipeline failure (uncertified result)
+};
+
+/// Malformed bytes on the wire (bad magic/version/type, truncation,
+/// trailing payload bytes, oversized frames).
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error("serve: " + what) {}
+};
+
+/// A request that parsed but cannot be served; the server turns this into
+/// a kError reply carrying `code`.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// One decoded frame.
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes header + payload into wire bytes.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Incremental frame decoder for a byte stream. feed() appends raw bytes;
+/// next() pops the earliest complete frame. Malformed input throws
+/// ProtocolError and poisons the reader (the connection must be dropped).
+class FrameReader {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+  /// True if a complete frame was popped into `out`.
+  bool next(Frame& out);
+  std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  std::deque<std::uint8_t> buffer_;
+};
+
+// --- Payload encode/decode helpers ---------------------------------------
+
+/// Appends little-endian scalars and length-prefixed strings to a byte
+/// vector; the write-side half of the payload codec.
+class PayloadWriter {
+ public:
+  explicit PayloadWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void str(const std::string& s);  ///< u32 length + raw bytes
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked little-endian reads; throws ProtocolError on underflow.
+/// finish() additionally rejects trailing bytes, making decoders strict.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::vector<std::uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::string str();
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  void finish() const;
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// --- Message payloads -----------------------------------------------------
+
+/// Parameters every compute-like request carries; together with the graph
+/// content hash they form the result-cache key.
+struct ComputeParams {
+  std::uint32_t alpha = 2;   ///< arboricity bound fed to shatter_driver
+  std::uint64_t seed = 1;    ///< pipeline seed
+  friend bool operator==(const ComputeParams&, const ComputeParams&) = default;
+};
+
+/// One dynamic-graph update op. Vertex ops ignore `v`; kAddVertex also
+/// ignores `u` (the new vertex id is the current node count).
+enum class UpdateOp : std::uint8_t {
+  kInsertEdge = 0,
+  kRemoveEdge = 1,
+  kAddVertex = 2,
+  kDetachVertex = 3,
+};
+
+struct EdgeUpdate {
+  UpdateOp op = UpdateOp::kInsertEdge;
+  graph::NodeId u = 0;
+  graph::NodeId v = 0;
+};
+
+struct LoadGraphRequest {
+  std::uint64_t graph_id = 0;
+  bool from_path = false;
+  std::string path;                     ///< when from_path
+  graph::NodeId num_nodes = 0;          ///< when inline
+  std::vector<graph::Edge> edges;       ///< when inline
+};
+
+struct LoadGraphReply {
+  graph::NodeId num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t content_hash = 0;
+};
+
+struct ComputeMisRequest {
+  std::uint64_t graph_id = 0;
+  ComputeParams params;
+};
+
+struct ComputeMisReply {
+  std::uint64_t mis_size = 0;
+  std::uint64_t labels_hash = 0;
+  std::uint64_t content_hash = 0;
+  std::uint8_t cache_hit = 0;
+  std::uint8_t certified = 0;
+  std::uint32_t attempts = 0;
+  std::uint64_t rounds = 0;
+};
+
+struct QueryRequest {
+  std::uint64_t graph_id = 0;
+  ComputeParams params;
+  std::vector<graph::NodeId> nodes;
+};
+
+struct QueryReply {
+  std::vector<std::uint8_t> states;  ///< mis::MisState per queried node
+  std::uint8_t cache_hit = 0;
+};
+
+struct UpdateEdgesRequest {
+  std::uint64_t graph_id = 0;
+  ComputeParams params;
+  std::vector<EdgeUpdate> ops;
+};
+
+struct UpdateEdgesReply {
+  std::uint64_t epoch = 0;       ///< update batches applied so far
+  std::uint8_t incremental = 0;  ///< repaired on the residual only
+  std::uint8_t certified = 0;
+  graph::NodeId residual = 0;    ///< nodes the repair re-ran on
+  std::uint64_t mis_size = 0;
+  std::uint64_t labels_hash = 0;
+  std::uint64_t content_hash = 0;
+};
+
+struct VerifyRequest {
+  std::uint64_t graph_id = 0;
+  ComputeParams params;
+};
+
+struct VerifyReply {
+  std::uint8_t ok = 0;
+  std::uint64_t mis_size = 0;
+  std::uint64_t labels_hash = 0;
+};
+
+/// Service counters, encoded as a fixed-order field list (docs/SERVING.md).
+struct StatsReply {
+  std::uint64_t requests_total = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t graphs_loaded = 0;
+  std::uint64_t computes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t update_ops = 0;
+  std::uint64_t repairs_incremental = 0;
+  std::uint64_t repairs_full = 0;
+  std::uint64_t repairs_certified = 0;
+  std::uint64_t verifies = 0;
+  std::uint64_t cache_evictions = 0;
+  friend bool operator==(const StatsReply&, const StatsReply&) = default;
+};
+
+struct ErrorReply {
+  std::uint32_t code = 0;
+  std::string message;
+};
+
+// Payload codecs. Decoders validate strictly (ProtocolError on any
+// malformation, including trailing bytes).
+void encode(PayloadWriter& w, const LoadGraphRequest& m);
+void encode(PayloadWriter& w, const LoadGraphReply& m);
+void encode(PayloadWriter& w, const ComputeMisRequest& m);
+void encode(PayloadWriter& w, const ComputeMisReply& m);
+void encode(PayloadWriter& w, const QueryRequest& m);
+void encode(PayloadWriter& w, const QueryReply& m);
+void encode(PayloadWriter& w, const UpdateEdgesRequest& m);
+void encode(PayloadWriter& w, const UpdateEdgesReply& m);
+void encode(PayloadWriter& w, const VerifyRequest& m);
+void encode(PayloadWriter& w, const VerifyReply& m);
+void encode(PayloadWriter& w, const StatsReply& m);
+void encode(PayloadWriter& w, const ErrorReply& m);
+
+void decode(PayloadReader& r, LoadGraphRequest& m);
+void decode(PayloadReader& r, LoadGraphReply& m);
+void decode(PayloadReader& r, ComputeMisRequest& m);
+void decode(PayloadReader& r, ComputeMisReply& m);
+void decode(PayloadReader& r, QueryRequest& m);
+void decode(PayloadReader& r, QueryReply& m);
+void decode(PayloadReader& r, UpdateEdgesRequest& m);
+void decode(PayloadReader& r, UpdateEdgesReply& m);
+void decode(PayloadReader& r, VerifyRequest& m);
+void decode(PayloadReader& r, VerifyReply& m);
+void decode(PayloadReader& r, StatsReply& m);
+void decode(PayloadReader& r, ErrorReply& m);
+
+/// Builds a complete frame for `message` (encode + header).
+template <typename Message>
+Frame make_frame(MsgType type, std::uint64_t request_id,
+                 const Message& message) {
+  Frame f;
+  f.type = type;
+  f.request_id = request_id;
+  PayloadWriter w(f.payload);
+  encode(w, message);
+  return f;
+}
+
+/// Decodes a frame payload as `Message`, strictly (no trailing bytes).
+template <typename Message>
+Message parse_payload(const Frame& frame) {
+  PayloadReader r(frame.payload);
+  Message m;
+  decode(r, m);
+  r.finish();
+  return m;
+}
+
+}  // namespace arbmis::serve

@@ -1,0 +1,160 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace arbmis::serve {
+
+namespace {
+
+void close_quiet(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Full send with EINTR handling; returns false when the peer went away.
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(MisService& service, const ServerOptions& options)
+    : service_(service) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("serve: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    close_quiet(listen_fd_);
+    throw std::runtime_error("serve: bad bind address " +
+                             options.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, options.backlog) != 0) {
+    const std::string what = std::strerror(errno);
+    close_quiet(listen_fd_);
+    throw std::runtime_error("serve: bind/listen: " + what);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    const std::string what = std::strerror(errno);
+    close_quiet(listen_fd_);
+    throw std::runtime_error("serve: getsockname: " + what);
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Server::~Server() { stop(); }
+
+void Server::serve_forever() { accept_loop(); }
+
+void Server::start() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by stop()
+    }
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      close_quiet(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void Server::connection_loop(int fd) {
+  FrameReader reader;
+  std::uint8_t buf[1 << 16];
+  Frame request;
+  bool alive = true;
+  while (alive) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error (including shutdown() from stop())
+    try {
+      reader.feed(buf, static_cast<std::size_t>(n));
+      while (alive && reader.next(request)) {
+        const Frame reply = service_.handle(request);
+        const std::vector<std::uint8_t> bytes = encode_frame(reply);
+        if (!send_all(fd, bytes.data(), bytes.size())) alive = false;
+      }
+    } catch (const ProtocolError& e) {
+      // Framing is unrecoverable: best-effort error frame, then hang up.
+      Frame err;
+      err.type = MsgType::kError;
+      err.request_id = 0;
+      PayloadWriter w(err.payload);
+      encode(w, ErrorReply{static_cast<std::uint32_t>(
+                               ErrorCode::kBadRequest),
+                           e.what()});
+      const std::vector<std::uint8_t> bytes = encode_frame(err);
+      send_all(fd, bytes.data(), bytes.size());
+      alive = false;
+    }
+  }
+  {
+    // De-register before closing so stop() never shuts down a recycled fd.
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    std::erase(conn_fds_, fd);
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  close_quiet(fd);
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    // Second stop(): threads may already be joined; nothing left to do.
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    close_quiet(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<int> fds;
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    fds.swap(conn_fds_);
+    threads.swap(conn_threads_);
+  }
+  for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace arbmis::serve

@@ -1,0 +1,694 @@
+// Tests for the serving layer (src/serve/): protocol framing and strict
+// malformed-input rejection, dynamic-graph update semantics, the result
+// cache's content-hash keying, and the incremental-repair differential
+// suite — after a fuzzed update sequence the maintained MIS must verify
+// independent+maximal on the final graph, and the full reply byte stream
+// and telemetry event stream must be identical across simulator thread
+// counts 0/2/8 and across storage backends.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/resilient_mis.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/storage/gr_writer.h"
+#include "graph/storage/mapped_graph.h"
+#include "mis/verifier.h"
+#include "obs/sink.h"
+#include "serve/client.h"
+#include "serve/dynamic_graph.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "util/rng.h"
+
+namespace arbmis::serve {
+namespace {
+
+graph::Graph test_graph(graph::NodeId n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return graph::gen::union_of_random_forests(n, 2, rng);
+}
+
+/// Feeds encoded bytes through a FrameReader in two chunks (exercising
+/// incremental reassembly) and returns the single decoded frame.
+Frame reread(const Frame& frame) {
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  FrameReader reader;
+  const std::size_t split = bytes.size() / 2;
+  reader.feed(bytes.data(), split);
+  Frame out;
+  EXPECT_FALSE(reader.next(out)) << "half a frame decoded";
+  reader.feed(bytes.data() + split, bytes.size() - split);
+  EXPECT_TRUE(reader.next(out));
+  EXPECT_EQ(reader.buffered(), 0u);
+  return out;
+}
+
+TEST(ServeProtocol, FrameRoundTripAllTypes) {
+  LoadGraphRequest load;
+  load.graph_id = 7;
+  load.num_nodes = 5;
+  load.edges = {{0, 1}, {1, 2}, {3, 4}};
+  {
+    const Frame f = reread(make_frame(MsgType::kLoadGraph, 11, load));
+    EXPECT_EQ(f.type, MsgType::kLoadGraph);
+    EXPECT_EQ(f.request_id, 11u);
+    const auto m = parse_payload<LoadGraphRequest>(f);
+    EXPECT_EQ(m.graph_id, 7u);
+    EXPECT_FALSE(m.from_path);
+    EXPECT_EQ(m.num_nodes, 5u);
+    ASSERT_EQ(m.edges.size(), 3u);
+    EXPECT_EQ(m.edges[2].u, 3u);
+    EXPECT_EQ(m.edges[2].v, 4u);
+  }
+  {
+    LoadGraphRequest by_path;
+    by_path.graph_id = 9;
+    by_path.from_path = true;
+    by_path.path = "/tmp/some graph.gr";
+    const auto m = parse_payload<LoadGraphRequest>(
+        reread(make_frame(MsgType::kLoadGraph, 12, by_path)));
+    EXPECT_TRUE(m.from_path);
+    EXPECT_EQ(m.path, "/tmp/some graph.gr");
+  }
+  {
+    ComputeMisRequest req{42, {3, 999}};
+    const auto m = parse_payload<ComputeMisRequest>(
+        reread(make_frame(MsgType::kComputeMis, 13, req)));
+    EXPECT_EQ(m.graph_id, 42u);
+    EXPECT_EQ(m.params.alpha, 3u);
+    EXPECT_EQ(m.params.seed, 999u);
+  }
+  {
+    ComputeMisReply reply{10, 0xabcd, 0x1234, 1, 1, 2, 17};
+    const auto m = parse_payload<ComputeMisReply>(
+        reread(make_frame(MsgType::kReplyComputeMis, 13, reply)));
+    EXPECT_EQ(m.mis_size, 10u);
+    EXPECT_EQ(m.labels_hash, 0xabcdu);
+    EXPECT_EQ(m.cache_hit, 1u);
+    EXPECT_EQ(m.rounds, 17u);
+  }
+  {
+    QueryRequest req{5, {2, 3}, {0, 2, 4}};
+    const auto m = parse_payload<QueryRequest>(
+        reread(make_frame(MsgType::kQuery, 14, req)));
+    EXPECT_EQ(m.nodes, (std::vector<graph::NodeId>{0, 2, 4}));
+  }
+  {
+    UpdateEdgesRequest req;
+    req.graph_id = 5;
+    req.ops = {{UpdateOp::kInsertEdge, 1, 2},
+               {UpdateOp::kAddVertex, 0, 0},
+               {UpdateOp::kDetachVertex, 3, 0}};
+    const auto m = parse_payload<UpdateEdgesRequest>(
+        reread(make_frame(MsgType::kUpdateEdges, 15, req)));
+    ASSERT_EQ(m.ops.size(), 3u);
+    EXPECT_EQ(m.ops[1].op, UpdateOp::kAddVertex);
+    EXPECT_EQ(m.ops[2].u, 3u);
+  }
+  {
+    StatsReply stats;
+    stats.requests_total = 100;
+    stats.cache_evictions = 3;
+    const auto m = parse_payload<StatsReply>(
+        reread(make_frame(MsgType::kReplyStats, 16, stats)));
+    EXPECT_EQ(m, stats);
+  }
+  {
+    ErrorReply err{static_cast<std::uint32_t>(ErrorCode::kUnknownGraph),
+                   "no such graph"};
+    const auto m = parse_payload<ErrorReply>(
+        reread(make_frame(MsgType::kError, 17, err)));
+    EXPECT_EQ(m.code, 2u);
+    EXPECT_EQ(m.message, "no such graph");
+  }
+}
+
+TEST(ServeProtocol, RejectsMalformedFrames) {
+  const Frame good = make_frame(MsgType::kStats, 1, StatsReply{});
+  std::vector<std::uint8_t> bytes = encode_frame(Frame{MsgType::kStats, 1, {}});
+
+  {
+    // Bad magic — detected from the first 4 bytes, before a full header.
+    auto bad = bytes;
+    bad[0] ^= 0xff;
+    FrameReader reader;
+    Frame out;
+    reader.feed(bad.data(), 4);
+    EXPECT_THROW(reader.next(out), ProtocolError);
+  }
+  {
+    // Bad version.
+    auto bad = bytes;
+    bad[4] = 0x7f;
+    FrameReader reader;
+    Frame out;
+    reader.feed(bad.data(), bad.size());
+    EXPECT_THROW(reader.next(out), ProtocolError);
+  }
+  {
+    // Unknown message type.
+    auto bad = bytes;
+    bad[6] = 99;
+    FrameReader reader;
+    Frame out;
+    reader.feed(bad.data(), bad.size());
+    EXPECT_THROW(reader.next(out), ProtocolError);
+  }
+  {
+    // Oversized payload length.
+    auto bad = bytes;
+    bad[16] = 0xff;
+    bad[17] = 0xff;
+    bad[18] = 0xff;
+    bad[19] = 0xff;
+    FrameReader reader;
+    Frame out;
+    reader.feed(bad.data(), bad.size());
+    EXPECT_THROW(reader.next(out), ProtocolError);
+  }
+  {
+    // Truncated: header promises more payload than arrives — no frame,
+    // no throw (the stream may simply still be in flight).
+    const std::vector<std::uint8_t> full =
+        encode_frame(make_frame(MsgType::kComputeMis, 2,
+                                ComputeMisRequest{1, {2, 3}}));
+    FrameReader reader;
+    Frame out;
+    reader.feed(full.data(), full.size() - 4);
+    EXPECT_FALSE(reader.next(out));
+  }
+  {
+    // Trailing payload bytes: framing accepts, strict parse rejects.
+    Frame padded = good;
+    padded.type = MsgType::kComputeMis;
+    padded.payload = make_frame(MsgType::kComputeMis, 3,
+                                ComputeMisRequest{1, {2, 3}})
+                         .payload;
+    padded.payload.push_back(0);
+    EXPECT_THROW(parse_payload<ComputeMisRequest>(padded), ProtocolError);
+  }
+  {
+    // Payload underflow inside a decoder.
+    Frame short_frame{MsgType::kComputeMis, 4, {1, 2, 3}};
+    EXPECT_THROW(parse_payload<ComputeMisRequest>(short_frame),
+                 ProtocolError);
+  }
+  {
+    // A huge element count prefix must be rejected before any allocation.
+    Frame bad{MsgType::kQuery, 5, {}};
+    PayloadWriter w(bad.payload);
+    w.u64(1);          // graph_id
+    w.u32(2);          // alpha
+    w.u64(3);          // seed
+    w.u32(0xffffffff); // node count with no bytes behind it
+    EXPECT_THROW(parse_payload<QueryRequest>(bad), ProtocolError);
+  }
+}
+
+TEST(ServeDynamicGraph, UpdateSemanticsAndAtomicity) {
+  DynamicGraph g(graph::from_edges(4, std::vector<graph::Edge>{{0, 1},
+                                                               {1, 2}}));
+  const std::uint64_t base_hash = g.content_hash();
+
+  // No-ops: inserting an existing edge (either orientation) and removing
+  // a non-edge apply zero ops and keep the content hash.
+  const std::vector<EdgeUpdate> noops = {{UpdateOp::kInsertEdge, 1, 0},
+                                         {UpdateOp::kRemoveEdge, 0, 3}};
+  EXPECT_EQ(g.apply(noops), 0u);
+  EXPECT_EQ(g.content_hash(), base_hash);
+
+  // Add a vertex, connect it, detach an old hub.
+  const std::vector<EdgeUpdate> batch = {{UpdateOp::kAddVertex, 0, 0},
+                                         {UpdateOp::kInsertEdge, 4, 0},
+                                         {UpdateOp::kDetachVertex, 1, 0}};
+  EXPECT_EQ(g.apply(batch), 3u);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 1u);  // {0,4} only; 1's edges detached
+  EXPECT_NE(g.content_hash(), base_hash);
+
+  // Atomicity: an invalid op anywhere rejects the whole batch.
+  const std::uint64_t pre = g.content_hash();
+  const std::vector<EdgeUpdate> poisoned = {{UpdateOp::kInsertEdge, 0, 2},
+                                            {UpdateOp::kInsertEdge, 3, 3}};
+  EXPECT_THROW(g.apply(poisoned), ServeError);
+  EXPECT_EQ(g.content_hash(), pre);
+  EXPECT_EQ(g.num_edges(), 1u);
+
+  const std::vector<EdgeUpdate> out_of_range = {{UpdateOp::kInsertEdge, 0,
+                                                 99}};
+  EXPECT_THROW(g.apply(out_of_range), ServeError);
+  const std::vector<EdgeUpdate> detach_oob = {{UpdateOp::kDetachVertex, 99,
+                                               0}};
+  EXPECT_THROW(g.apply(detach_oob), ServeError);
+}
+
+TEST(ServeContentHash, TracksStructureNotIdentity) {
+  const graph::Graph a = test_graph(120, 5);
+  const graph::Graph b = test_graph(120, 5);
+  const graph::Graph c = test_graph(120, 6);
+  EXPECT_EQ(graph::content_hash(a), graph::content_hash(b));
+  EXPECT_NE(graph::content_hash(a), graph::content_hash(c));
+
+  // An update that round-trips the structure restores the hash.
+  DynamicGraph d{test_graph(120, 5)};
+  const std::uint64_t before = d.content_hash();
+  const std::vector<EdgeUpdate> there = {{UpdateOp::kInsertEdge, 3, 99}};
+  const std::vector<EdgeUpdate> back = {{UpdateOp::kRemoveEdge, 3, 99}};
+  if (d.apply(there) == 1) {
+    (void)d.apply(back);
+    EXPECT_EQ(d.content_hash(), before);
+  }
+}
+
+TEST(ServeService, CacheHitsByContentNotId) {
+  MisService service;
+  const graph::Graph g = test_graph(150, 21);
+  const ComputeParams params{2, 77};
+
+  LoadGraphRequest load;
+  load.graph_id = 1;
+  load.num_nodes = g.num_nodes();
+  load.edges = g.edges();
+  const LoadGraphReply loaded = service.load_graph(load);
+  EXPECT_EQ(loaded.content_hash, graph::content_hash(g));
+
+  const ComputeMisReply first = service.compute_mis({1, params});
+  EXPECT_EQ(first.cache_hit, 0u);
+  EXPECT_EQ(first.certified, 1u);
+  const ComputeMisReply second = service.compute_mis({1, params});
+  EXPECT_EQ(second.cache_hit, 1u);
+  EXPECT_EQ(second.labels_hash, first.labels_hash);
+  EXPECT_EQ(second.mis_size, first.mis_size);
+
+  // Same content under a different id shares the cache entry.
+  load.graph_id = 2;
+  service.load_graph(load);
+  const ComputeMisReply other_id = service.compute_mis({2, params});
+  EXPECT_EQ(other_id.cache_hit, 1u);
+  EXPECT_EQ(other_id.labels_hash, first.labels_hash);
+
+  // A different seed is a different key.
+  const ComputeMisReply other_seed = service.compute_mis({1, {2, 78}});
+  EXPECT_EQ(other_seed.cache_hit, 0u);
+
+  const StatsReply stats = service.stats();
+  EXPECT_EQ(stats.computes, 4u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.graphs_loaded, 2u);
+}
+
+TEST(ServeService, CacheEvictsFifoAndCounts) {
+  ServiceOptions options;
+  options.max_cache_entries = 1;
+  MisService service(options);
+  const graph::Graph g = test_graph(100, 3);
+  LoadGraphRequest load;
+  load.graph_id = 1;
+  load.num_nodes = g.num_nodes();
+  load.edges = g.edges();
+  service.load_graph(load);
+
+  EXPECT_EQ(service.compute_mis({1, {2, 1}}).cache_hit, 0u);
+  EXPECT_EQ(service.compute_mis({1, {2, 2}}).cache_hit, 0u);  // evicts seed 1
+  EXPECT_EQ(service.compute_mis({1, {2, 1}}).cache_hit, 0u);  // gone again
+  EXPECT_GE(service.stats().cache_evictions, 2u);
+}
+
+TEST(ServeService, ErrorsCarryCodes) {
+  MisService service;  // no gr_loader
+  try {
+    service.compute_mis({99, {2, 1}});
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownGraph);
+  }
+  LoadGraphRequest by_path;
+  by_path.graph_id = 1;
+  by_path.from_path = true;
+  by_path.path = "/nonexistent.gr";
+  try {
+    service.load_graph(by_path);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnsupported);
+  }
+  // Stats requests must carry an empty payload.
+  Frame stats_with_junk{MsgType::kStats, 1, {0}};
+  const Frame reply = service.handle(stats_with_junk);
+  ASSERT_EQ(reply.type, MsgType::kError);
+  EXPECT_EQ(parse_payload<ErrorReply>(reply).code,
+            static_cast<std::uint32_t>(ErrorCode::kBadRequest));
+}
+
+// --- Differential incremental-repair suite --------------------------------
+
+/// Local mirror of the service's dynamic-graph semantics, used to verify
+/// final labelings with mis::verify_mask against an independently
+/// maintained edge set.
+struct MirrorGraph {
+  graph::NodeId n = 0;
+  std::set<std::pair<graph::NodeId, graph::NodeId>> edges;
+
+  void apply(const EdgeUpdate& op) {
+    auto key = [](graph::NodeId a, graph::NodeId b) {
+      return std::make_pair(std::min(a, b), std::max(a, b));
+    };
+    switch (op.op) {
+      case UpdateOp::kInsertEdge:
+        edges.insert(key(op.u, op.v));
+        break;
+      case UpdateOp::kRemoveEdge:
+        edges.erase(key(op.u, op.v));
+        break;
+      case UpdateOp::kAddVertex:
+        ++n;
+        break;
+      case UpdateOp::kDetachVertex:
+        std::erase_if(edges, [&](const auto& e) {
+          return e.first == op.u || e.second == op.u;
+        });
+        break;
+    }
+  }
+
+  graph::Graph build() const {
+    std::vector<graph::Edge> list;
+    for (const auto& [u, v] : edges) list.push_back({u, v});
+    return graph::from_edges(n, list);
+  }
+};
+
+/// The fuzzed request sequence: LOAD, COMPUTE, `updates` mixed batches,
+/// VERIFY, QUERY(all nodes), STATS — returned as encoded frames together
+/// with the mirror applying the same ops.
+std::vector<Frame> fuzzed_sequence(std::uint64_t seed, std::uint32_t updates,
+                                   MirrorGraph* mirror) {
+  util::Rng rng(seed);
+  const graph::Graph g = test_graph(160, seed);
+  mirror->n = g.num_nodes();
+  for (const graph::Edge e : g.edges()) {
+    mirror->edges.insert({std::min(e.u, e.v), std::max(e.u, e.v)});
+  }
+
+  const ComputeParams params{2, seed};
+  std::vector<Frame> frames;
+  std::uint64_t rid = 1;
+  LoadGraphRequest load;
+  load.graph_id = 1;
+  load.num_nodes = g.num_nodes();
+  load.edges = g.edges();
+  frames.push_back(make_frame(MsgType::kLoadGraph, rid++, load));
+  frames.push_back(
+      make_frame(MsgType::kComputeMis, rid++, ComputeMisRequest{1, params}));
+
+  graph::NodeId n = g.num_nodes();
+  for (std::uint32_t b = 0; b < updates; ++b) {
+    UpdateEdgesRequest req;
+    req.graph_id = 1;
+    req.params = params;
+    for (std::uint32_t j = 0; j < 3; ++j) {
+      const std::uint64_t kind = rng.below(10);
+      EdgeUpdate op;
+      if (kind < 4) {
+        op.op = UpdateOp::kInsertEdge;
+        op.u = static_cast<graph::NodeId>(rng.below(n));
+        do {
+          op.v = static_cast<graph::NodeId>(rng.below(n));
+        } while (op.v == op.u);
+      } else if (kind < 8) {
+        op.op = UpdateOp::kRemoveEdge;
+        op.u = static_cast<graph::NodeId>(rng.below(n));
+        do {
+          op.v = static_cast<graph::NodeId>(rng.below(n));
+        } while (op.v == op.u);
+      } else if (kind == 8) {
+        op.op = UpdateOp::kAddVertex;
+        ++n;
+      } else {
+        op.op = UpdateOp::kDetachVertex;
+        op.u = static_cast<graph::NodeId>(rng.below(n));
+      }
+      req.ops.push_back(op);
+      mirror->apply(op);
+    }
+    frames.push_back(make_frame(MsgType::kUpdateEdges, rid++, req));
+  }
+
+  frames.push_back(
+      make_frame(MsgType::kVerify, rid++, VerifyRequest{1, params}));
+  QueryRequest query;
+  query.graph_id = 1;
+  query.params = params;
+  for (graph::NodeId v = 0; v < n; ++v) query.nodes.push_back(v);
+  frames.push_back(make_frame(MsgType::kQuery, rid++, query));
+  frames.push_back(Frame{MsgType::kStats, rid++, {}});
+  return frames;
+}
+
+struct SequenceResult {
+  std::vector<std::vector<std::uint8_t>> reply_bytes;
+  std::string events_jsonl;
+  std::uint32_t updates_total = 0;
+  std::uint32_t updates_certified = 0;
+  std::uint32_t repairs_incremental = 0;
+  QueryReply final_query;
+  VerifyReply verify;
+};
+
+SequenceResult run_sequence(const std::vector<Frame>& frames,
+                            std::uint32_t num_threads) {
+  ServiceOptions options;
+  options.num_threads = num_threads;
+  MisService service(options);
+  obs::VectorSink sink;
+  SequenceResult result;
+  {
+    obs::ScopedSink scope(&sink);
+    for (const Frame& f : frames) {
+      const Frame reply = service.handle(f);
+      EXPECT_NE(reply.type, MsgType::kError)
+          << "request " << f.request_id << ": "
+          << parse_payload<ErrorReply>(reply).message;
+      result.reply_bytes.push_back(encode_frame(reply));
+      if (reply.type == MsgType::kReplyUpdateEdges) {
+        const auto m = parse_payload<UpdateEdgesReply>(reply);
+        ++result.updates_total;
+        if (m.certified != 0) ++result.updates_certified;
+        if (m.incremental != 0) ++result.repairs_incremental;
+      } else if (reply.type == MsgType::kReplyQuery) {
+        result.final_query = parse_payload<QueryReply>(reply);
+      } else if (reply.type == MsgType::kReplyVerify) {
+        result.verify = parse_payload<VerifyReply>(reply);
+      }
+    }
+  }
+  result.events_jsonl = sink.to_jsonl();
+  return result;
+}
+
+TEST(ServeDifferential, FuzzedUpdatesRepairCertifyAndMatchAcrossThreads) {
+  MirrorGraph mirror;
+  const std::vector<Frame> frames = fuzzed_sequence(2026, 100, &mirror);
+
+  const SequenceResult serial = run_sequence(frames, 0);
+  EXPECT_EQ(serial.updates_total, 100u);
+  EXPECT_EQ(serial.updates_certified, 100u) << "an update failed to certify";
+  EXPECT_GT(serial.repairs_incremental, 0u)
+      << "no update took the incremental path";
+  EXPECT_EQ(serial.verify.ok, 1u);
+
+  // Independent verification: rebuild the final graph from the mirror and
+  // check the served labels are a genuine MIS of it.
+  const graph::Graph final_graph = mirror.build();
+  ASSERT_EQ(serial.final_query.states.size(), final_graph.num_nodes());
+  std::vector<std::uint8_t> in_mis(final_graph.num_nodes(), 0);
+  for (graph::NodeId v = 0; v < final_graph.num_nodes(); ++v) {
+    if (serial.final_query.states[v] ==
+        static_cast<std::uint8_t>(mis::MisState::kInMis)) {
+      in_mis[v] = 1;
+    }
+  }
+  const mis::Verification verification =
+      mis::verify_mask(final_graph, in_mis);
+  EXPECT_TRUE(verification.ok()) << verification.describe();
+
+  // Byte-identical replies AND identical telemetry across thread counts.
+  for (const std::uint32_t threads : {2u, 8u}) {
+    const SequenceResult parallel = run_sequence(frames, threads);
+    ASSERT_EQ(parallel.reply_bytes.size(), serial.reply_bytes.size());
+    for (std::size_t i = 0; i < serial.reply_bytes.size(); ++i) {
+      ASSERT_EQ(parallel.reply_bytes[i], serial.reply_bytes[i])
+          << "reply " << i << " differs at threads=" << threads;
+    }
+    EXPECT_EQ(parallel.events_jsonl, serial.events_jsonl)
+        << "event stream differs at threads=" << threads;
+  }
+}
+
+TEST(ServeDifferential, StorageBackendsProduceIdenticalResults) {
+  const graph::Graph g = test_graph(140, 9);
+  const std::string path = ::testing::TempDir() + "arbmis_serve_backend.gr";
+  graph::storage::write_gr(path, g);
+
+  ServiceOptions options;
+  options.gr_loader = [](const std::string& p) -> LoadedGraph {
+    auto mapped = std::make_shared<graph::storage::MappedGraph>(
+        graph::storage::MappedGraph::open(p));
+    const graph::GraphView view = mapped->view();
+    return {std::move(mapped), view};
+  };
+  MisService service(options);
+
+  LoadGraphRequest inline_load;
+  inline_load.graph_id = 1;
+  inline_load.num_nodes = g.num_nodes();
+  inline_load.edges = g.edges();
+  const LoadGraphReply from_memory = service.load_graph(inline_load);
+
+  LoadGraphRequest path_load;
+  path_load.graph_id = 2;
+  path_load.from_path = true;
+  path_load.path = path;
+  const LoadGraphReply from_disk = service.load_graph(path_load);
+
+  EXPECT_EQ(from_disk.num_nodes, from_memory.num_nodes);
+  EXPECT_EQ(from_disk.num_edges, from_memory.num_edges);
+  EXPECT_EQ(from_disk.content_hash, from_memory.content_hash);
+
+  const ComputeParams params{2, 5};
+  const ComputeMisReply memory_mis = service.compute_mis({1, params});
+  const ComputeMisReply disk_mis = service.compute_mis({2, params});
+  EXPECT_EQ(memory_mis.cache_hit, 0u);
+  EXPECT_EQ(disk_mis.cache_hit, 1u)  // same content hash -> shared entry
+      << "mapped backend produced a different cache key";
+  EXPECT_EQ(disk_mis.labels_hash, memory_mis.labels_hash);
+
+  // Updates work on mapped-backed graphs too (materialize-on-write).
+  const UpdateEdgesReply updated = service.update_edges(
+      {2, params, {{UpdateOp::kAddVertex, 0, 0}}});
+  EXPECT_EQ(updated.certified, 1u);
+  std::remove(path.c_str());
+}
+
+// --- TCP end-to-end -------------------------------------------------------
+
+TEST(ServeServer, EndToEndOverLoopback) {
+  MisService service;
+  Server server(service, {});
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+  const graph::Graph g = test_graph(120, 31);
+  const ComputeParams params{2, 8};
+  const LoadGraphReply loaded =
+      client.load_inline(1, g.num_nodes(), g.edges());
+  EXPECT_EQ(loaded.num_nodes, g.num_nodes());
+
+  const ComputeMisReply computed = client.compute(1, params);
+  EXPECT_EQ(computed.certified, 1u);
+  EXPECT_GT(computed.mis_size, 0u);
+
+  const QueryReply queried = client.query(1, params, {0, 1, 2});
+  ASSERT_EQ(queried.states.size(), 3u);
+
+  const UpdateEdgesReply updated =
+      client.update(1, params, {{UpdateOp::kDetachVertex, 0, 0}});
+  EXPECT_EQ(updated.certified, 1u);
+  EXPECT_EQ(updated.epoch, 1u);
+
+  const VerifyReply verified = client.verify(1, params);
+  EXPECT_EQ(verified.ok, 1u);
+
+  const StatsReply stats = client.stats();
+  EXPECT_EQ(stats.requests_total, 6u);  // the stats request counts itself
+  EXPECT_EQ(stats.errors, 0u);
+
+  // Request-level errors come back as typed ServeError, connection intact.
+  EXPECT_THROW(client.compute(99, params), ServeError);
+  EXPECT_EQ(client.stats().errors, 1u);
+
+  server.stop();
+}
+
+TEST(ServeServer, MalformedBytesGetErrorFrameThenHangup) {
+  MisService service;
+  Server server(service, {});
+  server.start();
+
+  {
+    // Garbage magic: the server answers one kError frame and drops the
+    // connection (the reader is poisoned; resynchronization is impossible).
+    Client client("127.0.0.1", server.port());
+    const std::vector<std::uint8_t> garbage = {0xde, 0xad, 0xbe, 0xef, 0x00,
+                                               0x01, 0x02, 0x03, 0x04, 0x05};
+    const Frame reply = client.roundtrip_raw(garbage);
+    EXPECT_EQ(reply.type, MsgType::kError);
+    EXPECT_EQ(parse_payload<ErrorReply>(reply).code,
+              static_cast<std::uint32_t>(ErrorCode::kBadRequest));
+  }
+  {
+    // Valid framing, unparseable payload: error reply, connection stays up.
+    Client client("127.0.0.1", server.port());
+    Frame bad{MsgType::kComputeMis, 0, {1, 2, 3}};
+    const Frame reply = client.roundtrip_raw(encode_frame(bad));
+    EXPECT_EQ(reply.type, MsgType::kError);
+    const graph::Graph g = test_graph(60, 1);
+    const LoadGraphReply loaded =
+        client.load_inline(1, g.num_nodes(), g.edges());
+    EXPECT_EQ(loaded.num_nodes, g.num_nodes());
+  }
+  server.stop();
+}
+
+TEST(ServeFault, CertifyLabelsAcceptsGoodRejectsCorrupt) {
+  const graph::Graph g = test_graph(100, 13);
+  MisService service;
+  LoadGraphRequest load;
+  load.graph_id = 1;
+  load.num_nodes = g.num_nodes();
+  load.edges = g.edges();
+  service.load_graph(load);
+  service.compute_mis({1, {2, 4}});
+
+  QueryRequest all;
+  all.graph_id = 1;
+  all.params = {2, 4};
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) all.nodes.push_back(v);
+  const QueryReply reply = service.query(all);
+  std::vector<mis::MisState> state;
+  for (const std::uint8_t s : reply.states) {
+    state.push_back(static_cast<mis::MisState>(s));
+  }
+
+  const fault::CertifyReport good = fault::certify_labels(g, state, 99);
+  EXPECT_TRUE(good.certified);
+  EXPECT_GT(good.rounds, 0u);
+
+  // Flip one member out of the set: coverage breaks somewhere.
+  std::vector<mis::MisState> corrupt = state;
+  for (mis::MisState& s : corrupt) {
+    if (s == mis::MisState::kInMis) {
+      s = mis::MisState::kCovered;
+      break;
+    }
+  }
+  EXPECT_FALSE(fault::certify_labels(g, corrupt, 99).certified);
+
+  // Undecided labels can never certify.
+  std::vector<mis::MisState> undecided = state;
+  undecided[0] = mis::MisState::kUndecided;
+  EXPECT_FALSE(fault::certify_labels(g, undecided, 99).certified);
+}
+
+}  // namespace
+}  // namespace arbmis::serve

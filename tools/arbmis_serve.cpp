@@ -1,0 +1,153 @@
+// arbmis_serve: the MIS-as-a-service daemon (docs/SERVING.md).
+//
+//   arbmis_serve [--port N] [--port-file PATH] [--threads N]
+//                [--cache N] [--full-fraction F] [--max-attempts N]
+//                [--events=PATH[.bin]] [--quiet]
+//
+// Binds a loopback TCP listener (port 0 = ephemeral; the bound port is
+// printed and optionally written to --port-file so scripts can rendezvous),
+// serves the length-prefixed binary protocol until SIGINT/SIGTERM, then
+// shuts down cleanly so an attached event stream is flushed complete. As a
+// host binary this is where graph/storage is wired in: LOAD_GRAPH path
+// requests go through an injected MappedGraph loader, which the serve
+// library itself never names.
+#include <csignal>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "graph/storage/mapped_graph.h"
+#include "obs/manifest.h"
+#include "obs/sink.h"
+#include "serve/server.h"
+#include "serve/service.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--port N] [--port-file PATH] [--threads N] [--cache N]\n"
+         "       [--full-fraction F] [--max-attempts N] [--events=PATH]\n"
+         "       [--quiet]\n"
+         "  --port N          TCP port (default 0 = ephemeral)\n"
+         "  --port-file PATH  write the bound port for rendezvous\n"
+         "  --threads N       simulator worker threads (0 = serial)\n"
+         "  --cache N         result-cache capacity (entries)\n"
+         "  --full-fraction F residual fraction forcing full recompute\n"
+         "  --max-attempts N  resilient_mis attempt budget\n"
+         "  --events=PATH     telemetry event stream (.jsonl or .bin)\n"
+         "  --quiet           suppress startup banner\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  arbmis::serve::ServiceOptions service_options;
+  arbmis::serve::ServerOptions server_options;
+  std::string port_file;
+  std::string events_out;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      server_options.port =
+          static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      service_options.num_threads =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--cache" && i + 1 < argc) {
+      service_options.max_cache_entries =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--full-fraction" && i + 1 < argc) {
+      service_options.full_recompute_fraction =
+          std::strtod(argv[++i], nullptr);
+    } else if (arg == "--max-attempts" && i + 1 < argc) {
+      service_options.max_attempts =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--events=", 0) == 0) {
+      events_out = arg.substr(9);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "arbmis_serve: unknown option '" << arg << "'\n";
+      return usage(argv[0]);
+    }
+  }
+
+  // Block the shutdown signals before any thread spawns so sigwait below
+  // is the only consumer — every worker inherits the mask.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  try {
+    // Path-based LOAD_GRAPH: host-side wiring of the sealed storage layer.
+    service_options.gr_loader =
+        [](const std::string& path) -> arbmis::serve::LoadedGraph {
+      auto mapped = std::make_shared<arbmis::graph::storage::MappedGraph>(
+          arbmis::graph::storage::MappedGraph::open(path));
+      const arbmis::graph::GraphView view = mapped->view();
+      return {std::move(mapped), view};
+    };
+    arbmis::serve::MisService service(service_options);
+
+    arbmis::obs::Manifest manifest =
+        arbmis::obs::make_manifest("arbmis_serve");
+    manifest.threads = service_options.num_threads;
+    std::unique_ptr<arbmis::obs::EventSink> events;
+    std::optional<arbmis::obs::ScopedSink> sink_scope;
+    if (!events_out.empty()) {
+      const bool binary =
+          events_out.size() >= 4 &&
+          events_out.compare(events_out.size() - 4, 4, ".bin") == 0;
+      arbmis::obs::SinkConfig config;
+      if (binary) {
+        events = std::make_unique<arbmis::obs::BinaryWriter>(events_out,
+                                                             config);
+      } else {
+        events = std::make_unique<arbmis::obs::JsonlWriter>(events_out,
+                                                            config);
+      }
+      events->attach_manifest(manifest);
+      sink_scope.emplace(events.get());
+    }
+
+    arbmis::serve::Server server(service, server_options);
+    server.start();
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      out << server.port() << "\n";
+    }
+    if (!quiet) {
+      std::cout << "arbmis_serve: listening on " << server_options.bind_address
+                << ":" << server.port() << " (threads="
+                << service_options.num_threads << ", cache="
+                << service_options.max_cache_entries << ")\n"
+                << std::flush;
+    }
+
+    int sig = 0;
+    sigwait(&mask, &sig);
+    if (!quiet) {
+      std::cout << "arbmis_serve: signal " << sig << ", shutting down\n";
+    }
+    server.stop();
+    sink_scope.reset();
+    if (events != nullptr) events->flush();
+  } catch (const std::exception& e) {
+    std::cerr << "arbmis_serve: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Fixture: LAY001 must fire 1x here — an algorithm module reaching up
+// into serve/. The serving layer is the top of the stack: no src module
+// lists it in tools/layering.toml.
+#include "serve/protocol.h"
+
+namespace fixture {
+
+int serve_upcall_breaker() { return 1; }
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: DET002 must fire 1x here — a wall-clock read inside serve/,
+// which is a semantic module: replies must be deterministic functions of
+// the request sequence, so latency timing belongs to the hosts
+// (tools/mis_loadgen, bench/bench_serve), never the service.
+#include <chrono>
+
+namespace fixture {
+
+long serve_clock_breaker() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

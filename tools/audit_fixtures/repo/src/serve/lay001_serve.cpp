@@ -1,0 +1,11 @@
+// Fixture: LAY001 must fire 2x here — serve/ textually including mis/ and
+// sim/, which its layering row forbids (serve reaches the verifier only
+// through fault::certify_labels and mis types only transitively).
+#include "mis/verifier.h"
+#include "sim/network.h"
+
+namespace fixture {
+
+int serve_layer_breaker() { return 1; }
+
+}  // namespace fixture

@@ -24,11 +24,34 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--degree-order] [--quiet] <edge-list.txt|-> <out.gr>\n"
+            << " [--degree-order] [--quiet] [--stats-json PATH|-]"
+               " <edge-list.txt|-> <out.gr>\n"
                "  --degree-order  renumber vertices by descending degree\n"
                "                  (saves a new->original id permutation)\n"
-               "  --quiet         suppress the stats summary\n";
+               "  --quiet         suppress the stats summary\n"
+               "  --stats-json    write ConvertStats + graph shape as JSON\n"
+               "                  to PATH ('-' = stdout)\n";
   return 1;
+}
+
+/// Machine-readable ConvertStats (the --stats-json payload): every counter
+/// the human summary prints, plus the resulting graph's shape, one object
+/// per conversion.
+void write_stats_json(std::ostream& out,
+                      const arbmis::graph::storage::ConvertResult& result,
+                      const std::string& output_path) {
+  const auto& s = result.stats;
+  out << "{\"tool\": \"gr_convert\", \"output\": \"" << output_path
+      << "\", \"n\": " << result.graph.num_nodes()
+      << ", \"m\": " << result.graph.num_edges()
+      << ", \"max_degree\": " << result.graph.max_degree()
+      << ", \"degree_ordered\": " << (result.degree_ordered ? "true" : "false")
+      << ", \"lines_total\": " << s.lines_total
+      << ", \"lines_comment\": " << s.lines_comment
+      << ", \"edges_input\": " << s.edges_input
+      << ", \"self_loops_dropped\": " << s.self_loops_dropped
+      << ", \"duplicates_dropped\": " << s.duplicates_dropped
+      << ", \"edges_kept\": " << s.edges_kept << "}\n";
 }
 
 }  // namespace
@@ -36,6 +59,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   arbmis::graph::storage::ConvertOptions options;
   bool quiet = false;
+  std::string stats_json;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -43,6 +67,8 @@ int main(int argc, char** argv) {
       options.degree_order = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--stats-json" && i + 1 < argc) {
+      stats_json = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "gr_convert: unknown option '" << arg << "'\n";
       return usage(argv[0]);
@@ -95,6 +121,19 @@ int main(int argc, char** argv) {
                 << s.lines_comment << " edges_in=" << s.edges_input
                 << " self_loops_dropped=" << s.self_loops_dropped
                 << " duplicates_dropped=" << s.duplicates_dropped << '\n';
+    }
+
+    if (!stats_json.empty()) {
+      if (stats_json == "-") {
+        write_stats_json(std::cout, result, output_path);
+      } else {
+        std::ofstream out(stats_json);
+        if (!out) {
+          std::cerr << "gr_convert: cannot write " << stats_json << '\n';
+          return 2;
+        }
+        write_stats_json(out, result, output_path);
+      }
     }
   } catch (const std::exception& e) {
     // Converter messages already carry the "gr_convert:" prefix; .gr

@@ -58,6 +58,13 @@ EVENT_SCHEMAS = {
     "certified": (["certified", "attempts", "rounds_to_recovery"], None),
     "log": (["level"], "message"),
     "lane_merge": (["lane", "sends", "messages", "halts"], None),
+    "request_begin": (["request", "graph"], "op"),
+    "request_end": (["request", "status", "payload_bytes"], None),
+    "cache_hit": (["graph", "seed", "key_hash"], None),
+    "cache_miss": (["graph", "seed", "key_hash"], None),
+    "repair_begin": (["graph", "epoch", "residual", "full_recompute"], None),
+    "repair_certified": (["graph", "epoch", "certified", "committed",
+                          "rounds"], None),
 }
 # Binary event records carry the kind as a byte in EventKind order.
 KIND_NAMES = list(EVENT_SCHEMAS.keys())
