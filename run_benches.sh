@@ -48,6 +48,7 @@ BENCHES=(
   bench_sim_arena           # P2
   bench_fault_tolerance     # R1
   bench_mmap_graph          # P3
+  bench_engine              # E1
   bench_serve               # S1
   bench_micro               # M1
 )
@@ -81,6 +82,10 @@ for name in "${BENCHES[@]}"; do
       ;;
     bench_mmap_graph)
       timeout 3000 "$bin" --json results/BENCH_mmap_graph.json "$@" \
+        > "results/${name}.txt" 2>&1
+      ;;
+    bench_engine)
+      timeout 3000 "$bin" --json results/BENCH_engine.json "$@" \
         > "results/${name}.txt" 2>&1
       ;;
     bench_serve)

@@ -10,6 +10,7 @@
 #include "core/arb_mis.h"
 #include "core/ghaffari_arb.h"
 #include "core/lw_tree_mis.h"
+#include "engine/engine.h"
 #include "fault/adversary.h"
 #include "fault/fault_plan.h"
 #include "graph/generators.h"
@@ -104,6 +105,39 @@ TEST(Determinism, GoldenPerSeedMisOutputs) {
             0xe8f3f3171e775bd3ULL);
   EXPECT_EQ(state_hash(mis::BitMetivierMis::run(g, 2).mis.state),
             0xa05a05940c3562fdULL);
+}
+
+TEST(Determinism, GoldenPerSeedEngineLabels) {
+  // Golden labels-hash pins for the shared-memory engine family
+  // (src/engine/). One constant per seed, asserted for all THREE engines:
+  // the family's contract is that they compute the same set — the
+  // lexicographically-first MIS w.r.t. (priority, id) — so distinct pins
+  // per engine would be a bug, not extra coverage. Any drift in
+  // util::mix64, the priority domain constant, or any engine's decision
+  // rule breaks these before it can corrupt a benchmark.
+  util::Rng rng(2024);
+  const graph::Graph g = graph::gen::hubbed_forest_union(400, 2, 4, rng);
+  constexpr std::uint64_t kEnginePinSeed1 = 0x82dd5c1ca73589a5ULL;
+  constexpr std::uint64_t kEnginePinSeed2 = 0x838643010311e327ULL;
+
+  for (const engine::EngineKind kind : engine::all_engines()) {
+    engine::EngineOptions options;
+    options.seed = 1;
+    EXPECT_EQ(engine::solve(g, kind, options).labels_hash(), kEnginePinSeed1)
+        << "seed=1 engine=" << engine::engine_name(kind);
+    options.seed = 2;
+    EXPECT_EQ(engine::solve(g, kind, options).labels_hash(), kEnginePinSeed2)
+        << "seed=2 engine=" << engine::engine_name(kind);
+  }
+
+  // Round counts are part of the pinned surface for the fixpoint engines.
+  engine::EngineOptions options;
+  options.seed = 1;
+  EXPECT_EQ(
+      engine::solve(g, engine::EngineKind::kTestAndSet, options).rounds, 3u);
+  EXPECT_EQ(
+      engine::solve(g, engine::EngineKind::kPrefixGreedy, options).rounds,
+      3u);
 }
 
 TEST(Determinism, GoldenPinsHoldUnderTheParallelExecutor) {

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "core/arb_mis.h"
+#include "engine/engine.h"
 #include "fault/adversary.h"
 #include "fault/resilient_mis.h"
 #include "graph/generators.h"
@@ -366,6 +367,49 @@ TEST_P(Fuzz, ConverterFailsLoudlyOnMalformedLines) {
         << "error '" << e.what() << "' does not name line "
         << good_lines + 1;
   }
+}
+
+TEST_P(Fuzz, EngineRandomGraphSeedAndKind) {
+  // Random graph x random seed x random engine: the result must verify,
+  // hash identically across a second run AND across a random pair of
+  // thread counts, and equal the sequential-greedy oracle over the same
+  // priorities — the engine family's contract under arbitrary inputs.
+  util::Rng rng(GetParam() + 1800);
+  const graph::NodeId n = 2 + static_cast<graph::NodeId>(rng.below(300));
+  const auto reference = random_edge_set(n, 4 * n, rng);
+  graph::Builder builder(n);
+  for (const auto& e : reference) builder.add_edge(e.first, e.second);
+  const graph::Graph g = builder.build();
+
+  const auto engines = engine::all_engines();
+  const engine::EngineKind kind = engines[rng.below(engines.size())];
+  engine::EngineOptions options;
+  options.seed = rng.next();
+  options.num_threads = static_cast<std::uint32_t>(rng.below(5));
+  options.dense_phase = static_cast<std::uint32_t>(rng.below(3));
+
+  const engine::EngineResult first = engine::solve(g, kind, options);
+  const mis::Verification check = mis::verify_mask(g, first.in_mis);
+  ASSERT_TRUE(check.independent && check.maximal)
+      << "engine=" << engine::engine_name(kind) << " n=" << n << ": "
+      << check.describe();
+
+  // Stable across a repeat run and across a different thread count.
+  EXPECT_EQ(engine::solve(g, kind, options).labels_hash(),
+            first.labels_hash());
+  engine::EngineOptions rethreaded = options;
+  rethreaded.num_threads = static_cast<std::uint32_t>(rng.below(9));
+  EXPECT_EQ(engine::solve(g, kind, rethreaded).labels_hash(),
+            first.labels_hash())
+      << "engine=" << engine::engine_name(kind) << " threads "
+      << options.num_threads << " vs " << rethreaded.num_threads;
+
+  // Oracle: sequential greedy over the same (priority, id) order.
+  const engine::EngineResult oracle =
+      engine::solve(g, engine::EngineKind::kSequentialGreedy, options);
+  EXPECT_EQ(first.in_mis, oracle.in_mis)
+      << "engine=" << engine::engine_name(kind)
+      << " diverged from the greedy oracle";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,

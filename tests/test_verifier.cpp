@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "graph/properties.h"
 #include "mis/greedy.h"
 #include "mis/verifier.h"
 
@@ -53,6 +54,89 @@ TEST(Verifier, DescribeMentionsViolations) {
   std::vector<std::uint8_t> mask{1, 1, 1};
   const Verification v = verify_mask(g, mask);
   EXPECT_NE(v.describe().find("violations"), std::string::npos);
+}
+
+// Adversarial battery: plant targeted corruptions in honest MIS outputs on
+// each generator family and demand the verifier reject every one, naming a
+// violator. The tiny hand-built cases above show each check can fire; this
+// shows they fire on the graphs the experiments actually run, where a lazy
+// verifier (sampling nodes, trusting labels, checking only members) would
+// still pass honest outputs and slip planted defects through.
+TEST(Verifier, AdversarialPlantedDefectsOnGeneratorBattery) {
+  util::Rng rng(73);
+  const std::vector<std::pair<const char*, graph::Graph>> graphs = [&] {
+    std::vector<std::pair<const char*, graph::Graph>> out;
+    out.emplace_back("random_tree", graph::gen::random_tree(200, rng));
+    out.emplace_back("union_of_random_forests",
+                     graph::gen::union_of_random_forests(200, 2, rng));
+    out.emplace_back("random_apollonian",
+                     graph::gen::random_apollonian(150, rng));
+    out.emplace_back("gnp", graph::gen::gnp(200, 0.03, rng));
+    return out;
+  }();
+
+  for (const auto& [name, g] : graphs) {
+    const MisResult honest = greedy_mis(g);
+    ASSERT_TRUE(verify(g, honest).ok()) << name;
+    const std::vector<std::uint8_t> mask = honest.mis_mask();
+    const std::vector<graph::NodeId> members = honest.mis_nodes();
+    ASSERT_FALSE(members.empty()) << name;
+
+    // Drop one member whose removal uncovers something: any member with a
+    // neighbor covered only by it. Dropping an isolated-in-MIS member is
+    // always non-maximal at the member itself.
+    for (const graph::NodeId victim :
+         {members.front(), members[members.size() / 2], members.back()}) {
+      std::vector<std::uint8_t> planted = mask;
+      planted[victim] = 0;
+      const Verification v = verify_mask(g, planted);
+      EXPECT_TRUE(v.independent) << name << " victim=" << victim;
+      EXPECT_FALSE(v.maximal)
+          << name << ": dropping member " << victim
+          << " must leave an uncovered node";
+      EXPECT_FALSE(v.violations.empty()) << name;
+    }
+
+    // Add a covered non-member: breaks independence (it has a member
+    // neighbor by definition of covered).
+    graph::NodeId covered = graph::kUnreachable;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (mask[v] == 0 && g.degree(v) > 0) {
+        covered = v;
+        break;
+      }
+    }
+    if (covered != graph::kUnreachable) {
+      std::vector<std::uint8_t> planted = mask;
+      planted[covered] = 1;
+      const Verification v = verify_mask(g, planted);
+      EXPECT_FALSE(v.independent)
+          << name << ": adding covered node " << covered
+          << " must break independence";
+      EXPECT_FALSE(v.violations.empty()) << name;
+
+      // Both defects at once: neither flag may mask the other.
+      planted[members.front()] = 0;
+      if (members.front() != covered) {
+        const Verification both = verify_mask(g, planted);
+        EXPECT_FALSE(both.ok()) << name;
+      }
+    }
+
+    // Label lies against the full verify(): an undecided node and a
+    // "covered" claim with no member neighbor must each be caught.
+    MisResult lying = honest;
+    lying.state[members.front()] = MisState::kUndecided;
+    EXPECT_FALSE(verify(g, lying).labels_consistent)
+        << name << ": undecided member accepted";
+
+    MisResult false_cover = honest;
+    false_cover.state[members.front()] = MisState::kCovered;
+    const Verification fc = verify(g, false_cover);
+    EXPECT_FALSE(fc.ok())
+        << name << ": relabeling a member as covered must fail "
+        << "(false coverage or lost maximality)";
+  }
 }
 
 TEST(Greedy, ProducesValidMisOnBattery) {

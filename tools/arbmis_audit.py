@@ -47,7 +47,8 @@ import re
 import sys
 import tomllib
 
-SEMANTIC_MODULES = ("core", "fault", "graph", "mis", "readk", "serve", "sim")
+SEMANTIC_MODULES = ("core", "engine", "fault", "graph", "mis", "readk",
+                    "serve", "sim")
 # Nested src/ directories that carry their own layering row. Their files
 # report module "graph/storage" (etc.) for LAY rules but still fall under
 # the parent's determinism regime: DET scans key on the first component.
@@ -869,7 +870,8 @@ def run_audit(root, layering_path, baseline_path, compile_commands):
 
 SELF_TEST_EXPECTED = {
     "DET001": {"src/mis/det001_entropy.cpp": 4,
-               "src/graph/storage/det001_storage.cpp": 2},
+               "src/graph/storage/det001_storage.cpp": 2,
+               "src/engine/det001_engine.cpp": 2},
     "DET002": {"src/mis/det002_wallclock.cpp": 2,
                "src/serve/det002_serve.cpp": 1},
     "DET003": {"src/mis/det003_environment.cpp": 2},
@@ -878,7 +880,8 @@ SELF_TEST_EXPECTED = {
     "LAY001": {"src/mis/lay001_matrix.cpp": 1,
                "src/mis/lay001_serve_client.cpp": 1,
                "src/serve/lay001_serve.cpp": 2,
-               "src/sim/lay001_storage.cpp": 1},
+               "src/sim/lay001_storage.cpp": 1,
+               "src/engine/lay001_engine.cpp": 1},
     "LAY002": {"src/core/lay002_restricted.cpp": 1},
     "HYG001": {"src/mis/hyg001_nolint.cpp": 2},
     "HYG002": {"src/obs/events.cpp": 1, "tools/trace_inspect.py": 1,

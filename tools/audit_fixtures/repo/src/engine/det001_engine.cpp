@@ -1,0 +1,13 @@
+// Fixture: DET001 must fire 2x here — the engine module is semantic (its
+// priorities must be pure functions of the seed): the <random> include and
+// std::random_device.
+#include <random>
+
+namespace fixture {
+
+unsigned engine_draw() {
+  std::random_device dev;
+  return dev();
+}
+
+}  // namespace fixture

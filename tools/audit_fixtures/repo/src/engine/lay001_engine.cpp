@@ -1,0 +1,10 @@
+// Fixture: LAY001 must fire 1x here — engine/ reaching sideways into
+// mis/, an edge the tools/layering.toml matrix deliberately omits (the
+// engines define their own result surface; see the engine row's comment).
+#include "mis/greedy.h"
+
+namespace fixture {
+
+int engine_matrix_breaker() { return 1; }
+
+}  // namespace fixture
