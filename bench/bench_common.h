@@ -15,6 +15,7 @@
 #include "graph/graph.h"
 #include "obs/manifest.h"
 #include "obs/profile.h"
+#include "obs/recorder.h"
 #include "obs/registry.h"
 #include "obs/sink.h"
 #include "sim/network.h"
@@ -46,6 +47,8 @@ struct BenchOptions {
   std::string events_out;     ///< telemetry event stream (.jsonl or .bin)
   std::string trace_out;      ///< Chrome trace_event JSON from OBS_SCOPE
   std::string metrics_out;    ///< "arbmis.metrics.v1" registry dump
+  std::string flightrec_out;  ///< attach a flight recorder; dump here at exit
+  std::size_t recorder_bytes = std::size_t{1} << 20;  ///< ring capacity
   std::uint32_t trace_sample = 1;  ///< keep every Nth round event/series
 
   static BenchOptions parse(int argc, char** argv) {
@@ -74,6 +77,11 @@ struct BenchOptions {
         options.trace_out = arg.substr(8);
       } else if (arg.rfind("--metrics=", 0) == 0) {
         options.metrics_out = arg.substr(10);
+      } else if (arg.rfind("--flightrec=", 0) == 0) {
+        options.flightrec_out = arg.substr(12);
+      } else if (arg.rfind("--recorder-bytes=", 0) == 0) {
+        options.recorder_bytes = std::strtoull(
+            arg.substr(17).c_str(), nullptr, 10);
       } else if (arg.rfind("--trace-sample=", 0) == 0) {
         options.trace_sample = static_cast<std::uint32_t>(
             std::strtoul(arg.substr(15).c_str(), nullptr, 10));
@@ -85,6 +93,7 @@ struct BenchOptions {
 
 /// RAII telemetry session for a bench binary: attaches (per the options)
 /// an event sink (--events=path, binary when the path ends in .bin), a
+/// flight recorder (--flightrec=path, sized by --recorder-bytes=N), a
 /// metrics registry (--metrics=path), and a profiler (--trace=path), all
 /// process-wide via the obs Scoped* guards. On destruction the metrics
 /// JSON and the Chrome trace are written next to the bench's other
@@ -126,8 +135,19 @@ class ObsSession {
       registry_->track_round_series("sim.messages");
       registry_->track_round_series("sim.payload_bits");
     }
+    if (!options.flightrec_out.empty()) {
+      // --flightrec attaches a flight recorder for the whole bench run
+      // and snapshots the ring on destruction — used to measure the
+      // recorder-attached overhead against the perf-smoke gate.
+      obs::RecorderConfig config;
+      config.max_bytes = options.recorder_bytes;
+      config.dump_path = options.flightrec_out;
+      recorder_ = std::make_unique<obs::FlightRecorder>(config);
+      recorder_->attach_manifest(manifest_);
+    }
     if (!trace_out_.empty()) profiler_ = std::make_unique<obs::Profiler>();
     if (events_ != nullptr) sink_scope_.emplace(events_.get());
+    if (recorder_ != nullptr) recorder_scope_.emplace(recorder_.get());
     if (registry_ != nullptr) registry_scope_.emplace(registry_.get());
     if (profiler_ != nullptr) profiler_scope_.emplace(profiler_.get());
   }
@@ -144,6 +164,7 @@ class ObsSession {
     manifest_.nodes = nodes;
     manifest_.edges = edges;
     if (events_ != nullptr) events_->attach_manifest(manifest_);
+    if (recorder_ != nullptr) recorder_->attach_manifest(manifest_);
   }
 
   obs::Registry* metrics() noexcept { return registry_.get(); }
@@ -151,7 +172,16 @@ class ObsSession {
   ~ObsSession() {
     profiler_scope_.reset();
     registry_scope_.reset();
+    recorder_scope_.reset();
     sink_scope_.reset();
+    if (recorder_ != nullptr) {
+      if (recorder_->auto_dump("bench_exit")) {
+        const obs::RecorderStats rs = recorder_->stats();
+        std::cout << "[obs] flightrec -> " << recorder_->config().dump_path
+                  << " (" << rs.buffered_events << " buffered, "
+                  << rs.evicted_events << " evicted)\n";
+      }
+    }
     if (events_ != nullptr) {
       events_->flush();
       std::cout << "[obs] events -> " << events_path_of(events_.get())
@@ -186,9 +216,11 @@ class ObsSession {
   std::string trace_out_;
   std::string metrics_out_;
   std::unique_ptr<obs::EventSink> events_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
   std::unique_ptr<obs::Registry> registry_;
   std::unique_ptr<obs::Profiler> profiler_;
   std::optional<obs::ScopedSink> sink_scope_;
+  std::optional<obs::ScopedRecorder> recorder_scope_;
   std::optional<obs::ScopedRegistry> registry_scope_;
   std::optional<obs::ScopedProfiler> profiler_scope_;
 };

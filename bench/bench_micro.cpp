@@ -6,14 +6,21 @@
 // CI can drive it with the same vocabulary as the bench_common.h benches:
 //   --quick           short timing windows for smoke runs
 //   --json FILE       machine-readable results (gbench JSON format)
+//   --flightrec=FILE  attach a flight recorder for the whole run (dump on
+//                     exit) — measures the recorder-attached overhead of
+//                     the same benchmarks the perf-smoke gate watches
 //   --build-info      print "build=Release|Debug" for this binary and exit
 // plus any native --benchmark_* flag, passed through untouched.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "obs/recorder.h"
 
 #include "bench_common.h"
 #include "graph/generators.h"
@@ -141,6 +148,7 @@ class DebianDebugWarningFilter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   // Translate the repo-wide flags into native gbench flags before
   // Initialize sees them (gbench hard-errors on unknown flags).
+  std::unique_ptr<arbmis::obs::FlightRecorder> recorder;
   std::vector<std::string> translated;
   translated.reserve(static_cast<std::size_t>(argc) + 2);
   translated.emplace_back(argv[0]);
@@ -155,6 +163,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--json" && i + 1 < argc) {
       translated.emplace_back(std::string("--benchmark_out=") + argv[++i]);
       translated.emplace_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--flightrec=", 0) == 0) {
+      arbmis::obs::RecorderConfig config;
+      config.dump_path = arg.substr(12);
+      recorder = std::make_unique<arbmis::obs::FlightRecorder>(config);
     } else {
       translated.emplace_back(arg);
     }
@@ -166,7 +178,15 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&raw_argc, raw.data());
   if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data())) return 1;
   DebianDebugWarningFilter display;
-  benchmark::RunSpecifiedBenchmarks(&display);
+  {
+    std::optional<arbmis::obs::ScopedRecorder> recorder_scope;
+    if (recorder != nullptr) recorder_scope.emplace(recorder.get());
+    benchmark::RunSpecifiedBenchmarks(&display);
+  }
+  if (recorder != nullptr && recorder->auto_dump("bench_exit")) {
+    std::cerr << "[obs] flightrec -> " << recorder->config().dump_path
+              << "\n";
+  }
   benchmark::Shutdown();
   return 0;
 }

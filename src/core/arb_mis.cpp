@@ -155,7 +155,7 @@ ArbMisResult arb_mis(graph::GraphView g, const ArbMisOptions& options,
   result.shatter_stats.rounds += 1;  // flush
   result.bad_components = shattering_stats(g, bad_mask);
   for (std::uint8_t b : bad_mask) result.bad_size += b;
-  if (obs::sink() != nullptr) {
+  if (obs::telemetry_attached()) {
     emit_phase("shatter", 1, shatter_sub.graph.num_nodes(),
                result.shatter_stats);
     for (const BoundedArbIndependentSet::ScaleStats& s : shatter.scale_stats) {
@@ -182,7 +182,7 @@ ArbMisResult arb_mis(graph::GraphView g, const ArbMisOptions& options,
   }
   for (std::uint8_t b : vlo) result.vlo_size += b;
   for (std::uint8_t b : vhi) result.vhi_size += b;
-  if (obs::sink() != nullptr) {
+  if (obs::telemetry_attached()) {
     obs::emit(obs::make_event(obs::EventKind::kShatter, /*round=*/0, {},
                               result.bad_size,
                               result.bad_components.num_components,

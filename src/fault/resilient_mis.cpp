@@ -4,7 +4,9 @@
 #include "core/params.h"
 #include "mis/distributed_verify.h"
 #include "mis/luby.h"
+#include "obs/recorder.h"
 #include "obs/sink.h"
+#include "obs/span.h"
 
 namespace arbmis::fault {
 
@@ -89,6 +91,9 @@ MisDriver shatter_driver(graph::NodeId alpha, core::PracticalTuning tuning) {
 ResilientResult resilient_mis(graph::GraphView g, std::uint64_t seed,
                               Adversary& adversary, const MisDriver& driver,
                               const ResilientOptions& options) {
+  // Child span: emits only inside an open request span (serving path), so
+  // standalone resilient runs keep their pre-span event streams.
+  const obs::ScopedChildSpan span("fault.resilient_mis", g.num_nodes());
   const graph::NodeId n = g.num_nodes();
   ResilientResult result;
   result.state.assign(n, mis::MisState::kUndecided);
@@ -171,6 +176,11 @@ ResilientResult resilient_mis(graph::GraphView g, std::uint64_t seed,
   obs::emit(obs::make_event(obs::EventKind::kCertified, /*round=*/0, {},
                             result.certified ? 1 : 0, result.attempts,
                             result.rounds_to_recovery));
+  if (!result.certified) {
+    // Failure seam: preserve the events leading up to the failed
+    // certification while they are still in the ring.
+    obs::recorder_auto_dump("certification_failure");
+  }
   return result;
 }
 

@@ -50,6 +50,11 @@ constexpr std::array<EventSchema, kNumKinds> kSchemas = {{
      4},
     {"repair_certified", nullptr,
      {"graph", "epoch", "certified", "committed", "rounds"}, 5},
+    {"span_begin", "name", {"span", "parent", "ref"}, 3},
+    {"span_end", nullptr, {"span"}, 1},
+    {"recorder_dump", "reason",
+     {"buffered_events", "buffered_bytes", "evicted_events", "evicted_bytes"},
+     4},
 }};
 
 }  // namespace

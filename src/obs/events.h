@@ -52,6 +52,11 @@ enum class EventKind : std::uint8_t {
   kCacheMiss,        ///< compute required a pipeline run
   kRepairBegin,      ///< incremental repair starting on a residual
   kRepairCertified,  ///< repair outcome after certification
+  // Introspection kinds (obs v2: flight recorder + per-request spans).
+  // Appended after the serving kinds so binary kind bytes stay stable.
+  kSpanBegin,     ///< a scoped span opened (text = span name)
+  kSpanEnd,       ///< the matching span closed
+  kRecorderDump,  ///< flight-recorder dump trailer (text = reason)
   kCount
 };
 

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <utility>
 
+#include "obs/recorder.h"
+
 namespace arbmis::obs {
 
 namespace {
@@ -14,6 +16,8 @@ void log_hook(util::LogLevel level, std::string_view message) {
                   static_cast<std::uint64_t>(level)));
 }
 
+}  // namespace
+
 void append_varint(std::string& out, std::uint64_t v) {
   while (v >= 0x80) {
     out += static_cast<char>(static_cast<unsigned char>(v) | 0x80u);
@@ -21,8 +25,6 @@ void append_varint(std::string& out, std::uint64_t v) {
   }
   out += static_cast<char>(v);
 }
-
-}  // namespace
 
 bool SinkConfig::accepts_category(EventCategory category) const noexcept {
   switch (category) {
@@ -144,6 +146,11 @@ EventSink* sink() noexcept { return g_sink.load(std::memory_order_acquire); }
 
 void emit(const Event& e) {
   if (EventSink* s = sink()) s->emit(e);
+  if (FlightRecorder* r = recorder()) r->record(e);
+}
+
+bool telemetry_attached() noexcept {
+  return sink() != nullptr || recorder() != nullptr;
 }
 
 ScopedSink::ScopedSink(EventSink* s)

@@ -45,6 +45,11 @@ struct SinkConfig {
 /// to round sampling.
 bool is_per_round(EventKind kind) noexcept;
 
+/// Appends one unsigned LEB128 varint — the integer encoding of the
+/// ARBMISEV binary format, shared by BinaryWriter and the flight
+/// recorder's header rendering (obs/recorder.h).
+void append_varint(std::string& out, std::uint64_t v);
+
 /// Base sink: thread-safe filtered emission. Derived classes implement
 /// write()/write_manifest(), which are always called under the sink lock.
 class EventSink {
@@ -150,9 +155,15 @@ class VectorSink : public EventSink {
 /// zero-cost case).
 EventSink* sink() noexcept;
 
-/// Emit to the attached sink, if any. The null check is the entire cost
-/// of a disabled instrumentation point.
+/// Emit to the attached sink and flight recorder, if any. The two null
+/// checks are the entire cost of a disabled instrumentation point.
 void emit(const Event& e);
+
+/// True when any consumer — sink or flight recorder (obs/recorder.h) —
+/// is attached. Instrumentation sites that gather data before building
+/// events should test this rather than sink() alone, so a recorder-only
+/// process (the serving daemon's default) still observes the run.
+bool telemetry_attached() noexcept;
 
 /// RAII attachment of a sink (and of the util/log → event bridge, so log
 /// lines become kLog events while attached). Non-owning; restores the

@@ -1,0 +1,70 @@
+// Per-request span context: logical-time span markers for the serving
+// path.
+//
+// A span is a bracket of kSpanBegin/kSpanEnd events around a unit of
+// work. The serving layer opens one *root* span per request (identified
+// by the service's deterministic request sequence number), and the
+// layers it calls into — incremental repair, fault::resilient_mis,
+// sim::Network::run — open *child* spans so trace_inspect.py --spans can
+// break a request down into its repair/run constituents.
+//
+// Determinism contract, in two parts. (1) Span ids carry no process or
+// wall-clock state: a root's id is supplied by its creator (the request
+// sequence number), child ids are root*4096 + a per-root counter, so the
+// serving differential harness still sees byte-identical streams across
+// executor configurations. (2) Child spans emit ONLY when a span is
+// already open on the current thread: instrumentation inside Network::run
+// and resilient_mis stays completely silent for every non-serving caller,
+// preserving the PR 5 event streams byte for byte.
+//
+// The context is thread-local. That is sound here because MisService
+// handles each request entirely on the calling thread (the executor's
+// worker lanes never emit semantic events; round barriers run on the
+// controlling thread).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace arbmis::obs {
+
+/// Innermost span open on this thread, or 0 when none.
+std::uint64_t current_span() noexcept;
+
+/// Root span with an explicit deterministic id (must be nonzero). Emits
+/// span_begin on construction and span_end on destruction.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string_view name, std::uint64_t id, std::uint64_t ref);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  std::uint64_t id_;
+  std::uint64_t prev_current_;
+  std::uint64_t prev_root_;
+  std::uint64_t prev_next_child_;
+};
+
+/// Child span: active (and emitting) only when a span is already open on
+/// this thread; otherwise a complete no-op.
+class ScopedChildSpan {
+ public:
+  explicit ScopedChildSpan(std::string_view name, std::uint64_t ref = 0);
+  ~ScopedChildSpan();
+  ScopedChildSpan(const ScopedChildSpan&) = delete;
+  ScopedChildSpan& operator=(const ScopedChildSpan&) = delete;
+
+  bool active() const noexcept { return active_; }
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  bool active_;
+  std::uint64_t id_ = 0;
+  std::uint64_t prev_current_ = 0;
+};
+
+}  // namespace arbmis::obs

@@ -171,4 +171,19 @@ StatsReply Client::stats() {
       check_reply(reply, MsgType::kReplyStats));
 }
 
+MetricsReply Client::metrics() {
+  const MetricsRequest m;
+  const Frame reply = call(make_frame(MsgType::kMetrics, 0, m));
+  return parse_payload<MetricsReply>(
+      check_reply(reply, MsgType::kReplyMetrics));
+}
+
+DumpRecorderReply Client::dump_recorder(bool clear_after) {
+  DumpRecorderRequest m;
+  m.clear_after = clear_after ? 1 : 0;
+  const Frame reply = call(make_frame(MsgType::kDumpRecorder, 0, m));
+  return parse_payload<DumpRecorderReply>(
+      check_reply(reply, MsgType::kReplyDumpRecorder));
+}
+
 }  // namespace arbmis::serve

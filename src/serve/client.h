@@ -38,6 +38,8 @@ class Client {
                           std::vector<EdgeUpdate> ops);
   VerifyReply verify(std::uint64_t graph_id, const ComputeParams& params);
   StatsReply stats();
+  MetricsReply metrics();
+  DumpRecorderReply dump_recorder(bool clear_after = false);
 
   /// Sends raw bytes as-is (malformed-frame tests) and reads one reply.
   Frame roundtrip_raw(const std::vector<std::uint8_t>& bytes);

@@ -20,12 +20,16 @@ bool known_type(std::uint16_t t) {
     case MsgType::kUpdateEdges:
     case MsgType::kVerify:
     case MsgType::kStats:
+    case MsgType::kMetrics:
+    case MsgType::kDumpRecorder:
     case MsgType::kReplyLoadGraph:
     case MsgType::kReplyComputeMis:
     case MsgType::kReplyQuery:
     case MsgType::kReplyUpdateEdges:
     case MsgType::kReplyVerify:
     case MsgType::kReplyStats:
+    case MsgType::kReplyMetrics:
+    case MsgType::kReplyDumpRecorder:
     case MsgType::kError:
       return true;
   }
@@ -377,6 +381,54 @@ void decode(PayloadReader& r, StatsReply& m) {
   m.repairs_certified = r.u64();
   m.verifies = r.u64();
   m.cache_evictions = r.u64();
+}
+
+void encode(PayloadWriter& w, const MetricsRequest& m) {
+  w.u16(m.version);
+}
+
+void decode(PayloadReader& r, MetricsRequest& m) {
+  m.version = r.u16();
+  if (m.version != kMetricsPayloadVersion) {
+    throw ProtocolError("unsupported metrics payload version");
+  }
+}
+
+void encode(PayloadWriter& w, const MetricsReply& m) {
+  w.u16(m.version);
+  w.str(m.json);
+}
+
+void decode(PayloadReader& r, MetricsReply& m) {
+  m.version = r.u16();
+  if (m.version != kMetricsPayloadVersion) {
+    throw ProtocolError("unsupported metrics payload version");
+  }
+  m.json = r.str();
+}
+
+void encode(PayloadWriter& w, const DumpRecorderRequest& m) {
+  w.u8(m.clear_after);
+}
+
+void decode(PayloadReader& r, DumpRecorderRequest& m) {
+  m.clear_after = r.u8();
+  if (m.clear_after > 1) throw ProtocolError("bad clear_after flag");
+}
+
+void encode(PayloadWriter& w, const DumpRecorderReply& m) {
+  w.u8(m.recorder_attached);
+  w.u64(m.buffered_events);
+  w.u64(m.evicted_events);
+  w.str(m.artifact);
+}
+
+void decode(PayloadReader& r, DumpRecorderReply& m) {
+  m.recorder_attached = r.u8();
+  if (m.recorder_attached > 1) throw ProtocolError("bad recorder flag");
+  m.buffered_events = r.u64();
+  m.evicted_events = r.u64();
+  m.artifact = r.str();
 }
 
 void encode(PayloadWriter& w, const ErrorReply& m) {

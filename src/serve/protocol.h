@@ -37,12 +37,19 @@ enum class MsgType : std::uint16_t {
   kUpdateEdges = 4,
   kVerify = 5,
   kStats = 6,
+  // Introspection (obs v2): live metrics and flight-recorder access.
+  // Additive at protocol version 1 — old clients never send them, old
+  // servers reject them as unknown types.
+  kMetrics = 7,
+  kDumpRecorder = 8,
   kReplyLoadGraph = 129,
   kReplyComputeMis = 130,
   kReplyQuery = 131,
   kReplyUpdateEdges = 132,
   kReplyVerify = 133,
   kReplyStats = 134,
+  kReplyMetrics = 135,
+  kReplyDumpRecorder = 136,
   kError = 255,
 };
 
@@ -251,6 +258,35 @@ struct StatsReply {
   friend bool operator==(const StatsReply&, const StatsReply&) = default;
 };
 
+/// Metrics snapshot request. The request carries its own payload version
+/// so the exposition format can evolve without bumping the frame
+/// protocol; version 1 is the only one defined and selects the
+/// arbmis.metrics.v1 JSON document.
+inline constexpr std::uint16_t kMetricsPayloadVersion = 1;
+
+struct MetricsRequest {
+  std::uint16_t version = kMetricsPayloadVersion;
+};
+
+struct MetricsReply {
+  std::uint16_t version = kMetricsPayloadVersion;
+  std::string json;  ///< arbmis.metrics.v1 document (obs/registry.h)
+};
+
+struct DumpRecorderRequest {
+  /// When nonzero the server clears the ring after snapshotting, so a
+  /// scraper can collect disjoint windows.
+  std::uint8_t clear_after = 0;
+};
+
+struct DumpRecorderReply {
+  std::uint8_t recorder_attached = 0;  ///< 0 => `artifact` is empty
+  std::uint64_t buffered_events = 0;
+  std::uint64_t evicted_events = 0;
+  /// Complete ARBMISEV binary artifact (obs/recorder.h snapshot()).
+  std::string artifact;
+};
+
 struct ErrorReply {
   std::uint32_t code = 0;
   std::string message;
@@ -269,6 +305,10 @@ void encode(PayloadWriter& w, const UpdateEdgesReply& m);
 void encode(PayloadWriter& w, const VerifyRequest& m);
 void encode(PayloadWriter& w, const VerifyReply& m);
 void encode(PayloadWriter& w, const StatsReply& m);
+void encode(PayloadWriter& w, const MetricsRequest& m);
+void encode(PayloadWriter& w, const MetricsReply& m);
+void encode(PayloadWriter& w, const DumpRecorderRequest& m);
+void encode(PayloadWriter& w, const DumpRecorderReply& m);
 void encode(PayloadWriter& w, const ErrorReply& m);
 
 void decode(PayloadReader& r, LoadGraphRequest& m);
@@ -282,6 +322,10 @@ void decode(PayloadReader& r, UpdateEdgesReply& m);
 void decode(PayloadReader& r, VerifyRequest& m);
 void decode(PayloadReader& r, VerifyReply& m);
 void decode(PayloadReader& r, StatsReply& m);
+void decode(PayloadReader& r, MetricsRequest& m);
+void decode(PayloadReader& r, MetricsReply& m);
+void decode(PayloadReader& r, DumpRecorderRequest& m);
+void decode(PayloadReader& r, DumpRecorderReply& m);
 void decode(PayloadReader& r, ErrorReply& m);
 
 /// Builds a complete frame for `message` (encode + header).

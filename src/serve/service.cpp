@@ -7,7 +7,10 @@
 #include "fault/adversary.h"
 #include "graph/subgraph.h"
 #include "obs/events.h"
+#include "obs/recorder.h"
+#include "obs/registry.h"
 #include "obs/sink.h"
+#include "obs/span.h"
 #include "util/rng.h"
 
 namespace arbmis::serve {
@@ -30,6 +33,8 @@ const char* op_name(MsgType type) {
     case MsgType::kUpdateEdges: return "update_edges";
     case MsgType::kVerify: return "verify";
     case MsgType::kStats: return "stats";
+    case MsgType::kMetrics: return "metrics";
+    case MsgType::kDumpRecorder: return "dump_recorder";
     default: return "unknown";
   }
 }
@@ -119,6 +124,7 @@ const MisService::CacheEntry& MisService::ensure_entry(
 MisService::RepairOutcome MisService::repair(
     std::uint64_t graph_id, std::uint64_t epoch, graph::GraphView g,
     const std::vector<mis::MisState>* previous, const ComputeParams& params) {
+  const obs::ScopedChildSpan repair_span("serve.repair", graph_id);
   const graph::NodeId n = g.num_nodes();
   const std::uint64_t repair_seed = util::mix64(params.seed, epoch);
   RepairOutcome out;
@@ -387,6 +393,12 @@ Frame MisService::handle(const Frame& request) {
   const std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t req = ++request_seq_;
   ++stats_.requests_total;
+  // Root span per request: the id is the deterministic request sequence
+  // number (nonzero — pre-incremented), the ref echoes the client-chosen
+  // request id. Child spans below (repair, resilient_mis, Network::run)
+  // activate only inside this bracket.
+  const obs::ScopedSpan span(op_name(request.type), req,
+                             request.request_id);
   Frame reply;
   reply.request_id = request.request_id;
   std::uint32_t status = 0;
@@ -442,6 +454,43 @@ Frame MisService::handle(const Frame& request) {
             make_frame(MsgType::kReplyStats, request.request_id, stats_);
         break;
       }
+      case MsgType::kMetrics: {
+        const auto m = parse_payload<MetricsRequest>(request);
+        obs::emit(obs::make_event(obs::EventKind::kRequestBegin, 0,
+                                  op_name(request.type), req, 0));
+        MetricsReply mr;
+        mr.version = m.version;
+        // No embedded manifest: the snapshot must stay a deterministic
+        // function of the request sequence (manifests carry thread/inbox
+        // provenance that legitimately varies across executors).
+        if (const obs::Registry* const reg = obs::registry()) {
+          mr.json = reg->to_json();
+        } else {
+          mr.json = std::string("{\"schema\":\"") +
+                    obs::kMetricsSchemaVersion +
+                    "\",\"counters\":{},\"gauges\":{},\"histograms\":{},"
+                    "\"rounds\":{}}";
+        }
+        reply = make_frame(MsgType::kReplyMetrics, request.request_id, mr);
+        break;
+      }
+      case MsgType::kDumpRecorder: {
+        const auto m = parse_payload<DumpRecorderRequest>(request);
+        obs::emit(obs::make_event(obs::EventKind::kRequestBegin, 0,
+                                  op_name(request.type), req, 0));
+        DumpRecorderReply dr;
+        if (obs::FlightRecorder* const rec = obs::recorder()) {
+          dr.recorder_attached = 1;
+          const obs::RecorderStats rs = rec->stats();
+          dr.buffered_events = rs.buffered_events;
+          dr.evicted_events = rs.evicted_events;
+          dr.artifact = rec->snapshot("dump_recorder_request");
+          if (m.clear_after != 0) rec->clear();
+        }
+        reply = make_frame(MsgType::kReplyDumpRecorder, request.request_id,
+                           dr);
+        break;
+      }
       default:
         throw ServeError(ErrorCode::kBadRequest, "not a request type");
     }
@@ -463,6 +512,17 @@ Frame MisService::handle(const Frame& request) {
   }
   obs::emit(obs::make_event(obs::EventKind::kRequestEnd, 0, {}, req, status,
                             reply.payload.size()));
+  // Registry feed: requests serialize on mu_, so this is a second
+  // sanctioned deterministic metering point (tools/layering.toml).
+  if (obs::Registry* const reg = obs::registry()) {
+    reg->add("serve.requests");
+    reg->add(std::string("serve.req.") + op_name(request.type));
+    if (status != 0) reg->add("serve.errors");
+    reg->set("serve.graphs", static_cast<std::int64_t>(graphs_.size()));
+    reg->set("serve.cache.entries",
+             static_cast<std::int64_t>(cache_.size()));
+    reg->add("serve.reply_payload_bytes", reply.payload.size());
+  }
   return reply;
 }
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/recorder.h"
+#include "obs/sink.h"
 #include "util/log.h"
 
 namespace arbmis::sim {
@@ -32,6 +34,7 @@ void ModelCheckerLane::reset() {
   any_first_draw = false;
   consumed_origins.clear();
   violations = 0;
+  violation_texts.clear();
 }
 
 std::string ModelCheckReport::summary() const {
@@ -346,6 +349,14 @@ void ModelChecker::merge_lane(ModelCheckerLane& lane, std::uint32_t round) {
       count_consumption(origin, round - 1);
     }
   }
+  // Deferred violation telemetry: the events fire here, at the serial
+  // merge barrier, in lane-fold order — never from worker threads.
+  for (const std::string& what : lane.violation_texts) {
+    obs::emit(obs::make_event(obs::EventKind::kViolation, round, what));
+  }
+  if (!lane.violation_texts.empty()) {
+    obs::recorder_auto_dump("model_check_violation");
+  }
   report_.violations += lane.violations;
   lane.reset();
 }
@@ -365,10 +376,18 @@ void ModelChecker::violation(ModelCheckerLane* lane,
                              const std::string& what) {
   // Fail-fast aborts before the lane merge, so the count goes to whichever
   // ledger survives: the lane when staged, the shared report when serial.
+  // Telemetry follows the same split: the serial path emits the kViolation
+  // event (and triggers the flight-recorder auto-dump) right here, while
+  // the staged path defers both to merge_lane so no event is ever emitted
+  // from a worker thread.
   if (lane) {
     ++lane->violations;
+    lane->violation_texts.push_back(what);
   } else {
     ++report_.violations;
+    obs::emit(obs::make_event(obs::EventKind::kViolation, /*round=*/0,
+                              what));
+    obs::recorder_auto_dump("model_check_violation");
   }
   ARBMIS_LOG(Error) << "CONGEST model violation: " << what;
   if (options_.fail_fast) {

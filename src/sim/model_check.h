@@ -119,6 +119,10 @@ struct ModelCheckerLane {
   /// nodes, in node order; multiplicity counting is replayed at the merge.
   std::vector<graph::NodeId> consumed_origins;
   std::uint64_t violations = 0;
+  /// Violation messages staged by this worker. Telemetry must not be
+  /// emitted from worker threads, so the kViolation events (and the
+  /// flight-recorder auto-dump) fire at the merge barrier instead.
+  std::vector<std::string> violation_texts;
 
   ModelCheckerLane();
 

@@ -6,6 +6,7 @@
 #include "obs/profile.h"
 #include "obs/registry.h"
 #include "obs/sink.h"
+#include "obs/span.h"
 #include "sim/contract.h"  // static_asserts run in every build via this TU
 
 namespace arbmis::sim {
@@ -294,7 +295,7 @@ void Network::run_phase_parallel(Algorithm& algorithm) {
   // lane buffers in this order reproduces the serial executor's inbox
   // ordering, stats, and checker ledger byte-for-byte.
   OBS_SCOPE("net.merge");
-  const bool emit_lanes = obs::sink() != nullptr;
+  const bool emit_lanes = obs::telemetry_attached();
   std::uint32_t lane_index = 0;
   for (ExecLane& lane : lanes_) {
     if (emit_lanes) {
@@ -330,8 +331,11 @@ void Network::run_phase_parallel(Algorithm& algorithm) {
 RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
                       const RoundObserver& observer) {
   OBS_SCOPE("net.run");
+  // Child span: silent outside an open request span (obs/span.h), so only
+  // the serving path gains the bracket around each simulator run.
+  const obs::ScopedChildSpan run_span("sim.run", graph_.num_nodes());
   const graph::NodeId n = graph_.num_nodes();
-  if (obs::sink() != nullptr) {
+  if (obs::telemetry_attached()) {
     obs::emit(obs::make_event(obs::EventKind::kRunBegin, /*round=*/0,
                               algorithm.name(), n, graph_.num_edges(), seed_,
                               max_rounds, options_.enforce_congest ? 1 : 0));
@@ -424,7 +428,7 @@ RunStats Network::run(Algorithm& algorithm, std::uint32_t max_rounds,
   stats_.all_halted = (num_halted_ == n);
   if (fault_ != nullptr) checker_.record_fault_totals(fault_->totals());
   checker_.end_run(stats_.rounds);
-  if (obs::sink() != nullptr) {
+  if (obs::telemetry_attached()) {
     obs::emit(obs::make_event(obs::EventKind::kRunEnd, round_, {},
                               stats_.rounds, stats_.messages,
                               stats_.payload_bits, stats_.max_edge_load,
@@ -463,7 +467,7 @@ void Network::flush_round_accounting(std::uint64_t messages_before,
   if (fault_ != nullptr) {
     fault_->account(round_, round_fault_drops_, round_fault_duplicates_);
   }
-  if (obs::sink() != nullptr) {
+  if (obs::telemetry_attached()) {
     const ModelCheckReport& report = checker_.report();
     // The per-round checker series are lazily sized; a round with no sends
     // (or a disabled checker) may not have slots yet.

@@ -1,7 +1,7 @@
 // Tests for the telemetry subsystem (src/obs): event schemas and JSON
 // rendering, sink filtering/sampling/rotation, the binary wire format,
-// the util/log → event bridge, the metrics registry, profiling scopes,
-// and the simulator's emission contract.
+// the util/log → event bridge, the flight-recorder ring, the metrics
+// registry, profiling scopes, and the simulator's emission contract.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -16,6 +16,7 @@
 #include "obs/events.h"
 #include "obs/manifest.h"
 #include "obs/profile.h"
+#include "obs/recorder.h"
 #include "obs/registry.h"
 #include "obs/sink.h"
 #include "sim/network.h"
@@ -294,6 +295,179 @@ TEST(ObsSink, BinaryWriterRoundTrips) {
     pos += static_cast<std::size_t>(text_len);
   }
   EXPECT_EQ(pos, buf.size());
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: ring eviction, truncation, dumps (obs/recorder.h).
+// ---------------------------------------------------------------------------
+
+struct DecodedRecord {
+  obs::EventKind kind;
+  std::uint32_t round;
+  std::vector<std::uint64_t> values;
+  std::string text;
+};
+
+/// Decodes concatenated ARBMISEV 0x01 event records starting at `pos`.
+std::vector<DecodedRecord> decode_records(const std::string& buf,
+                                          std::size_t pos = 0) {
+  std::vector<DecodedRecord> out;
+  while (pos < buf.size()) {
+    EXPECT_EQ(buf.at(pos), '\x01');
+    ++pos;
+    DecodedRecord rec;
+    rec.kind = static_cast<obs::EventKind>(
+        static_cast<unsigned char>(buf.at(pos++)));
+    rec.round = static_cast<std::uint32_t>(binary::read_varint(buf, pos));
+    const std::uint64_t num_values = binary::read_varint(buf, pos);
+    for (std::uint64_t i = 0; i < num_values; ++i) {
+      rec.values.push_back(binary::read_varint(buf, pos));
+    }
+    const std::uint64_t text_len = binary::read_varint(buf, pos);
+    rec.text = buf.substr(pos, static_cast<std::size_t>(text_len));
+    pos += static_cast<std::size_t>(text_len);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+/// Checks the artifact header (magic, version, manifest record) and
+/// returns the offset of the first event record.
+std::size_t skip_header(const std::string& buf) {
+  EXPECT_GE(buf.size(), 10u);
+  EXPECT_EQ(buf.substr(0, 8), "ARBMISEV");
+  EXPECT_EQ(buf[8], '\x01');
+  std::size_t pos = 9;
+  EXPECT_EQ(buf.at(pos++), '\x00');
+  const std::uint64_t manifest_len = binary::read_varint(buf, pos);
+  EXPECT_EQ(buf.substr(pos, 12), "{\"manifest\":");
+  return pos + static_cast<std::size_t>(manifest_len);
+}
+
+TEST(ObsRecorder, ScopedRecorderReceivesEmitsAlongsideSink) {
+  EXPECT_EQ(obs::recorder(), nullptr);
+  EXPECT_FALSE(obs::telemetry_attached());
+  obs::FlightRecorder recorder;
+  obs::VectorSink sink_capture;
+  {
+    const obs::ScopedRecorder attach(&recorder);
+    EXPECT_EQ(obs::recorder(), &recorder);
+    // Recorder-only attachment still counts as telemetry: the simulator's
+    // emission guards must not skip event assembly.
+    EXPECT_TRUE(obs::telemetry_attached());
+    const obs::ScopedSink attach_sink(&sink_capture);
+    obs::emit(obs::make_event(obs::EventKind::kFaultRecovery, 1, {}, 3));
+  }
+  EXPECT_EQ(obs::recorder(), nullptr);
+  EXPECT_EQ(recorder.stats().recorded_events, 1u);
+  EXPECT_EQ(sink_capture.size(), 1u);  // emit() fans out to both globals
+}
+
+TEST(ObsRecorder, WrapAroundEvictsOldestFirst) {
+  obs::RecorderConfig config;
+  config.max_bytes = 64;  // each fault_recovery record is 6 + 4 bytes
+  obs::FlightRecorder recorder(config);
+  for (std::uint32_t r = 1; r <= 20; ++r) {
+    recorder.record(obs::make_event(obs::EventKind::kFaultRecovery, r, {}, 2));
+  }
+  const obs::RecorderStats stats = recorder.stats();
+  EXPECT_EQ(stats.recorded_events, 20u);
+  EXPECT_EQ(stats.buffered_events, 6u);
+  EXPECT_EQ(stats.evicted_events, 14u);
+  EXPECT_EQ(stats.buffered_bytes, 36u);
+  EXPECT_EQ(stats.evicted_bytes, 84u);
+  EXPECT_EQ(stats.dropped_oversized, 0u);
+
+  // Only the newest six survive, in emission order.
+  const std::vector<DecodedRecord> records =
+      decode_records(recorder.ring_bytes());
+  ASSERT_EQ(records.size(), 6u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].kind, obs::EventKind::kFaultRecovery);
+    EXPECT_EQ(records[i].round, 15u + i);
+  }
+}
+
+TEST(ObsRecorder, OversizedEventIsDroppedNotBuffered) {
+  obs::RecorderConfig config;
+  config.max_bytes = 64;
+  obs::FlightRecorder recorder(config);
+  recorder.record(obs::make_event(obs::EventKind::kFaultRecovery, 1, {}, 2));
+  recorder.record(obs::make_event(obs::EventKind::kLog, 0,
+                                  std::string(100, 'x'), 2));
+  const obs::RecorderStats stats = recorder.stats();
+  EXPECT_EQ(stats.recorded_events, 2u);
+  EXPECT_EQ(stats.dropped_oversized, 1u);
+  // The oversized record neither lands nor evicts what was already there.
+  EXPECT_EQ(stats.buffered_events, 1u);
+  EXPECT_EQ(stats.evicted_events, 0u);
+  const std::vector<DecodedRecord> records =
+      decode_records(recorder.ring_bytes());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].kind, obs::EventKind::kFaultRecovery);
+}
+
+TEST(ObsRecorder, PathologicalLogTextIsTruncated) {
+  obs::RecorderConfig config;
+  config.max_bytes = 16u << 10;
+  obs::FlightRecorder recorder(config);
+  recorder.record(obs::make_event(obs::EventKind::kLog, 0,
+                                  std::string(5000, 'y'), 1));
+  const std::vector<DecodedRecord> records =
+      decode_records(recorder.ring_bytes());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].text.size(), obs::kMaxRecorderText);
+}
+
+TEST(ObsRecorder, DumpWhileAttachedIsAValidArtifactWithTrailer) {
+  const std::string path = tmp_path("obs_recorder_dump.flightrec");
+  obs::FlightRecorder recorder;
+  {
+    const obs::ScopedRecorder attach(&recorder);
+    obs::emit(obs::make_event(obs::EventKind::kFaultRecovery, 1, {}, 3));
+    obs::emit(obs::make_event(obs::EventKind::kFaultRecovery, 2, {}, 4));
+    // Dumping while attached must not disturb recording.
+    ASSERT_TRUE(recorder.dump(path, "unit_test"));
+    obs::emit(obs::make_event(obs::EventKind::kFaultRecovery, 3, {}, 5));
+  }
+  EXPECT_EQ(recorder.stats().dumps, 1u);
+  EXPECT_EQ(recorder.stats().buffered_events, 3u);
+
+  const std::string buf = read_file(path);
+  const std::vector<DecodedRecord> records =
+      decode_records(buf, skip_header(buf));
+  ASSERT_EQ(records.size(), 3u);  // two events + the kRecorderDump trailer
+  EXPECT_EQ(records[0].round, 1u);
+  EXPECT_EQ(records[1].round, 2u);
+  const DecodedRecord& trailer = records.back();
+  EXPECT_EQ(trailer.kind, obs::EventKind::kRecorderDump);
+  EXPECT_EQ(trailer.text, "unit_test");
+  ASSERT_EQ(trailer.values.size(), 4u);
+  EXPECT_EQ(trailer.values[0], 2u);  // buffered events at dump time
+  EXPECT_EQ(trailer.values[2], 0u);  // nothing evicted
+}
+
+TEST(ObsRecorder, ClearDropsBufferedButKeepsCumulativeCounters) {
+  obs::FlightRecorder recorder;
+  recorder.record(obs::make_event(obs::EventKind::kFaultRecovery, 1, {}, 2));
+  recorder.clear();
+  const obs::RecorderStats stats = recorder.stats();
+  EXPECT_EQ(stats.buffered_events, 0u);
+  EXPECT_EQ(stats.buffered_bytes, 0u);
+  EXPECT_EQ(stats.recorded_events, 1u);
+  EXPECT_TRUE(recorder.ring_bytes().empty());
+  // The ring keeps working after a clear.
+  recorder.record(obs::make_event(obs::EventKind::kFaultRecovery, 2, {}, 2));
+  EXPECT_EQ(recorder.stats().buffered_events, 1u);
+}
+
+TEST(ObsRecorder, AutoDumpWithoutPathIsANoOp) {
+  obs::FlightRecorder recorder;  // default config: no dump_path
+  recorder.record(obs::make_event(obs::EventKind::kFaultRecovery, 1, {}, 2));
+  EXPECT_FALSE(recorder.auto_dump("nowhere"));
+  EXPECT_EQ(recorder.stats().dumps, 0u);
+  // Detached helper is a safe no-op too.
+  EXPECT_FALSE(obs::recorder_auto_dump("nobody_attached"));
 }
 
 // ---------------------------------------------------------------------------

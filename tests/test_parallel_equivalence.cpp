@@ -29,6 +29,7 @@
 #include "mis/bit_metivier.h"
 #include "mis/luby.h"
 #include "mis/metivier.h"
+#include "obs/recorder.h"
 #include "obs/sink.h"
 #include "sim/bfs_rooting.h"
 #include "sim/network.h"
@@ -812,6 +813,96 @@ TEST_P(MappedEquivalence, FaultyLubyIsStorageIndependent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MappedEquivalence, ::testing::Values(5, 99));
+
+// ---------------------------------------------------------------------------
+// Flight-recorder ring determinism (obs/recorder.h): the ring stores
+// pre-encoded records carrying logical time only, so after identical runs —
+// including wrap-around eviction churn in a deliberately tiny ring — the
+// surviving record bytes must be identical across executor thread counts
+// and inbox implementations. ring_bytes() (not snapshot()) is the
+// comparison unit: a snapshot embeds the manifest, which carries
+// thread/inbox provenance by design.
+// ---------------------------------------------------------------------------
+
+struct RecorderRun {
+  std::string ring;
+  obs::RecorderStats stats;
+};
+
+/// One Luby run with a 256-byte recorder attached — small enough that the
+/// round events of every test graph overflow it and force evictions.
+RecorderRun run_with_tiny_recorder(const graph::Graph& g, std::uint64_t seed,
+                                   std::uint32_t threads) {
+  obs::RecorderConfig config;
+  config.max_bytes = 256;
+  obs::FlightRecorder recorder(config);
+  sim::NetworkOptions options;
+  options.num_threads = threads;
+  sim::Network net(g, seed, options);
+  mis::LubyBMis algorithm(g);
+  {
+    const obs::ScopedRecorder attach(&recorder);
+    net.run(algorithm, 1 << 20);
+  }
+  RecorderRun run;
+  run.ring = recorder.ring_bytes();
+  run.stats = recorder.stats();
+  return run;
+}
+
+void expect_recorder_runs_identical(const RecorderRun& baseline,
+                                    const RecorderRun& other,
+                                    const std::string& label) {
+  EXPECT_EQ(baseline.ring, other.ring) << label;
+  EXPECT_EQ(baseline.stats.recorded_events, other.stats.recorded_events)
+      << label;
+  EXPECT_EQ(baseline.stats.buffered_events, other.stats.buffered_events)
+      << label;
+  EXPECT_EQ(baseline.stats.buffered_bytes, other.stats.buffered_bytes)
+      << label;
+  EXPECT_EQ(baseline.stats.evicted_events, other.stats.evicted_events)
+      << label;
+}
+
+TEST_P(ParallelEquivalence, RecorderRingMatchesSerialAfterEviction) {
+  const std::uint64_t seed = GetParam();
+  // The smallest graphs can finish in so few rounds that even the tiny
+  // ring never wraps, so the wrap requirement is aggregate: at least one
+  // graph per seed must have forced evictions, or the rows below only
+  // prove the no-eviction case.
+  bool any_evicted = false;
+  for (const GraphCase& gc : test_graphs(seed)) {
+    const RecorderRun serial = run_with_tiny_recorder(gc.g, seed, 0);
+    EXPECT_FALSE(serial.ring.empty()) << gc.name;
+    any_evicted = any_evicted || serial.stats.evicted_events > 0;
+    for (const std::uint32_t threads : {2u, 8u}) {
+      expect_recorder_runs_identical(
+          serial, run_with_tiny_recorder(gc.g, seed, threads),
+          "recorder/" + gc.name + "/t" + std::to_string(threads));
+    }
+  }
+  EXPECT_TRUE(any_evicted);
+}
+
+TEST_P(ArenaEquivalence, RecorderRingMatchesReferenceInboxes) {
+  const std::uint64_t seed = GetParam();
+  bool any_evicted = false;  // aggregate wrap requirement, as above
+  for (const GraphCase& gc : test_graphs(seed)) {
+    RecorderRun reference;
+    {
+      const sim::ScopedInboxImpl inbox(sim::InboxImpl::kReferenceVectors);
+      reference = run_with_tiny_recorder(gc.g, seed, 0);
+    }
+    any_evicted = any_evicted || reference.stats.evicted_events > 0;
+    for (const std::uint32_t threads : {0u, 2u, 8u}) {
+      const sim::ScopedInboxImpl inbox(sim::InboxImpl::kArena);
+      expect_recorder_runs_identical(
+          reference, run_with_tiny_recorder(gc.g, seed, threads),
+          "recorder/" + gc.name + "/arena_t" + std::to_string(threads));
+    }
+  }
+  EXPECT_TRUE(any_evicted);
+}
 
 }  // namespace
 }  // namespace arbmis

@@ -4,7 +4,10 @@
 // suite — after a fuzzed update sequence the maintained MIS must verify
 // independent+maximal on the final graph, and the full reply byte stream
 // and telemetry event stream must be identical across simulator thread
-// counts 0/2/8 and across storage backends.
+// counts 0/2/8 and across storage backends. Also covers the live
+// introspection surface: METRICS snapshots (which exclude their own
+// request, keeping idle-daemon scrapes deterministic) and DUMP_RECORDER
+// flight-recorder artifacts with clear-after-snapshot semantics.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -21,6 +24,8 @@
 #include "graph/storage/gr_writer.h"
 #include "graph/storage/mapped_graph.h"
 #include "mis/verifier.h"
+#include "obs/recorder.h"
+#include "obs/registry.h"
 #include "obs/sink.h"
 #include "serve/client.h"
 #include "serve/dynamic_graph.h"
@@ -130,6 +135,39 @@ TEST(ServeProtocol, FrameRoundTripAllTypes) {
     EXPECT_EQ(m.code, 2u);
     EXPECT_EQ(m.message, "no such graph");
   }
+  {
+    const auto m = parse_payload<MetricsRequest>(
+        reread(make_frame(MsgType::kMetrics, 18, MetricsRequest{})));
+    EXPECT_EQ(m.version, kMetricsPayloadVersion);
+  }
+  {
+    MetricsReply reply;
+    reply.json = "{\"schema\":\"arbmis.metrics.v1\",\"counters\":{}}";
+    const auto m = parse_payload<MetricsReply>(
+        reread(make_frame(MsgType::kReplyMetrics, 18, reply)));
+    EXPECT_EQ(m.version, kMetricsPayloadVersion);
+    EXPECT_EQ(m.json, reply.json);
+  }
+  {
+    DumpRecorderRequest req;
+    req.clear_after = 1;
+    const auto m = parse_payload<DumpRecorderRequest>(
+        reread(make_frame(MsgType::kDumpRecorder, 19, req)));
+    EXPECT_EQ(m.clear_after, 1u);
+  }
+  {
+    DumpRecorderReply reply;
+    reply.recorder_attached = 1;
+    reply.buffered_events = 42;
+    reply.evicted_events = 7;
+    reply.artifact = std::string("ARBMISEV\x01 binary bytes \x00 ok", 26);
+    const auto m = parse_payload<DumpRecorderReply>(
+        reread(make_frame(MsgType::kReplyDumpRecorder, 19, reply)));
+    EXPECT_EQ(m.recorder_attached, 1u);
+    EXPECT_EQ(m.buffered_events, 42u);
+    EXPECT_EQ(m.evicted_events, 7u);
+    EXPECT_EQ(m.artifact, reply.artifact);  // embedded NUL survives
+  }
 }
 
 TEST(ServeProtocol, RejectsMalformedFrames) {
@@ -211,6 +249,21 @@ TEST(ServeProtocol, RejectsMalformedFrames) {
     w.u64(3);          // seed
     w.u32(0xffffffff); // node count with no bytes behind it
     EXPECT_THROW(parse_payload<QueryRequest>(bad), ProtocolError);
+  }
+  {
+    // Unknown metrics payload version: strict decoders refuse rather
+    // than guess at a future exposition format.
+    Frame bad{MsgType::kMetrics, 6, {}};
+    PayloadWriter w(bad.payload);
+    w.u16(2);  // only version 1 is defined
+    EXPECT_THROW(parse_payload<MetricsRequest>(bad), ProtocolError);
+  }
+  {
+    // clear_after is a strict boolean on the wire.
+    Frame bad{MsgType::kDumpRecorder, 7, {}};
+    PayloadWriter w(bad.payload);
+    w.u8(2);
+    EXPECT_THROW(parse_payload<DumpRecorderRequest>(bad), ProtocolError);
   }
 }
 
@@ -348,6 +401,105 @@ TEST(ServeService, ErrorsCarryCodes) {
   ASSERT_EQ(reply.type, MsgType::kError);
   EXPECT_EQ(parse_payload<ErrorReply>(reply).code,
             static_cast<std::uint32_t>(ErrorCode::kBadRequest));
+}
+
+// --- Live introspection (METRICS / DUMP_RECORDER) -------------------------
+
+TEST(ServeService, MetricsWithoutRegistryIsEmptyDocument) {
+  MisService service;
+  const Frame reply =
+      service.handle(make_frame(MsgType::kMetrics, 1, MetricsRequest{}));
+  ASSERT_EQ(reply.type, MsgType::kReplyMetrics);
+  const auto m = parse_payload<MetricsReply>(reply);
+  EXPECT_EQ(m.version, kMetricsPayloadVersion);
+  EXPECT_NE(m.json.find("\"arbmis.metrics.v1\""), std::string::npos);
+  EXPECT_NE(m.json.find("\"counters\":{}"), std::string::npos);
+}
+
+TEST(ServeService, MetricsSnapshotExcludesItsOwnRequest) {
+  obs::Registry registry;
+  const obs::ScopedRegistry attach(&registry);
+  MisService service;
+  const graph::Graph g = test_graph(80, 9);
+  LoadGraphRequest load;
+  load.graph_id = 1;
+  load.num_nodes = g.num_nodes();
+  load.edges = g.edges();
+  service.handle(make_frame(MsgType::kLoadGraph, 1, load));
+  service.handle(
+      make_frame(MsgType::kComputeMis, 2, ComputeMisRequest{1, {2, 5}}));
+
+  const Frame reply =
+      service.handle(make_frame(MsgType::kMetrics, 3, MetricsRequest{}));
+  const auto m = parse_payload<MetricsReply>(reply);
+  // The reply is built before the end-of-handle registry feed, so a
+  // snapshot reflects exactly the PRIOR workload and never its own
+  // request — that makes a scrape of an idle daemon deterministic, which
+  // the serve-smoke CI gate relies on (exact-equality counter diffs).
+  EXPECT_NE(m.json.find("\"serve.requests\":2"), std::string::npos) << m.json;
+  EXPECT_NE(m.json.find("\"serve.req.load_graph\":1"), std::string::npos);
+  EXPECT_NE(m.json.find("\"serve.req.compute_mis\":1"), std::string::npos);
+  EXPECT_EQ(m.json.find("\"serve.req.metrics\""), std::string::npos);
+  // No embedded manifest either: thread/inbox provenance would break the
+  // snapshot's determinism across executors.
+  EXPECT_NE(m.json.find("\"manifest\":null"), std::string::npos);
+  // The registry itself HAS now metered the metrics request.
+  EXPECT_EQ(registry.counter("serve.requests"), 3u);
+  EXPECT_EQ(registry.counter("serve.req.metrics"), 1u);
+}
+
+TEST(ServeService, DumpRecorderReportsDetachedWithoutRecorder) {
+  MisService service;
+  const Frame reply = service.handle(
+      make_frame(MsgType::kDumpRecorder, 1, DumpRecorderRequest{}));
+  ASSERT_EQ(reply.type, MsgType::kReplyDumpRecorder);
+  const auto m = parse_payload<DumpRecorderReply>(reply);
+  EXPECT_EQ(m.recorder_attached, 0u);
+  EXPECT_EQ(m.buffered_events, 0u);
+  EXPECT_TRUE(m.artifact.empty());
+}
+
+TEST(ServeService, DumpRecorderSnapshotsRingAndClearsOnRequest) {
+  obs::RecorderConfig config;
+  config.max_bytes = std::size_t{1} << 16;
+  obs::FlightRecorder recorder(config);
+  const obs::ScopedRecorder attach(&recorder);
+  MisService service;
+  const graph::Graph g = test_graph(80, 9);
+  LoadGraphRequest load;
+  load.graph_id = 1;
+  load.num_nodes = g.num_nodes();
+  load.edges = g.edges();
+  service.handle(make_frame(MsgType::kLoadGraph, 1, load));
+  service.handle(
+      make_frame(MsgType::kComputeMis, 2, ComputeMisRequest{1, {2, 5}}));
+
+  const auto first = parse_payload<DumpRecorderReply>(service.handle(
+      make_frame(MsgType::kDumpRecorder, 3, DumpRecorderRequest{})));
+  EXPECT_EQ(first.recorder_attached, 1u);
+  EXPECT_GT(first.buffered_events, 0u);
+  // The artifact is a complete ARBMISEV stream (magic + version byte),
+  // consumable by tools/trace_inspect.py like any on-disk dump. Artifacts
+  // embed the recorder's manifest (thread provenance), so tests compare
+  // ring_bytes()/decoded events across executors, never artifact bytes.
+  ASSERT_GE(first.artifact.size(), 9u);
+  EXPECT_EQ(first.artifact.substr(0, 8), "ARBMISEV");
+  EXPECT_EQ(static_cast<std::uint8_t>(first.artifact[8]), 0x01);
+
+  // clear_after=1 snapshots, then resets the ring so a scraper can
+  // collect disjoint windows. Events emitted after the clear (the tail
+  // of the clearing request itself) are all that remains buffered.
+  DumpRecorderRequest clear_req;
+  clear_req.clear_after = 1;
+  const auto cleared = parse_payload<DumpRecorderReply>(
+      service.handle(make_frame(MsgType::kDumpRecorder, 4, clear_req)));
+  EXPECT_EQ(cleared.recorder_attached, 1u);
+  EXPECT_GE(cleared.buffered_events, first.buffered_events);
+
+  const auto after = parse_payload<DumpRecorderReply>(service.handle(
+      make_frame(MsgType::kDumpRecorder, 5, DumpRecorderRequest{})));
+  EXPECT_LT(after.buffered_events, first.buffered_events);
+  EXPECT_GT(after.buffered_events, 0u);  // the clearing request's tail
 }
 
 // --- Differential incremental-repair suite --------------------------------

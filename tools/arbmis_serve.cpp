@@ -2,7 +2,9 @@
 //
 //   arbmis_serve [--port N] [--port-file PATH] [--threads N]
 //                [--cache N] [--full-fraction F] [--max-attempts N]
-//                [--events=PATH[.bin]] [--quiet]
+//                [--events=PATH[.bin]] [--metrics=PATH]
+//                [--recorder-bytes=N] [--flightrec=PATH]
+//                [--crash-dump=PATH] [--quiet]
 //
 // Binds a loopback TCP listener (port 0 = ephemeral; the bound port is
 // printed and optionally written to --port-file so scripts can rendezvous),
@@ -11,6 +13,17 @@
 // host binary this is where graph/storage is wired in: LOAD_GRAPH path
 // requests go through an injected MappedGraph loader, which the serve
 // library itself never names.
+//
+// Introspection (docs/OBSERVABILITY.md): a metrics registry and a flight
+// recorder are always attached, so METRICS and DUMP_RECORDER requests work
+// without any flags. --flightrec names the auto-dump artifact written when
+// a ModelChecker violation or certification failure fires; --crash-dump
+// pre-opens a file descriptor and installs fatal-signal handlers that
+// stream the ring into it (async-signal-safe) before re-raising.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <csignal>
 #include <cstdlib>
 #include <exception>
@@ -22,6 +35,8 @@
 
 #include "graph/storage/mapped_graph.h"
 #include "obs/manifest.h"
+#include "obs/recorder.h"
+#include "obs/registry.h"
 #include "obs/sink.h"
 #include "serve/server.h"
 #include "serve/service.h"
@@ -33,16 +48,49 @@ int usage(const char* argv0) {
       << "usage: " << argv0
       << " [--port N] [--port-file PATH] [--threads N] [--cache N]\n"
          "       [--full-fraction F] [--max-attempts N] [--events=PATH]\n"
-         "       [--quiet]\n"
-         "  --port N          TCP port (default 0 = ephemeral)\n"
-         "  --port-file PATH  write the bound port for rendezvous\n"
-         "  --threads N       simulator worker threads (0 = serial)\n"
-         "  --cache N         result-cache capacity (entries)\n"
-         "  --full-fraction F residual fraction forcing full recompute\n"
-         "  --max-attempts N  resilient_mis attempt budget\n"
-         "  --events=PATH     telemetry event stream (.jsonl or .bin)\n"
-         "  --quiet           suppress startup banner\n";
+         "       [--metrics=PATH] [--recorder-bytes=N] [--flightrec=PATH]\n"
+         "       [--crash-dump=PATH] [--quiet]\n"
+         "  --port N           TCP port (default 0 = ephemeral)\n"
+         "  --port-file PATH   write the bound port for rendezvous\n"
+         "  --threads N        simulator worker threads (0 = serial)\n"
+         "  --cache N          result-cache capacity (entries)\n"
+         "  --full-fraction F  residual fraction forcing full recompute\n"
+         "  --max-attempts N   resilient_mis attempt budget\n"
+         "  --events=PATH      telemetry event stream (.jsonl or .bin)\n"
+         "  --metrics=PATH     write the metrics registry JSON at shutdown\n"
+         "  --recorder-bytes=N flight-recorder ring capacity (default 1MiB)\n"
+         "  --flightrec=PATH   auto-dump artifact for violation/cert seams\n"
+         "  --crash-dump=PATH  pre-opened fatal-signal recorder dump\n"
+         "  --quiet            suppress startup banner\n";
   return 1;
+}
+
+// Fatal-signal crash dump. The handler reads two relaxed atomics set up
+// before the server starts, streams the ring via the async-signal-safe
+// dump_to_fd, and re-raises with default disposition (SA_RESETHAND) so
+// the process still dies with the original signal.
+std::atomic<arbmis::obs::FlightRecorder*> g_crash_recorder{nullptr};
+std::atomic<int> g_crash_fd{-1};
+
+extern "C" void crash_dump_handler(int sig) {
+  arbmis::obs::FlightRecorder* r =
+      g_crash_recorder.load(std::memory_order_relaxed);
+  const int fd = g_crash_fd.load(std::memory_order_relaxed);
+  if (r != nullptr && fd >= 0) {
+    r->dump_to_fd(fd, "fatal_signal");
+    ::fsync(fd);
+  }
+  ::raise(sig);
+}
+
+void install_crash_handler() {
+  struct sigaction sa{};
+  sa.sa_handler = crash_dump_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;
+  for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT}) {
+    sigaction(sig, &sa, nullptr);
+  }
 }
 
 }  // namespace
@@ -52,6 +100,9 @@ int main(int argc, char** argv) {
   arbmis::serve::ServerOptions server_options;
   std::string port_file;
   std::string events_out;
+  std::string metrics_out;
+  std::string crash_dump_path;
+  arbmis::obs::RecorderConfig recorder_config;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -75,6 +126,14 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg.rfind("--events=", 0) == 0) {
       events_out = arg.substr(9);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_out = arg.substr(10);
+    } else if (arg.rfind("--recorder-bytes=", 0) == 0) {
+      recorder_config.max_bytes = std::strtoull(arg.c_str() + 17, nullptr, 10);
+    } else if (arg.rfind("--flightrec=", 0) == 0) {
+      recorder_config.dump_path = arg.substr(12);
+    } else if (arg.rfind("--crash-dump=", 0) == 0) {
+      crash_dump_path = arg.substr(13);
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -105,6 +164,27 @@ int main(int argc, char** argv) {
     arbmis::obs::Manifest manifest =
         arbmis::obs::make_manifest("arbmis_serve");
     manifest.threads = service_options.num_threads;
+
+    // Always-on introspection: METRICS and DUMP_RECORDER answer from the
+    // live registry and ring without requiring any flag.
+    arbmis::obs::Registry metrics_registry;
+    const arbmis::obs::ScopedRegistry registry_scope(&metrics_registry);
+    arbmis::obs::FlightRecorder flight_recorder(recorder_config);
+    flight_recorder.attach_manifest(manifest);
+    const arbmis::obs::ScopedRecorder recorder_scope(&flight_recorder);
+    if (!crash_dump_path.empty()) {
+      const int fd = ::open(crash_dump_path.c_str(),
+                            O_CREAT | O_WRONLY | O_TRUNC, 0644);
+      if (fd < 0) {
+        std::cerr << "arbmis_serve: cannot open --crash-dump "
+                  << crash_dump_path << "\n";
+        return 2;
+      }
+      g_crash_recorder.store(&flight_recorder, std::memory_order_relaxed);
+      g_crash_fd.store(fd, std::memory_order_relaxed);
+      install_crash_handler();
+    }
+
     std::unique_ptr<arbmis::obs::EventSink> events;
     std::optional<arbmis::obs::ScopedSink> sink_scope;
     if (!events_out.empty()) {
@@ -145,6 +225,10 @@ int main(int argc, char** argv) {
     server.stop();
     sink_scope.reset();
     if (events != nullptr) events->flush();
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      out << metrics_registry.to_json(&manifest) << "\n";
+    }
   } catch (const std::exception& e) {
     std::cerr << "arbmis_serve: " << e.what() << "\n";
     return 2;

@@ -61,6 +61,15 @@ def load_metrics_counters(path):
     return doc.get("counters", {})
 
 
+def regen_hint(args):
+    """How to rebuild the committed metrics baseline, for error messages."""
+    if args.regen_command:
+        return args.regen_command
+    return (f"re-run the workload that produced {args.metrics_baseline} "
+            f"(see the CI job invoking this gate) and commit the "
+            f"refreshed file")
+
+
 def gate_metrics(args):
     """Exact-equality diff of selected counters; returns failure count."""
     baseline = load_metrics_counters(args.metrics_baseline)
@@ -68,8 +77,15 @@ def gate_metrics(args):
     failures = 0
     for name in args.metrics:
         if name not in baseline:
+            # A missing counter usually means the baseline predates the
+            # counter, not that the code regressed — say exactly which
+            # counter and how to regenerate, or every contributor rediscovers
+            # the fix from the CI logs.
             print(f"GATE ERROR: counter {name!r} missing from baseline "
-                  f"{args.metrics_baseline}")
+                  f"{args.metrics_baseline}\n"
+                  f"  The committed baseline does not know this counter. "
+                  f"To regenerate:\n"
+                  f"    {regen_hint(args)}")
             failures += 1
             continue
         if name not in current:
@@ -134,6 +150,9 @@ def main(argv):
                         dest="metrics",
                         help="counter name to diff by exact equality "
                              "(repeatable)")
+    parser.add_argument("--regen-command", default=None,
+                        help="exact command that regenerates the metrics "
+                             "baseline; echoed in missing-counter errors")
     args = parser.parse_args(argv)
 
     throughput = bool(args.benchmarks)

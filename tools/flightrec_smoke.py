@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Tier-1 round-trip of a flight-recorder auto-dump (docs/OBSERVABILITY.md).
+
+Drives the flightrec_smoke binary (tools/flightrec_smoke.cpp), which plants
+a CONGEST model-checker violation with a recorder attached so the
+"model_check_violation" auto-dump seam fires, then proves the resulting
+.flightrec artifact is a first-class event file:
+
+  1. tools/trace_inspect.py --validate accepts it (magic, manifest record,
+     decodable event records).
+  2. The summary mode decodes it, reports the kViolation event, and prints
+     the recorder-dump trailer line with reason='model_check_violation'.
+
+Registered from tests/CMakeLists.txt as ctest entry tooling.flightrec_smoke
+(label tier1). Stdlib only: the image has no third-party Python packages.
+
+    python3 tools/flightrec_smoke.py \
+        --binary build/tools/flightrec_smoke \
+        --inspect tools/trace_inspect.py \
+        --workdir /tmp
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+
+def run(cmd):
+    print("+", " ".join(cmd), flush=True)
+    return subprocess.run(cmd, capture_output=True, text=True, check=False)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--binary", required=True,
+                        help="path to the flightrec_smoke executable")
+    parser.add_argument("--inspect", required=True,
+                        help="path to tools/trace_inspect.py")
+    parser.add_argument("--workdir", default=".",
+                        help="directory for the dump artifact")
+    args = parser.parse_args(argv)
+
+    artifact = os.path.join(args.workdir, "planted_violation.flightrec")
+    if os.path.exists(artifact):
+        os.remove(artifact)
+
+    smoke = run([args.binary, "--out", artifact])
+    sys.stdout.write(smoke.stdout)
+    sys.stderr.write(smoke.stderr)
+    if smoke.returncode != 0:
+        print(f"FAIL: flightrec_smoke exited {smoke.returncode}")
+        return 1
+    if not os.path.exists(artifact):
+        print(f"FAIL: auto-dump artifact {artifact} was not written")
+        return 1
+
+    validate = run([sys.executable, args.inspect, "--validate", artifact])
+    sys.stdout.write(validate.stdout)
+    sys.stderr.write(validate.stderr)
+    if validate.returncode != 0:
+        print("FAIL: trace_inspect.py --validate rejected the dump")
+        return 1
+
+    summary = run([sys.executable, args.inspect, "--summary", artifact])
+    sys.stdout.write(summary.stdout)
+    sys.stderr.write(summary.stderr)
+    if summary.returncode != 0:
+        print("FAIL: trace_inspect.py summary failed on the dump")
+        return 1
+    failures = 0
+    for needle, why in [
+        ("violation", "the planted kViolation event"),
+        ("recorder_dump", "the kRecorderDump trailer"),
+        ("model_check_violation", "the auto-dump reason"),
+    ]:
+        if needle not in summary.stdout:
+            print(f"FAIL: summary is missing {why} ({needle!r})")
+            failures += 1
+    if failures:
+        return 1
+
+    print("flightrec_smoke round-trip OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -30,6 +31,24 @@
 #include "util/rng.h"
 
 namespace arbmis::loadgen {
+
+/// Request types of the workload, in phase order. Indexes the per-op
+/// latency samples; op_name() gives the registry/summary suffix.
+enum Op : std::size_t {
+  kOpLoad = 0,
+  kOpCompute,
+  kOpQuery,
+  kOpUpdate,
+  kOpVerify,
+  kOpStats,
+  kOpCount,
+};
+
+inline const char* op_name(std::size_t op) {
+  static constexpr const char* kNames[kOpCount] = {
+      "load", "compute", "query", "update", "verify", "stats"};
+  return op < kOpCount ? kNames[op] : "?";
+}
 
 struct WorkloadOptions {
   std::uint32_t clients = 4;       ///< concurrent connections
@@ -52,6 +71,9 @@ struct ClientTotals {
   std::uint64_t verifies_ok = 0;
   std::uint64_t failures = 0;  ///< protocol/consistency violations
   std::vector<double> latencies_ms;
+  /// Same samples split by request type (indexed by Op), for the per-op
+  /// percentiles and the loadgen.latency_us.<op> registry histograms.
+  std::array<std::vector<double>, kOpCount> latencies_by_op_ms;
 
   void merge(const ClientTotals& other) {
     requests += other.requests;
@@ -65,6 +87,11 @@ struct ClientTotals {
     failures += other.failures;
     latencies_ms.insert(latencies_ms.end(), other.latencies_ms.begin(),
                         other.latencies_ms.end());
+    for (std::size_t op = 0; op < kOpCount; ++op) {
+      latencies_by_op_ms[op].insert(latencies_by_op_ms[op].end(),
+                                    other.latencies_by_op_ms[op].begin(),
+                                    other.latencies_by_op_ms[op].end());
+    }
   }
 };
 
@@ -94,12 +121,14 @@ inline ClientTotals run_client(const std::string& host, std::uint16_t port,
   const std::uint64_t graph_id = client_index + 1;
   const serve::ComputeParams params{/*alpha=*/2, /*seed=*/client_seed};
 
-  const auto timed = [&totals](auto&& fn) {
+  const auto timed = [&totals](Op op, auto&& fn) {
     const auto start = clock::now();
     auto result = fn();
     const auto stop = clock::now();
-    totals.latencies_ms.push_back(
-        std::chrono::duration<double, std::milli>(stop - start).count());
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    totals.latencies_ms.push_back(ms);
+    totals.latencies_by_op_ms[op].push_back(ms);
     ++totals.requests;
     return result;
   };
@@ -109,13 +138,14 @@ inline ClientTotals run_client(const std::string& host, std::uint16_t port,
       graph::gen::union_of_random_forests(options.nodes, 2, rng);
   graph::NodeId n = g.num_nodes();
   const auto load = timed(
-      [&] { return client.load_inline(graph_id, n, g.edges()); });
+      kOpLoad, [&] { return client.load_inline(graph_id, n, g.edges()); });
   if (load.num_nodes != n) ++totals.failures;
 
   // COMPUTE xK: the first call must miss, repeats must hit and agree.
   std::uint64_t first_hash = 0;
   for (std::uint32_t i = 0; i < options.computes; ++i) {
-    const auto reply = timed([&] { return client.compute(graph_id, params); });
+    const auto reply = timed(
+        kOpCompute, [&] { return client.compute(graph_id, params); });
     if (reply.cache_hit != 0) {
       ++totals.cache_hits;
     } else {
@@ -138,6 +168,7 @@ inline ClientTotals run_client(const std::string& host, std::uint16_t port,
     }
     const auto count = nodes.size();
     const auto reply = timed(
+        kOpQuery,
         [&] { return client.query(graph_id, params, std::move(nodes)); });
     if (reply.states.size() != count) ++totals.failures;
   }
@@ -171,6 +202,7 @@ inline ClientTotals run_client(const std::string& host, std::uint16_t port,
       ops.push_back(op);
     }
     const auto reply = timed(
+        kOpUpdate,
         [&] { return client.update(graph_id, params, std::move(ops)); });
     ++totals.updates_total;
     if (reply.certified != 0) {
@@ -186,7 +218,8 @@ inline ClientTotals run_client(const std::string& host, std::uint16_t port,
   }
 
   // VERIFY must pass on the final maintained labeling.
-  const auto verify = timed([&] { return client.verify(graph_id, params); });
+  const auto verify =
+      timed(kOpVerify, [&] { return client.verify(graph_id, params); });
   if (verify.ok != 0) {
     ++totals.verifies_ok;
   } else {
@@ -194,7 +227,7 @@ inline ClientTotals run_client(const std::string& host, std::uint16_t port,
   }
 
   // STATS: exercised for protocol coverage; totals are server-wide.
-  (void)timed([&] { return client.stats(); });
+  (void)timed(kOpStats, [&] { return client.stats(); });
 
   return totals;
 }

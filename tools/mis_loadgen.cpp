@@ -157,6 +157,14 @@ int main(int argc, char** argv) {
             << " certified (" << totals.repairs_incremental
             << " incremental, " << totals.repairs_full << " full); "
             << totals.failures << " failure(s)\n";
+  for (std::size_t op = 0; op < arbmis::loadgen::kOpCount; ++op) {
+    const std::vector<double>& samples = totals.latencies_by_op_ms[op];
+    if (samples.empty()) continue;
+    std::cout << "  " << arbmis::loadgen::op_name(op) << ": "
+              << samples.size() << " requests, p50="
+              << arbmis::loadgen::percentile_ms(samples, 50) << " ms, p99="
+              << arbmis::loadgen::percentile_ms(samples, 99) << " ms\n";
+  }
 
   const std::string bench_name = quick ? "serve_mixed_quick" : "serve_mixed";
   if (!json_out.empty()) {
@@ -190,6 +198,17 @@ int main(int argc, char** argv) {
     registry.add("loadgen.repairs_incremental", totals.repairs_incremental);
     registry.add("loadgen.repairs_full", totals.repairs_full);
     registry.add("loadgen.verifies_ok", totals.verifies_ok);
+    // Per-request-type latency distributions as log2 histograms (in
+    // microseconds, so the buckets resolve sub-millisecond replies). They
+    // land in the "histograms" section, which the exact-equality counter
+    // gate never reads — timing stays tolerance-gated only.
+    for (std::size_t op = 0; op < arbmis::loadgen::kOpCount; ++op) {
+      const std::string name =
+          std::string("loadgen.latency_us.") + arbmis::loadgen::op_name(op);
+      for (const double ms : totals.latencies_by_op_ms[op]) {
+        registry.observe(name, static_cast<std::uint64_t>(ms * 1000.0));
+      }
+    }
     arbmis::obs::Manifest manifest = arbmis::obs::make_manifest("mis_loadgen");
     manifest.seed = workload.seed;
     manifest.workload = bench_name;

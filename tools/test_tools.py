@@ -14,6 +14,8 @@ Stdlib only: the image has no third-party Python packages.
 """
 
 import argparse
+import contextlib
+import io
 import json
 import os
 import sys
@@ -92,15 +94,20 @@ class GateThroughputTest(unittest.TestCase):
 
 
 class GateMetricsTest(unittest.TestCase):
-    def run_gate(self, base, cur, metrics=("sim.messages",)):
+    def run_gate(self, base, cur, metrics=("sim.messages",),
+                 regen_command=None, capture=None):
         with tempfile.TemporaryDirectory() as tmp:
             args = argparse.Namespace(
                 metrics_baseline=write_temp(tmp, "base.json",
                                             metrics_json(base)),
                 metrics_current=write_temp(tmp, "cur.json",
                                            metrics_json(cur)),
-                metrics=list(metrics))
-            return bench_gate.gate_metrics(args)
+                metrics=list(metrics),
+                regen_command=regen_command)
+            if capture is None:
+                return bench_gate.gate_metrics(args)
+            with contextlib.redirect_stdout(capture):
+                return bench_gate.gate_metrics(args)
 
     def test_equal_counters_pass(self):
         self.assertEqual(self.run_gate({"sim.messages": 42},
@@ -114,6 +121,28 @@ class GateMetricsTest(unittest.TestCase):
     def test_missing_counter_is_a_failure(self):
         self.assertEqual(self.run_gate({}, {"sim.messages": 42}), 1)
         self.assertEqual(self.run_gate({"sim.messages": 42}, {}), 1)
+
+    def test_missing_baseline_counter_names_counter_and_regen(self):
+        # A counter absent from the committed baseline usually means the
+        # baseline predates it: the error must name the counter and echo
+        # the regeneration command so the fix is in the CI log itself.
+        out = io.StringIO()
+        regen = "./run_benches.sh --serve && git add results/"
+        self.assertEqual(
+            self.run_gate({}, {"serve.requests": 7},
+                          metrics=("serve.requests",),
+                          regen_command=regen, capture=out), 1)
+        text = out.getvalue()
+        self.assertIn("'serve.requests'", text)
+        self.assertIn("missing from baseline", text)
+        self.assertIn(regen, text)
+
+    def test_missing_baseline_counter_without_regen_has_fallback_hint(self):
+        out = io.StringIO()
+        self.assertEqual(
+            self.run_gate({}, {"serve.requests": 7},
+                          metrics=("serve.requests",), capture=out), 1)
+        self.assertIn("re-run the workload", out.getvalue())
 
     def test_unselected_counters_are_ignored(self):
         self.assertEqual(self.run_gate({"sim.messages": 1, "other": 5},

@@ -65,6 +65,10 @@ EVENT_SCHEMAS = {
     "repair_begin": (["graph", "epoch", "residual", "full_recompute"], None),
     "repair_certified": (["graph", "epoch", "certified", "committed",
                           "rounds"], None),
+    "span_begin": (["span", "parent", "ref"], "name"),
+    "span_end": (["span"], None),
+    "recorder_dump": (["buffered_events", "buffered_bytes",
+                       "evicted_events", "evicted_bytes"], "reason"),
 }
 # Binary event records carry the kind as a byte in EventKind order.
 KIND_NAMES = list(EVENT_SCHEMAS.keys())
@@ -312,6 +316,12 @@ def do_summary(path):
             messages = sum(e.get("messages", 0) for e in rounds)
             print(f"  rounds observed: {len(rounds)}, "
                   f"messages: {messages}")
+        for dump in (e for e in events if e["ev"] == "recorder_dump"):
+            print(f"  recorder dump: reason={dump.get('reason')!r} "
+                  f"buffered={dump.get('buffered_events', 0)} events / "
+                  f"{dump.get('buffered_bytes', 0)} bytes, "
+                  f"evicted={dump.get('evicted_events', 0)} events / "
+                  f"{dump.get('evicted_bytes', 0)} bytes")
     elif kind == "trace":
         spans = payload
         by_name = {}
@@ -329,6 +339,100 @@ def do_summary(path):
         print(f"{path}: metrics dump ({len(counters)} counters)")
         for name in sorted(counters):
             print(f"  {name:24s} {counters[name]}")
+    return 0
+
+
+def collect_spans(events):
+    """Builds the span forest from span_begin/span_end markers.
+
+    Returns (roots, orphans): roots are spans with parent == 0, each a dict
+    with nested children; facts emitted while a span is open (run_end
+    rounds/messages, repair outcomes) are attributed to the innermost open
+    span. orphans counts span_end markers with no matching span_begin.
+    """
+    stack, roots, orphans = [], [], 0
+    for index, event in enumerate(events):
+        kind = event["ev"]
+        if kind == "span_begin":
+            span = {"span": event.get("span", 0),
+                    "parent": event.get("parent", 0),
+                    "name": event.get("name", ""),
+                    "ref": event.get("ref", 0),
+                    "begin": index, "end": None, "events": 0,
+                    "rounds": 0, "messages": 0, "repairs": 0,
+                    "certified": 0, "children": []}
+            if stack:
+                stack[-1]["children"].append(span)
+            else:
+                roots.append(span)
+            stack.append(span)
+            continue
+        if kind == "span_end":
+            span_id = event.get("span", 0)
+            if stack and stack[-1]["span"] == span_id:
+                span = stack.pop()
+                span["end"] = index
+                span["events"] = index - span["begin"] - 1
+            else:
+                orphans += 1
+            continue
+        if not stack:
+            continue
+        span = stack[-1]
+        if kind == "run_end":
+            span["rounds"] += event.get("rounds", 0)
+            span["messages"] += event.get("messages", 0)
+        elif kind == "repair_certified":
+            span["repairs"] += 1
+            span["certified"] += event.get("certified", 0)
+    return roots, orphans
+
+
+def aggregate_span(span):
+    """Sums rounds/messages/repairs over a span and its descendants."""
+    rounds, messages, repairs = (span["rounds"], span["messages"],
+                                 span["repairs"])
+    for child in span["children"]:
+        c_rounds, c_messages, c_repairs = aggregate_span(child)
+        rounds += c_rounds
+        messages += c_messages
+        repairs += c_repairs
+    return rounds, messages, repairs
+
+
+def print_span(span, depth):
+    rounds, messages, repairs = aggregate_span(span)
+    indent = "  " * (depth + 1)
+    state = "open" if span["end"] is None else f"{span['events']} events"
+    print(f"{indent}span {span['span']} {span['name']!r} ref={span['ref']} "
+          f"[{state}] rounds={rounds} messages={messages} "
+          f"repairs={repairs}")
+    for child in span["children"]:
+        print_span(child, depth + 1)
+
+
+def do_spans(path):
+    events = event_stream_of(path)
+    roots, orphans = collect_spans(events)
+    print(f"{path}: {len(roots)} request spans")
+    by_op = {}
+    for span in roots:
+        print_span(span, 0)
+        rounds, messages, repairs = aggregate_span(span)
+        entry = by_op.setdefault(span["name"], [0, 0, 0, 0])
+        entry[0] += 1
+        entry[1] += rounds
+        entry[2] += messages
+        entry[3] += repairs
+    if by_op:
+        print("  per-op totals:")
+        for name in sorted(by_op):
+            count, rounds, messages, repairs = by_op[name]
+            print(f"    {name:16s} x{count}  rounds={rounds} "
+                  f"messages={messages} repairs={repairs}")
+    if orphans:
+        print(f"  WARNING: {orphans} span_end markers without a matching "
+              "span_begin")
     return 0
 
 
@@ -367,6 +471,8 @@ def main(argv):
                       help="print per-kind counts / span totals / counters")
     mode.add_argument("--diff", action="store_true",
                       help="compare two event streams (manifests excluded)")
+    mode.add_argument("--spans", action="store_true",
+                      help="per-request span breakdown of an event stream")
     parser.add_argument("paths", nargs="+", metavar="FILE")
     args = parser.parse_args(argv)
 
@@ -384,7 +490,10 @@ def main(argv):
             status |= do_validate(path)
         else:
             try:
-                do_summary(path)
+                if args.spans:
+                    status |= do_spans(path)
+                else:
+                    do_summary(path)
             except (FormatError, OSError) as err:
                 print(f"ERROR {path}: {err}")
                 status = 1
